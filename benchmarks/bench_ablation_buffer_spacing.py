@@ -1,0 +1,67 @@
+"""Ablation — buffer spacing in pipelined clock trees (A7's "constant
+distance apart").
+
+The paper suggests spacing buffers so wire delay between buffers matches a
+buffer's own delay.  Sweep the spacing: too dense wastes buffers (tau is
+dominated by buffer count... per-segment tau includes a buffer each), too
+sparse lets per-segment wire delay grow.  tau is minimized near
+wire-delay ~ buffer-delay; the skew between neighbors also tracks spacing.
+"""
+
+from repro.arrays.topologies import linear_array
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.delay.buffer import InverterPairModel
+from repro.delay.variation import BoundedUniformVariation
+
+from conftest import emit_table
+
+N = 64
+CELL_SPACING = 16.0  # long inter-cell clock wires make spacing meaningful
+BUFFER_DELAY = 1.0  # nominal buffer delay, independent of spacing here
+SPACINGS = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+
+
+def run_sweep():
+    array = linear_array(N, spacing=CELL_SPACING)
+    tree = spine_clock(array)
+    pairs = array.communicating_pairs()
+    rows = []
+    for spacing in SPACINGS:
+        buffered = BufferedClockTree(
+            tree,
+            buffer_spacing=spacing,
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.1, seed=3),
+            buffer_model=InverterPairModel(nominal=BUFFER_DELAY, seed=3),
+        )
+        rows.append(
+            (
+                spacing,
+                buffered.buffer_count,
+                buffered.tau(),
+                buffered.max_skew(pairs),
+                buffered.latency(),
+            )
+        )
+    return rows
+
+
+def test_ablation_buffer_spacing(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "ablation_buffer_spacing",
+        f"Ablation: buffer spacing on a {N}-cell spine "
+        f"(buffer delay {BUFFER_DELAY}; tau = spacing*wire + buffer)",
+        ["spacing", "buffers", "tau", "neighbor skew", "latency"],
+        rows,
+    )
+    taus = {r[0]: r[2] for r in rows}
+    # tau grows with spacing once wire delay dominates the buffer delay.
+    assert taus[16.0] > taus[2.0] > 0
+    # Dense buffering costs hardware without helping tau below ~buffer delay.
+    counts = {r[0]: r[1] for r in rows}
+    assert counts[0.5] > 3 * counts[2.0]
+    assert taus[0.5] >= BUFFER_DELAY  # floor set by the buffer itself
+    # Latency falls with spacing (fewer buffer delays on the path).
+    latencies = {r[0]: r[4] for r in rows}
+    assert latencies[8.0] < latencies[0.5]

@@ -1,0 +1,55 @@
+"""Ablation — how the variation ratio eps/m picks the model and the winner.
+
+The Section III derivation gives sigma = m*d + eps*s.  With eps -> 0 the
+difference model applies and equidistant (H-tree/dissection) schemes win;
+as eps/m grows, the s-term dominates and path-local (spine) schemes win.
+This bench locates the crossover on a 1D array: the dissection tree beats
+the spine below some eps*, loses above it — and eps* shrinks as the array
+grows, which is why the paper trusts only the summation model at scale.
+"""
+
+from repro.arrays.topologies import linear_array
+from repro.clocktree.htree import dissection_tree_for_linear
+from repro.clocktree.spine import spine_clock
+from repro.core.models import PhysicalModel, max_skew_bound
+
+from conftest import emit_table
+
+SIZES = [16, 64, 256]
+EPS_VALUES = [0.0, 0.001, 0.01, 0.1, 0.3]
+M = 1.0
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        array = linear_array(n)
+        pairs = array.communicating_pairs()
+        dissection = dissection_tree_for_linear(array)
+        spine = spine_clock(array)
+        for eps in EPS_VALUES:
+            model = PhysicalModel(m=M, eps=eps)
+            sd = max_skew_bound(dissection, pairs, model)
+            ss = max_skew_bound(spine, pairs, model)
+            rows.append((n, eps, sd, ss, "dissection" if sd < ss else "spine"))
+    return rows
+
+
+def test_ablation_eps_over_m_crossover(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "ablation_eps_over_m",
+        "Ablation: sigma = m*d + eps*s for dissection vs spine clocks on "
+        "linear arrays — the winner flips as eps/m grows, earlier for "
+        "larger arrays",
+        ["n", "eps/m", "sigma dissection", "sigma spine", "winner"],
+        rows,
+    )
+    by = {(r[0], r[1]): r[4] for r in rows}
+    # eps = 0: equidistant dissection wins everywhere (sigma = 0).
+    assert all(by[(n, 0.0)] == "dissection" for n in SIZES)
+    # large eps: the spine wins everywhere.
+    assert all(by[(n, 0.3)] == "spine" for n in SIZES)
+    # the crossover eps shrinks with array size: at eps=0.01 the large
+    # array has flipped while the small one may not have.
+    assert by[(256, 0.01)] == "spine"

@@ -1,0 +1,79 @@
+"""Exp E1 — the 2048-inverter-string chip (Section VII).
+
+Paper measurements: equipotential single-phase cycle ~= 34 us, pipelined
+cycle ~= 500 ns, a 68x speedup, identical on five chips (design bias
+dominated stage noise).  The bench regenerates the five-chip table and the
+length sweep backing the "any length could be clocked 68 times faster"
+extrapolation.
+"""
+
+from repro.sim.inverter import (
+    PAPER_EQUIPOTENTIAL_CYCLE,
+    PAPER_PIPELINED_CYCLE,
+    PAPER_SPEEDUP,
+    PAPER_STRING_LENGTH,
+    InverterString,
+    paper_calibrated_model,
+)
+
+from conftest import emit_table
+
+
+def run_chips():
+    rows = []
+    for seed in range(5):
+        chip = InverterString(PAPER_STRING_LENGTH, paper_calibrated_model(seed))
+        r = chip.result()
+        rows.append(
+            (
+                seed,
+                r.equipotential_cycle * 1e6,
+                r.pipelined_cycle * 1e9,
+                r.speedup,
+            )
+        )
+    return rows
+
+
+def run_length_sweep():
+    rows = []
+    for n in (256, 1024, 2048, 8192, 32768):
+        chip = InverterString(n, paper_calibrated_model(seed=0))
+        r = chip.result()
+        rows.append((n, r.equipotential_cycle * 1e6, r.pipelined_cycle * 1e9, r.speedup))
+    return rows
+
+
+def test_e1_five_chips(benchmark):
+    rows = benchmark.pedantic(run_chips, rounds=1, iterations=1)
+    emit_table(
+        "e1_inverter_chips",
+        "E1: five simulated 2048-inverter chips "
+        f"(paper: {PAPER_EQUIPOTENTIAL_CYCLE*1e6:.0f} us equipotential, "
+        f"{PAPER_PIPELINED_CYCLE*1e9:.0f} ns pipelined, {PAPER_SPEEDUP:.0f}x)",
+        ["chip", "equipotential (us)", "pipelined (ns)", "speedup"],
+        rows,
+    )
+    for _chip, eq_us, pipe_ns, speedup in rows:
+        assert abs(eq_us - 34.0) < 1.0
+        assert abs(pipe_ns - 500.0) < 25.0
+        assert abs(speedup - 68.0) < 2.0
+    # Five-chip consistency: bias dominates noise.
+    speedups = [r[3] for r in rows]
+    assert max(speedups) - min(speedups) < 1.0
+
+
+def test_e1_speedup_scale_invariant(benchmark):
+    rows = benchmark.pedantic(run_length_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e1_length_sweep",
+        "E1: length sweep — once accumulated bias dominates the per-stage "
+        "delay (n >= ~2048) the speedup is scale-invariant ('a similar "
+        "inverter string of any length...')",
+        ["n", "equipotential (us)", "pipelined (ns)", "speedup"],
+        rows,
+    )
+    speedups = [r[3] for r in rows if r[0] >= 2048]
+    assert max(speedups) / min(speedups) < 1.05
+    # below the bias-dominated regime the speedup is smaller, never larger
+    assert all(r[3] <= max(speedups) * 1.05 for r in rows)

@@ -1,0 +1,57 @@
+"""Exp E2 — the sqrt(n) cycle-time law at fixed yield (Section VII).
+
+With zero design bias, per-stage rise/fall discrepancies random-walk down
+the string: the cycle time a fixed fraction of chips can meet grows as
+``sqrt(n)``.  Analytic curve (normal quantile) against Monte-Carlo measured
+quantiles of simulated chip populations.
+"""
+
+import math
+
+from repro.analysis.montecarlo import summarize
+from repro.analysis.scaling import classify_growth
+from repro.delay.buffer import InverterPairModel
+from repro.sim.inverter import InverterString, fixed_yield_cycle_time
+
+from conftest import emit_table
+
+SIZES = [64, 256, 1024, 4096]
+VARIANCE = 1e-4
+STAGE = 1.0
+YIELD = 0.9
+CHIPS = 120
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        analytic = fixed_yield_cycle_time(n, VARIANCE, STAGE, YIELD)
+        cycles = sorted(
+            InverterString(
+                n, InverterPairModel(nominal=STAGE, variance=VARIANCE, seed=seed)
+            ).pipelined_cycle()
+            for seed in range(CHIPS)
+        )
+        measured = cycles[int(YIELD * CHIPS)]  # the 90th-percentile chip
+        rows.append((n, analytic, measured, measured - 2 * STAGE))
+    return rows
+
+
+def test_e2_sqrt_n_fixed_yield(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e2_sqrt_scaling",
+        f"E2: cycle time at {YIELD:.0%} yield vs string length "
+        f"(variance={VARIANCE}, stage={STAGE}; both curves grow ~sqrt(n))",
+        ["n", "analytic (endpoint)", "measured p90 (prefix)", "distortion part"],
+        rows,
+    )
+    sizes = [r[0] for r in rows]
+    # The distortion component (cycle minus the fixed 2*stage term)
+    # quadruples-n -> doubles: a sqrt law.
+    distortion = [r[3] for r in rows]
+    fit = classify_growth(sizes, distortion)
+    assert fit.law == "sqrt"
+    for a, b in zip(distortion, distortion[1:]):
+        assert b / a == (b / a)  # finite
+        assert 1.5 <= b / a <= 2.6  # ~2 per 4x n

@@ -1,0 +1,91 @@
+"""Exp E3 — self-timing buys little in regular arrays (Section I).
+
+Two series:
+
+1. the probability a wave hits a worst-case cell on a k-path: measured vs
+   the closed form ``1 - p^k`` — approaching 1 as k grows;
+2. measured cycle time of a blocking (one-place-channel) self-timed line vs
+   the ideal best case and the worst case — large arrays drift toward
+   worst-case operation, while clocked operation would sit at worst case by
+   design anyway (the paper's argument for clocking regular arrays).
+"""
+
+from repro.sim.selftimed import (
+    simulate_selftimed_line,
+    two_point_sampler,
+    worst_case_path_probability,
+)
+
+from conftest import emit_table
+
+NORMAL, WORST, P_WORST = 1.0, 2.0, 0.05
+SIZES = [2, 8, 32, 128, 512]
+WAVES = 300
+
+
+def run_sweep():
+    sampler = two_point_sampler(NORMAL, WORST, P_WORST)
+    rows = []
+    for k in SIZES:
+        result = simulate_selftimed_line(
+            k, WAVES, sampler, seed=11, worst_time=WORST, blocking=True
+        )
+        predicted = worst_case_path_probability(1 - P_WORST, k)
+        rows.append(
+            (
+                k,
+                predicted,
+                result.worst_case_fraction,
+                result.mean_cycle_time,
+                result.slowdown_vs_best,
+            )
+        )
+    return rows
+
+
+def run_wavefront_sweep():
+    from repro.sim.selftimed import simulate_selftimed_wavefront
+
+    sampler = two_point_sampler(NORMAL, WORST, P_WORST)
+    rows = []
+    for n in (2, 4, 8, 16):
+        result = simulate_selftimed_wavefront(
+            n, n, WAVES, sampler, seed=11, worst_time=WORST
+        )
+        predicted = worst_case_path_probability(1 - P_WORST, 2 * n - 1)
+        rows.append((n, 2 * n - 1, predicted, result.worst_case_fraction,
+                     result.mean_cycle_time))
+    return rows
+
+
+def test_e3_selftimed_worst_case_dominance(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e3_selftimed",
+        f"E3: worst-case-path probability and self-timed cycle time "
+        f"(p_worst={P_WORST}, normal={NORMAL}, worst={WORST}, blocking channels)",
+        ["k cells", "1-p^k", "measured frac", "cycle", "slowdown vs best"],
+        rows,
+    )
+    # 1 - p^k matches measurement and approaches 1.
+    for _k, predicted, measured, _c, _s in rows:
+        assert abs(predicted - measured) < 0.1
+    assert rows[-1][1] > 0.99
+    # Cycle time rises with array size: the self-timing advantage decays.
+    cycles = [r[3] for r in rows]
+    assert cycles[-1] > cycles[0]
+    assert rows[-1][4] > 1.3  # >30% above best case at 512 cells
+
+
+def test_e3_wavefront_2d(benchmark):
+    rows = benchmark.pedantic(run_wavefront_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e3_selftimed_2d",
+        "E3 (2D): self-timed wavefront meshes — worst-case-path probability "
+        "along the rows+cols-1 critical path",
+        ["n (mesh)", "path cells", "1-p^k", "measured frac", "cycle"],
+        rows,
+    )
+    for _n, _k, predicted, measured, _cycle in rows:
+        assert abs(predicted - measured) < 0.12
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,72 @@
+"""Exp EQ — equipotential (A6) vs pipelined (A7) distribution time.
+
+The foundational comparison motivating the whole paper: the equipotential
+tau grows with the layout diameter (linearly with a repeated-driver model,
+quadratically for a raw RC line), while the buffered pipelined tau is a
+constant.  The crossover sits at a few tens of cells.
+"""
+
+from repro.arrays.topologies import linear_array, mesh
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.spine import spine_clock
+from repro.core.parameters import equipotential_tau, pipelined_tau
+from repro.delay.wire import ElmoreWireModel
+
+from conftest import emit_table
+
+LINEAR_SIZES = [4, 16, 64, 256, 1024]
+MESH_SIZES = [4, 8, 16, 32]
+
+
+def run_sweep():
+    rows = []
+    for n in LINEAR_SIZES:
+        array = linear_array(n)
+        tree = spine_clock(array)
+        rows.append(
+            (
+                "linear",
+                n,
+                equipotential_tau(tree),  # alpha * P
+                equipotential_tau(tree, wire_model=ElmoreWireModel(r=0.1, c=0.1)),
+                pipelined_tau(BufferedClockTree(tree)),
+            )
+        )
+    for n in MESH_SIZES:
+        array = mesh(n, n)
+        tree = htree_for_array(array)
+        rows.append(
+            (
+                "mesh",
+                n,
+                equipotential_tau(tree),
+                equipotential_tau(tree, wire_model=ElmoreWireModel(r=0.1, c=0.1)),
+                pipelined_tau(BufferedClockTree(tree)),
+            )
+        )
+    return rows
+
+
+def test_eq_vs_pipelined(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "eq_vs_pipelined",
+        "EQ: distribution time tau — equipotential (linear alpha*P and "
+        "quadratic RC) vs buffered pipelined (flat)",
+        ["family", "n", "tau eq (alpha*P)", "tau eq (RC)", "tau pipelined"],
+        rows,
+    )
+    linear_rows = [r for r in rows if r[0] == "linear"]
+    # Equipotential grows ~linearly with P; RC grows ~quadratically.
+    assert linear_rows[-1][2] > 100 * linear_rows[0][2]
+    assert linear_rows[-1][3] / linear_rows[-2][3] > 10
+    # Pipelined flat within each family (segment geometry differs between
+    # a unit-edge spine and an H-tree's half-unit edges).
+    for family in ("linear", "mesh"):
+        pipelined = [r[4] for r in rows if r[0] == family]
+        assert max(pipelined) - min(pipelined) < 0.3
+    # Crossover: pipelined wins from n >= 16 on linear arrays.
+    for r in linear_rows:
+        if r[1] >= 16:
+            assert r[4] < r[2]

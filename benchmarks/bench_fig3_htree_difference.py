@@ -1,0 +1,40 @@
+"""Exp F3 — H-tree clocking under the difference model (Fig. 3, Lemma 1,
+Theorem 2).
+
+Regenerates, for linear / square / hexagonal arrays: the skew bound
+``sigma = f(d)`` (zero, by equidistance), the A5 period, and the clock-tree
+area factor — all constant in array size, while the tree's root-to-leaf
+path ``P`` grows.  "Who wins": period flat at ``delta + tau`` for every
+topology and size.
+"""
+
+import pytest
+
+from repro.core.theorems import theorem2_sweep
+
+from conftest import emit_table
+
+SIZES = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("topology", ["linear", "mesh", "hex"])
+def test_fig3_htree_constant_period(benchmark, topology):
+    records = benchmark.pedantic(
+        theorem2_sweep, args=(SIZES,), kwargs={"topology": topology},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (r.size, r.n_cells, r.sigma, r.extra["P"], r.period) for r in records
+    ]
+    emit_table(
+        f"fig3_htree_{topology}",
+        f"F3: H-tree + difference model on {topology} arrays "
+        "(sigma=f(d)=0 by equidistance; period = delta + tau, flat)",
+        ["n", "cells", "sigma", "P (root-leaf)", "period"],
+        rows,
+    )
+    periods = [r.period for r in records]
+    assert max(periods) == min(periods)
+    assert all(r.sigma == 0.0 for r in records)
+    # P grows with the layout even though the period does not.
+    assert records[-1].extra["P"] > records[0].extra["P"]

@@ -1,0 +1,43 @@
+"""Exp F3a — the Fig. 3(a) scheme fails under the summation model
+(Section V opening remark).
+
+The balanced dissection clock for a linear array keeps all cells
+equidistant (fine under the difference model) but connects the two middle
+neighbors by a tree path spanning the whole array: under the summation
+model their skew bound grows linearly.  "Who wins": the spine (Theorem 3)
+by a factor that itself grows linearly — the crossover is at n ~ a few
+cells.
+"""
+
+from repro.analysis.scaling import classify_growth
+from repro.core.theorems import fig3a_counterexample_sweep, theorem3_sweep
+
+from conftest import emit_table
+
+SIZES = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def run_sweep():
+    dissection = fig3a_counterexample_sweep(SIZES)
+    spine = theorem3_sweep(SIZES)
+    return dissection, spine
+
+
+def test_fig3a_dissection_skew_grows_linearly(benchmark):
+    dissection, spine = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (d.size, d.sigma, s.sigma, d.sigma / s.sigma)
+        for d, s in zip(dissection, spine)
+    ]
+    emit_table(
+        "fig3a_summation_failure",
+        "F3a: summation-model sigma, Fig. 3(a) dissection vs Fig. 4 spine "
+        "(m=1, eps=0.1; dissection grows ~linearly, spine flat)",
+        ["n", "sigma dissection", "sigma spine", "ratio"],
+        rows,
+    )
+    fit = classify_growth([d.size for d in dissection], [d.sigma for d in dissection])
+    assert fit.law == "linear"
+    assert classify_growth([s.size for s in spine], [s.sigma for s in spine]).law == "constant"
+    # the loss factor grows roughly linearly too
+    assert rows[-1][3] > 100

@@ -1,0 +1,83 @@
+"""Exp F4 — Theorem 3: spine-clocked 1D arrays at a size-independent period
+(Fig. 4), shown both analytically and on a live buffered realization.
+
+For each size: model sigma, empirical sigma of a buffered tree with
+``m +- eps`` variation, pipelined tau (constant), and the minimum safe
+period measured by the clocked simulator on a real FIR computation.
+"""
+
+from repro.arrays.systolic import build_fir_array
+from repro.arrays.topologies import linear_array
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.core.models import SummationModel, max_skew_bound
+from repro.delay.variation import BoundedUniformVariation
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+
+from conftest import emit_table
+
+SIZES = [8, 32, 128, 512, 2048]
+M, EPS = 1.0, 0.1
+
+
+def run_sweep():
+    model = SummationModel(m=M, eps=EPS)
+    rows = []
+    for n in SIZES:
+        array = linear_array(n)
+        tree = spine_clock(array)
+        pairs = array.communicating_pairs()
+        buffered = BufferedClockTree(
+            tree, wire_variation=BoundedUniformVariation(m=M, epsilon=EPS, seed=n)
+        )
+        rows.append(
+            (
+                n,
+                max_skew_bound(tree, pairs, model),
+                buffered.max_skew(pairs),
+                buffered.tau(),
+                buffered.latency(),
+            )
+        )
+    return rows
+
+
+def measure_safe_period(taps):
+    program = build_fir_array([1.0] * taps, [1.0] * (taps + 4))
+    order = ["snk"] + list(range(taps - 1, -1, -1)) + ["src"]
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=order),
+        wire_variation=BoundedUniformVariation(m=M, epsilon=EPS, seed=taps),
+    )
+    sched = ClockSchedule.from_buffered_tree(buffered, 10.0, program.array.comm.nodes())
+    return ClockedArraySimulator(program, sched, delta=1.0).minimum_safe_period()
+
+
+def test_fig4_spine_constant_sigma_and_tau(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "fig4_linear_summation",
+        "F4: spine-clocked linear arrays under the summation model "
+        f"(m={M}, eps={EPS}; sigma and tau flat, latency grows harmlessly)",
+        ["n", "sigma (model)", "sigma (buffered)", "tau", "latency"],
+        rows,
+    )
+    sigmas = [r[1] for r in rows]
+    taus = [r[3] for r in rows]
+    assert max(sigmas) == min(sigmas)
+    assert max(taus) - min(taus) < 0.3
+    assert rows[-1][4] > 100 * rows[0][4]  # latency grows, period does not
+
+
+def test_fig4_safe_period_flat_on_live_computation(benchmark):
+    periods = benchmark.pedantic(
+        lambda: [measure_safe_period(k) for k in (4, 16, 64)], rounds=1, iterations=1
+    )
+    emit_table(
+        "fig4_safe_period",
+        "F4 (live): minimum safe clock period of a spine-clocked FIR array",
+        ["taps", "min safe period"],
+        list(zip((4, 16, 64), periods)),
+    )
+    assert max(periods) - min(periods) < 1.0

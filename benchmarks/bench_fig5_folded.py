@@ -1,0 +1,48 @@
+"""Exp F5 — folding the array bounds host-to-end skew (Fig. 5).
+
+Unfolded, the host talks to cell n-1 across a clock path spanning the whole
+array; folded, both ends tap the trunk next to the host.  The bench sweeps
+sizes and reports host-to-end summation skew for both layouts.
+"""
+
+from repro.arrays.topologies import linear_array
+from repro.clocktree.spine import folded_linear_array, spine_clock
+from repro.core.models import SummationModel
+
+from conftest import emit_table
+
+SIZES = [8, 32, 128, 512]
+MODEL = SummationModel(m=1.0, eps=0.1)
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        # Unfolded: host at cell 0's end, clock runs 0 -> n-1.
+        array = linear_array(n)
+        tree = spine_clock(array)
+        unfolded_end_skew = MODEL.skew_bound(tree, 0, n - 1)
+        # Folded: host taps station 0, both ends adjacent.
+        farr, ftree = folded_linear_array(n)
+        folded_host_to_end = max(
+            MODEL.skew_bound(ftree, "host", 0),
+            MODEL.skew_bound(ftree, "host", n - 1),
+        )
+        folded_max_pair = max(
+            MODEL.skew_bound(ftree, a, b) for a, b in farr.communicating_pairs()
+        )
+        rows.append((n, unfolded_end_skew, folded_host_to_end, folded_max_pair))
+    return rows
+
+
+def test_fig5_folding_bounds_host_skew(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "fig5_folded",
+        "F5: host-to-far-end summation skew, straight vs folded layout "
+        "(folded stays constant; straight grows with n)",
+        ["n", "straight host<->end", "folded host<->end", "folded max pair"],
+        rows,
+    )
+    assert rows[-1][1] > 50 * rows[-1][2]
+    assert max(r[3] for r in rows) <= 3.5

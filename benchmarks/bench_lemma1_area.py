@@ -1,0 +1,54 @@
+"""Exp L1 — Lemma 1's area accounting, measured.
+
+"It is possible to run a clock tree such that all nodes ... are equidistant
+... and the clock tree takes an area no more than a constant times the area
+of the original layout."  With unit-width wires (A3) a tree's area is its
+total wire length; the bench sweeps mesh sizes and reports the ratio of
+H-tree wiring to layout area — bounded by a small constant (~2 for the
+standard H-tree), as is the tuning overhead of making a kd tree equidistant.
+"""
+
+from repro.arrays.topologies import mesh
+from repro.clocktree.builders import kdtree_clock
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.tuning import tune_to_equidistant
+
+from conftest import emit_table
+
+SIZES = [4, 8, 16, 32]
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        array = mesh(n, n)
+        layout_area = array.layout.area
+        htree = htree_for_array(array)
+        kd = kdtree_clock(array)
+        kd_tuned, kd_added = tune_to_equidistant(kd, array.comm.nodes())
+        rows.append(
+            (
+                n,
+                layout_area,
+                htree.total_wire_length(),
+                htree.total_wire_length() / layout_area,
+                kd_tuned.total_wire_length() / layout_area,
+            )
+        )
+    return rows
+
+
+def test_lemma1_area_constant_factor(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "lemma1_area",
+        "L1: equidistant clock tree area over layout area on n x n meshes "
+        "(H-tree and tuned kd tree) — bounded by a constant",
+        ["n", "layout area", "htree wire", "htree ratio", "tuned-kd ratio"],
+        rows,
+    )
+    ratios = [r[3] for r in rows]
+    assert all(ratio <= 3.0 for ratio in ratios)
+    # The ratio stabilizes rather than growing with n.
+    assert ratios[-1] <= ratios[0] * 1.5
+    assert all(r[4] <= 6.0 for r in rows)

@@ -1,0 +1,105 @@
+"""Exp S8 — tree machines (Section VIII).
+
+H-tree-laid binary trees, clocked along their data paths, with pipeline
+registers on long edges: constant pipeline interval (one query per tick),
+O(sqrt(N)) root-to-leaf latency, O(N) area including registers.
+"""
+
+from repro.arrays.topologies import complete_binary_tree
+from repro.clocktree.builders import comm_tree_clock
+from repro.core.models import SummationModel, max_skew_bound
+from repro.treemachine.layout import htree_tree_layout, level_edge_lengths
+from repro.treemachine.machine import SearchTreeMachine
+from repro.treemachine.pipeline import pipeline_tree
+
+from conftest import emit_table
+
+DEPTHS = [2, 4, 6, 8, 10]
+SEGMENT = 1.0
+
+
+def run_sweep():
+    rows = []
+    for depth in DEPTHS:
+        array = htree_tree_layout(depth)
+        pt = pipeline_tree(array, depth, segment_limit=SEGMENT)
+        n = 2 ** (depth + 1) - 1
+        rows.append(
+            (
+                depth,
+                n,
+                array.layout.area,
+                pt.total_registers,
+                pt.max_segment_length,
+                pt.root_to_leaf_latency(),
+            )
+        )
+    return rows
+
+
+def test_s8_pipelined_tree_metrics(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "s8_tree_machine",
+        f"S8: H-tree tree machines with pipeline registers (segment <= {SEGMENT}): "
+        "area O(N), segments bounded, latency O(sqrt(N)), interval 1 tick",
+        ["depth", "N nodes", "area", "registers", "max segment", "latency (ticks)"],
+        rows,
+    )
+    # Area linear in N (including registers, which only thicken wires).
+    for _d, n, area, regs, seg, _lat in rows:
+        assert area <= 3.0 * n
+        assert regs <= 2.5 * n
+        assert seg <= SEGMENT + 1e-9
+    # Latency ~ sqrt(N): +2 depth (4x nodes) -> ~2x latency.
+    lat = {row[0]: row[5] for row in rows}
+    assert 1.4 <= lat[8] / lat[6] <= 2.6
+    assert 1.4 <= lat[10] / lat[8] <= 2.6
+
+
+def test_s8_search_machine_throughput(benchmark):
+    def run():
+        depth = 5
+        machine = SearchTreeMachine(
+            depth, pipelined=pipeline_tree(htree_tree_layout(depth), depth, SEGMENT)
+        )
+        commands = [("ins", k) for k in range(0, 40, 3)] + [
+            ("q", k) for k in range(40)
+        ]
+        return machine.run(commands)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "s8_search_machine",
+        "S8 (live): pipelined search tree machine, one query per tick",
+        ["queries", "answers", "latency ticks", "interval ticks"],
+        [(40, result.answers, result.latency_ticks, result.interval_ticks)],
+    )
+    assert result.interval_ticks == 1
+    expected = [k % 3 == 0 for k in range(40)]
+    assert result.results == expected
+
+
+def test_s8_summation_skew_rides_data_paths(benchmark):
+    def run():
+        rows = []
+        for depth in (3, 5, 7):
+            array = htree_tree_layout(depth)
+            tree = comm_tree_clock(array)
+            sigma = max_skew_bound(
+                tree, array.communicating_pairs(), SummationModel(m=1.0, eps=0.1)
+            )
+            longest_edge = max(level_edge_lengths(array, depth).values())
+            rows.append((depth, sigma, 1.1 * longest_edge))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "s8_comm_clock",
+        "S8: clocking along the data paths — sigma tracks the longest "
+        "communication edge (skew and data delay grow together)",
+        ["depth", "sigma", "(m+eps) * longest edge"],
+        rows,
+    )
+    for _d, sigma, bound in rows:
+        assert sigma <= bound + 1e-9

@@ -1,0 +1,40 @@
+"""Benchmark harness helpers.
+
+Every bench regenerates one of the paper's figures/claims as a table of
+rows.  ``emit_table`` renders the table, prints it (visible with ``-s``),
+and writes it to ``benchmarks/results/<name>.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves artifacts behind.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    text = "\n".join(lines) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,82 @@
+"""The engineering layer: advice, audits, disciplines, and figures.
+
+Run:  python examples/design_advisor_tour.py
+
+A machine designer's session: ask the advisor what to do for three
+different machines, audit the chosen configuration against the paper's
+assumptions, size the clocking discipline, and export the figure as SVG.
+"""
+
+import os
+import tempfile
+
+from repro import linear_array, mesh
+from repro.arrays.topologies import complete_binary_tree
+from repro.clocktree.buffered import BufferedClockTree
+from repro.core.advisor import recommend
+from repro.core.assumptions import audit, failures
+from repro.core.disciplines import SinglePhaseDiscipline, TwoPhaseDiscipline
+from repro.core.models import DifferenceModel, SummationModel
+from repro.core.schemes import build_scheme
+from repro.viz.svg import figure_to_svg, save_svg
+
+
+def show(rec) -> None:
+    print(f"  -> scheme: {rec.scheme}   sigma: {rec.sigma:.3g}   "
+          f"period: {rec.period:.3g}   scales: {rec.scales_with_size}")
+    for line in rec.rationale:
+        print(f"     . {line}")
+    print()
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. Three machines, three recommendations")
+    print("=" * 72)
+    print("a 512-cell linear systolic filter (on-chip, summation model):")
+    show(recommend(linear_array(512), SummationModel(m=1.0, eps=0.1)))
+    print("a 16x16 mesh on a tuned discrete-component board (difference model):")
+    show(recommend(mesh(16, 16), DifferenceModel(m=1.0)))
+    print("a 16x16 mesh on-chip (summation model, tight delta):")
+    show(recommend(mesh(16, 16), SummationModel(m=1.0, eps=0.5), delta=0.2,
+                   hybrid_threshold=2.0, element_size=2.0))
+
+    print("=" * 72)
+    print("2. Audit the chosen linear-array configuration (A1..A10)")
+    print("=" * 72)
+    array = linear_array(64)
+    tree = build_scheme("spine", array)
+    buffered = BufferedClockTree(tree)
+    checks = audit(array, tree, buffered=buffered, s_budget=1.0)
+    for check in checks:
+        status = "PASS" if check.holds else ("FAIL" if check.checkable else "n/a ")
+        print(f"  [{status}] {check.assumption}: {check.detail}")
+    hard_failures = [c for c in failures(checks) if not c.assumption.startswith("A9")]
+    print(f"  hard failures: {len(hard_failures)}\n")
+
+    print("=" * 72)
+    print("3. Pick a discipline for sigma = 1.1, delta = 1, tau = 2.1")
+    print("=" * 72)
+    sigma, delta, tau = 1.1, 1.0, 2.1
+    one = SinglePhaseDiscipline(t_setup=0.1, t_hold=0.1)
+    two = TwoPhaseDiscipline(nonoverlap=1.3, t_setup=0.1, t_hold=0.1)
+    for d in (one, two):
+        report = d.evaluate(sigma, delta, tau, min_data_delay=1.3)
+        print(f"  {report.discipline:12s} period >= {report.min_period:.2f}  "
+              f"race-immune: {report.race_immune}  ({report.detail})")
+    print()
+
+    print("=" * 72)
+    print("4. Export the Fig. 3(b) figure (H-tree over a mesh) as SVG")
+    print("=" * 72)
+    array = mesh(8, 8)
+    svg = figure_to_svg(array, build_scheme("htree", array),
+                        title="H-tree clocking an 8x8 mesh (Fig. 3b)")
+    path = os.path.join(tempfile.gettempdir(), "fig3b_htree.svg")
+    save_svg(path, svg)
+    print(f"  wrote {path} ({len(svg)} bytes, "
+          f"{svg.count('class=' + chr(34) + 'clock' + chr(34))} clock edges)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""The two-dimensional wall, and the hybrid way around it.
+
+Run:  python examples/mesh_skew_explorer.py
+
+Section V-B of the paper proves that NO clock tree keeps communicating-cell
+skew bounded on a growing n x n mesh (summation model).  This example:
+
+1. sweeps three clocking schemes over growing meshes and watches the best
+   achievable skew grow linearly anyway;
+2. runs the paper's proof as an executable certificate on each instance;
+3. builds the Section VI hybrid scheme and shows its cycle time flat where
+   the global clock degrades.
+"""
+
+from repro import (
+    build_hybrid,
+    equipotential_tau,
+    lower_bound_value,
+    mesh,
+    prove_skew_lower_bound,
+    serpentine_clock,
+    simulate_hybrid,
+)
+from repro.clocktree.builders import kdtree_clock
+from repro.clocktree.htree import htree_for_array
+
+BETA = 0.1
+SCHEMES = [
+    ("htree", htree_for_array),
+    ("serpentine", serpentine_clock),
+    ("kdtree", kdtree_clock),
+]
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. Best achievable max skew on n x n meshes (A11, beta = 0.1)")
+    print("=" * 72)
+    print(f"  {'n':>3}  {'htree':>8}  {'serpent':>8}  {'kdtree':>8}  "
+          f"{'best':>8}  {'Omega(n) floor':>14}")
+    for n in (4, 8, 16, 24, 32):
+        array = mesh(n, n)
+        sigmas = {}
+        for name, builder in SCHEMES:
+            tree = builder(array)
+            sigmas[name] = max(
+                BETA * tree.path_length(a, b)
+                for a, b in array.communicating_pairs()
+            )
+        floor = lower_bound_value(n, beta=BETA)
+        best = min(sigmas.values())
+        print(
+            f"  {n:>3}  {sigmas['htree']:>8.2f}  {sigmas['serpentine']:>8.2f}  "
+            f"{sigmas['kdtree']:>8.2f}  {best:>8.2f}  {floor:>14.3f}"
+        )
+    print("  -> every scheme grows ~linearly; none beats the floor.\n")
+
+    print("=" * 72)
+    print("2. The Section V-B proof, executed on a concrete instance")
+    print("=" * 72)
+    array = mesh(16, 16)
+    cert = prove_skew_lower_bound(serpentine_clock(array), array, beta=BETA)
+    print(f"  instance          : 16x16 mesh, serpentine clock")
+    print(f"  sigma (min possible under A11) : {cert.sigma:.3f}")
+    print(f"  Lemma 5 separator fraction     : {cert.separator_fraction:.3f}")
+    print(f"  circle radius sigma/beta       : {cert.radius:.2f}")
+    print(f"  cells inside circle            : {cert.cells_in_circle}")
+    print(f"  proof branch taken             : {cert.branch}")
+    print(f"  certified lower bound          : {cert.bound:.3f}")
+    cert.check()
+    print("  -> certificate checks: every step of the paper's argument holds.\n")
+
+    print("=" * 72)
+    print("3. Hybrid synchronization (Fig. 8) vs a global equipotential clock")
+    print("=" * 72)
+    print(f"  {'n':>3}  {'global clock tau':>17}  {'hybrid cycle (e=4)':>19}")
+    for n in (8, 16, 32, 48):
+        array = mesh(n, n)
+        tau = equipotential_tau(serpentine_clock(array))
+        scheme = build_hybrid(array, element_size=4.0)
+        cycle = simulate_hybrid(scheme, steps=25, delta=1.0, jitter=0.2, seed=n).cycle_time
+        print(f"  {n:>3}  {tau:>17.1f}  {cycle:>19.2f}")
+    print("  -> the hybrid's synchronization paths are all local: flat forever.")
+
+
+if __name__ == "__main__":
+    main()

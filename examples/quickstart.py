@@ -1,0 +1,89 @@
+"""Quickstart: clock a systolic array and see the paper's core results.
+
+Run:  python examples/quickstart.py
+
+Walks through the library's main objects in ~5 minutes of reading:
+build an array, clock it three ways, compare skew models, and execute a
+real systolic computation under a skewed clock.
+"""
+
+from repro import (
+    BufferedClockTree,
+    ClockSchedule,
+    ClockedArraySimulator,
+    DifferenceModel,
+    SummationModel,
+    build_fir_array,
+    dissection_tree_for_linear,
+    htree_for_array,
+    linear_array,
+    max_skew_bound,
+    mesh,
+    spine_clock,
+)
+from repro.delay.variation import BoundedUniformVariation
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. A one-dimensional systolic array, clocked by a spine (Fig. 4)")
+    print("=" * 70)
+    summation = SummationModel(m=1.0, eps=0.1)
+    for n in (16, 256, 4096):
+        array = linear_array(n)
+        clk = spine_clock(array)
+        sigma = max_skew_bound(clk, array.communicating_pairs(), summation)
+        print(f"  n = {n:5d}: worst neighbor skew sigma = {sigma:.2f}  (constant!)")
+    print("  -> Theorem 3: 1D arrays run at a size-independent clock period.\n")
+
+    print("=" * 70)
+    print("2. The same array under the Fig. 3(a) H-tree-style dissection")
+    print("=" * 70)
+    for n in (16, 256, 4096):
+        array = linear_array(n)
+        clk = dissection_tree_for_linear(array)
+        sigma = max_skew_bound(clk, array.communicating_pairs(), summation)
+        print(f"  n = {n:5d}: sigma = {sigma:8.1f}  (grows with n)")
+    print("  -> equidistance is not enough once variation accumulates along paths.\n")
+
+    print("=" * 70)
+    print("3. A 2D mesh under the difference model: the H-tree is perfect")
+    print("=" * 70)
+    difference = DifferenceModel(m=1.0)
+    for n in (4, 16):
+        array = mesh(n, n)
+        clk = htree_for_array(array)
+        sigma = max_skew_bound(clk, array.communicating_pairs(), difference)
+        print(f"  {n:2d}x{n:<2d} mesh: sigma = {sigma}  (all cells equidistant, d = 0)")
+    print("  -> Theorem 2. But see examples/mesh_skew_explorer.py for what the")
+    print("     summation model does to 2D meshes (the paper's lower bound).\n")
+
+    print("=" * 70)
+    print("4. Run an actual FIR filter under a skewed, pipelined clock")
+    print("=" * 70)
+    weights = [1.0, 2.0, -1.0, 0.5]
+    xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    program = build_fir_array(weights, xs)
+    # Clock runs against the data direction (the safe regime).
+    order = ["snk", 3, 2, 1, 0, "src"]
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=order),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=42),
+    )
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, period=8.0, cells=program.array.comm.nodes()
+    )
+    sim = ClockedArraySimulator(program, schedule, delta=1.0)
+    print(f"  empirical max skew : {buffered.max_skew(program.array.communicating_pairs()):.3f}")
+    print(f"  pipelined tau      : {buffered.tau():.3f}")
+    print(f"  min safe period    : {sim.minimum_safe_period():.3f} (we run at 8.0)")
+    result = sim.run()
+    print(f"  timing violations  : {len(result.violations)}")
+    print(f"  clocked result     : {[round(v, 2) for v in result.result]}")
+    print(f"  ideal lockstep     : {[round(v, 2) for v in program.run_lockstep()]}")
+    assert result.clean and result.result == program.run_lockstep()
+    print("  -> identical: the skewed clocked array simulates the ideal array.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""A complete systolic machine: odd-even sorting under realistic clocking.
+
+Run:  python examples/systolic_sorting_pipeline.py
+
+Puts several pieces together the way a machine designer would: a linear
+sorting array, re-laid as a comb (Fig. 6) to fit a near-square die, clocked
+by a spine running along the data path (Theorem 3), with buffered pipelined
+distribution and process variation — then verified cycle-accurately against
+the ideal lockstep semantics, at the same clock period for every size.
+"""
+
+import random
+
+from repro import (
+    BufferedClockTree,
+    ClockSchedule,
+    ClockedArraySimulator,
+    comb_linear_array,
+    spine_clock,
+)
+from repro.arrays.systolic import build_odd_even_sorter
+from repro.delay.variation import BoundedUniformVariation
+
+PERIOD = 9.0   # chosen once; reused for every array size
+DELTA = 4.0    # compute time; exceeds neighbor skew (hold safety)
+
+
+def run_sorter(n: int, seed: int) -> None:
+    rng = random.Random(seed)
+    values = [rng.uniform(-100, 100) for _ in range(n)]
+    program = build_odd_even_sorter(values)
+
+    # Clock wire along the array (Theorem 3 scheme), with m +- eps variation.
+    buffered = BufferedClockTree(
+        spine_clock(program.array),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.15, seed=seed),
+    )
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, PERIOD, program.array.comm.nodes()
+    )
+    sim = ClockedArraySimulator(program, schedule, delta=DELTA)
+    result = sim.run()
+    status = "OK " if (result.clean and result.result == sorted(values)) else "FAIL"
+    print(
+        f"  n = {n:4d}: skew = {buffered.max_skew(program.array.communicating_pairs()):.2f}, "
+        f"min safe period = {sim.minimum_safe_period():.2f}, "
+        f"ran at {PERIOD}, violations = {len(result.violations):2d}  [{status}]"
+    )
+    assert result.clean
+    assert result.result == sorted(values)
+
+
+def main() -> None:
+    print("=" * 72)
+    print(f"1. Sorting at one fixed clock period ({PERIOD}) across sizes")
+    print("=" * 72)
+    for n in (8, 32, 128):
+        run_sorter(n, seed=n)
+    print("  -> the same cell design and clock period extend to any length:")
+    print("     modularity and expandability, as Section V-A promises.\n")
+
+    print("=" * 72)
+    print("2. The comb layout: the same array on dies of any shape (Fig. 6)")
+    print("=" * 72)
+    n = 240
+    print(f"  a {n}-cell array folded into combs:")
+    print(f"  {'tooth height':>13}  {'die (w x h)':>13}  {'aspect':>7}  {'max skew s':>10}")
+    for tooth in (2, 6, 12, 30):
+        array, tree = comb_linear_array(n, tooth_height=tooth)
+        box = array.layout.bounding_box()
+        max_s = max(
+            tree.path_length(a, b) for a, b in array.communicating_pairs()
+        )
+        print(
+            f"  {tooth:>13}  {box.width:>5.0f} x {box.height:>5.0f}"
+            f"  {array.layout.aspect_ratio:>7.1f}  {max_s:>10.1f}"
+        )
+    print("  -> any aspect ratio, identical synchronization behaviour.")
+
+
+if __name__ == "__main__":
+    main()

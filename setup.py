@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Present so that ``pip install -e .`` works in offline environments whose
+setuptools lacks PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""repro — a reproduction of Fisher & Kung, "Synchronizing Large VLSI
+Processor Arrays" (ISCA 1983 / IEEE TC 1985).
+
+The library models clocked synchronization of processor arrays end to end:
+
+* planar layouts of communication graphs (``repro.geometry``,
+  ``repro.graphs``, ``repro.arrays``);
+* clock distribution trees — H-trees, spines, combs, buffered/pipelined
+  trees (``repro.clocktree``) — over delay and variation models
+  (``repro.delay``);
+* the paper's skew models, clock-period accounting, theorems, the 2D
+  lower-bound proof as an executable certificate, and the hybrid
+  synchronization scheme (``repro.core``);
+* discrete-event simulation of clocked, self-timed, and hybrid systems,
+  plus the Section VII inverter-string experiment (``repro.sim``);
+* Section VIII tree machines (``repro.treemachine``) and analysis tools
+  (``repro.analysis``).
+
+Quick taste::
+
+    from repro import linear_array, spine_clock, SummationModel, max_skew_bound
+
+    array = linear_array(1024)
+    clk = spine_clock(array)
+    sigma = max_skew_bound(clk, array.communicating_pairs(), SummationModel())
+    # sigma is a constant -- Theorem 3: 1D arrays clock at any size.
+"""
+
+from repro.arrays import (
+    LockstepExecutor,
+    ProcessorArray,
+    build_fir_array,
+    build_matvec_array,
+    build_mesh_matmul,
+    build_odd_even_sorter,
+    complete_binary_tree,
+    hex_array,
+    linear_array,
+    mesh,
+    ring,
+    torus,
+)
+from repro.clocktree import (
+    BufferedClockTree,
+    ClockTree,
+    comb_linear_array,
+    comm_tree_clock,
+    dissection_tree_for_linear,
+    folded_linear_array,
+    htree_for_array,
+    kdtree_clock,
+    serpentine_clock,
+    spine_clock,
+    star_clock,
+)
+from repro.core import (
+    ClockParameters,
+    DifferenceModel,
+    HybridScheme,
+    LowerBoundCertificate,
+    PhysicalModel,
+    SummationModel,
+    build_hybrid,
+    build_scheme,
+    clock_period,
+    equipotential_tau,
+    lower_bound_value,
+    max_skew_bound,
+    pipelined_tau,
+    prove_skew_lower_bound,
+)
+from repro.sim import (
+    ClockSchedule,
+    ClockedArraySimulator,
+    InverterString,
+    paper_calibrated_model,
+    simulate_hybrid,
+    simulate_selftimed_line,
+    worst_case_path_probability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessorArray",
+    "LockstepExecutor",
+    "linear_array",
+    "ring",
+    "mesh",
+    "torus",
+    "hex_array",
+    "complete_binary_tree",
+    "build_fir_array",
+    "build_matvec_array",
+    "build_mesh_matmul",
+    "build_odd_even_sorter",
+    "ClockTree",
+    "BufferedClockTree",
+    "htree_for_array",
+    "dissection_tree_for_linear",
+    "spine_clock",
+    "folded_linear_array",
+    "comb_linear_array",
+    "serpentine_clock",
+    "kdtree_clock",
+    "star_clock",
+    "comm_tree_clock",
+    "DifferenceModel",
+    "SummationModel",
+    "PhysicalModel",
+    "max_skew_bound",
+    "ClockParameters",
+    "clock_period",
+    "equipotential_tau",
+    "pipelined_tau",
+    "build_scheme",
+    "prove_skew_lower_bound",
+    "lower_bound_value",
+    "LowerBoundCertificate",
+    "HybridScheme",
+    "build_hybrid",
+    "ClockSchedule",
+    "ClockedArraySimulator",
+    "InverterString",
+    "paper_calibrated_model",
+    "simulate_hybrid",
+    "simulate_selftimed_line",
+    "worst_case_path_probability",
+    "__version__",
+]

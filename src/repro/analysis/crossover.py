@@ -1,0 +1,69 @@
+"""Crossover detection: where one scheme starts beating another.
+
+The evaluation questions the reproduction answers are of the form "who
+wins, by what factor, and *where does the crossover fall*" — e.g. the array
+size at which pipelined clocking overtakes equipotential clocking, or the
+variation magnitude at which the spine overtakes the dissection tree.
+:func:`find_crossover` locates the crossing of two sampled curves by linear
+interpolation between bracketing sample points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Where curve B drops below curve A (B starts winning)."""
+
+    x: float
+    index: int          # first sample index where B < A
+    exact: bool         # True when the crossing was interpolated between samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "interpolated" if self.exact else "at sample"
+        return f"Crossover(x={self.x:.4g}, {kind})"
+
+
+def find_crossover(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> Optional[Crossover]:
+    """The smallest ``x`` at which ``ys_b`` falls strictly below ``ys_a``.
+
+    Returns ``None`` when B never wins in the sampled range; a crossover at
+    the first sample means B wins everywhere sampled.  Between samples the
+    crossing is located by linear interpolation of the difference curve.
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)):
+        raise ValueError("xs, ys_a, ys_b must have equal length")
+    if len(xs) < 1:
+        raise ValueError("need at least one sample")
+    if list(xs) != sorted(xs):
+        raise ValueError("xs must be increasing")
+
+    diff = [b - a for a, b in zip(ys_a, ys_b)]
+    for i, d in enumerate(diff):
+        if d < 0:
+            if i == 0:
+                return Crossover(x=xs[0], index=0, exact=False)
+            d_prev = diff[i - 1]
+            if d_prev <= 0:
+                return Crossover(x=xs[i - 1], index=i, exact=False)
+            # Linear interpolation of the sign change.
+            frac = d_prev / (d_prev - d)
+            x = xs[i - 1] + frac * (xs[i] - xs[i - 1])
+            return Crossover(x=x, index=i, exact=True)
+    return None
+
+
+def winning_factor(ys_a: Sequence[float], ys_b: Sequence[float]) -> float:
+    """How decisively B wins at the last sample: ``ys_a[-1] / ys_b[-1]``."""
+    if not ys_a or not ys_b:
+        raise ValueError("need non-empty series")
+    if ys_b[-1] == 0:
+        raise ValueError("cannot compute a factor against zero")
+    return ys_a[-1] / ys_b[-1]

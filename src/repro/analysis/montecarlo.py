@@ -1,0 +1,80 @@
+"""Seeded Monte-Carlo harness.
+
+The stochastic experiments (inverter strings, variation build-up,
+self-timed service times) report means with confidence intervals over
+independently seeded trials; seeds are derived deterministically from a
+base seed so every benchmark run is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+Trial = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Mean, spread, and a normal-approximation confidence interval."""
+
+    trials: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+    def contains(self, value: float) -> bool:
+        return self.ci_low <= value <= self.ci_high
+
+
+def run_trials(
+    trial: Trial,
+    n_trials: int,
+    base_seed: int = 0,
+    z: float = 1.96,
+) -> MonteCarloSummary:
+    """Run ``trial(seed)`` for seeds ``base_seed .. base_seed + n - 1``.
+
+    ``z`` is the normal quantile for the CI (1.96 ~ 95%).
+    """
+    if n_trials < 2:
+        raise ValueError("need at least two trials")
+    values: List[float] = [trial(base_seed + i) for i in range(n_trials)]
+    mean = statistics.fmean(values)
+    stdev = statistics.stdev(values)
+    return MonteCarloSummary(
+        trials=n_trials,
+        mean=mean,
+        stdev=stdev,
+        minimum=min(values),
+        maximum=max(values),
+        ci_half_width=z * stdev / math.sqrt(n_trials),
+    )
+
+
+def summarize(values: Sequence[float], z: float = 1.96) -> MonteCarloSummary:
+    """Summarize an existing sample the same way as :func:`run_trials`."""
+    if len(values) < 2:
+        raise ValueError("need at least two values")
+    mean = statistics.fmean(values)
+    stdev = statistics.stdev(values)
+    return MonteCarloSummary(
+        trials=len(values),
+        mean=mean,
+        stdev=stdev,
+        minimum=min(values),
+        maximum=max(values),
+        ci_half_width=z * stdev / math.sqrt(len(values)),
+    )

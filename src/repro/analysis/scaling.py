@@ -1,0 +1,102 @@
+"""Growth-law fitting: is this series constant, sqrt, linear, ...?
+
+The theorems assert asymptotic shapes; benchmark sweeps produce finite
+series.  :func:`fit_growth` least-squares-fits ``y ~ a * basis(x) + b`` for
+each candidate basis and :func:`classify_growth` picks the best by residual
+(with a flatness pre-test so noisy constants are not misread as slow
+growth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Basis = Callable[[float], float]
+
+BASES: Dict[str, Basis] = {
+    "constant": lambda x: 0.0,
+    "log": lambda x: math.log(max(x, 1e-12)),
+    "sqrt": math.sqrt,
+    "linear": lambda x: x,
+    "quadratic": lambda x: x * x,
+}
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """One basis fit: ``y ~= slope * basis(x) + intercept``."""
+
+    law: str
+    slope: float
+    intercept: float
+    rmse: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * BASES[self.law](x) + self.intercept
+
+
+def fit_growth(xs: Sequence[float], ys: Sequence[float]) -> Dict[str, GrowthFit]:
+    """Fit every candidate law; returns law -> fit."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 3:
+        raise ValueError("need at least three points to fit growth")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    total_var = float(np.sum((y - y.mean()) ** 2))
+    fits: Dict[str, GrowthFit] = {}
+    for law, basis in BASES.items():
+        if law == "constant":
+            slope, intercept = 0.0, float(y.mean())
+            residual = y - intercept
+        else:
+            design = np.column_stack([np.array([basis(v) for v in x]), np.ones_like(x)])
+            coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+            slope, intercept = float(coef[0]), float(coef[1])
+            residual = y - design @ coef
+        sse = float(np.sum(residual**2))
+        rmse = math.sqrt(sse / len(x))
+        r2 = 1.0 - sse / total_var if total_var > 0 else 1.0
+        fits[law] = GrowthFit(law, slope, intercept, rmse, r2)
+    return fits
+
+
+def classify_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    flatness_tolerance: float = 0.05,
+) -> GrowthFit:
+    """The best-fitting growth law.
+
+    A series whose spread is within ``flatness_tolerance`` (relative to its
+    mean, or absolute when the mean is ~0) is classified constant outright —
+    least squares would otherwise happily thread a tiny slope through noise.
+    Negative-slope fits are discarded (the quantities studied grow).
+    """
+    y = np.asarray(ys, dtype=float)
+    mean = float(np.abs(y).mean())
+    spread = float(y.max() - y.min())
+    if spread <= flatness_tolerance * max(mean, 1e-12) or spread <= 1e-12:
+        fits = fit_growth(xs, ys)
+        return fits["constant"]
+    fits = fit_growth(xs, ys)
+    candidates = [
+        fit for law, fit in fits.items() if law == "constant" or fit.slope > 0
+    ]
+    return min(candidates, key=lambda fit: fit.rmse)
+
+
+def doubling_ratios(xs: Sequence[float], ys: Sequence[float]) -> List[Tuple[float, float]]:
+    """``(x, y(2x)/y(x))`` for consecutive doubling points present in the
+    series — a scale-free check: ~1 constant, ~1.41 sqrt, ~2 linear."""
+    table = dict(zip(xs, ys))
+    out: List[Tuple[float, float]] = []
+    for x in sorted(table):
+        if 2 * x in table and table[x] != 0:
+            out.append((x, table[2 * x] / table[x]))
+    return out

@@ -1,0 +1,89 @@
+"""End-to-end scheme evaluation: build, bound, measure, and price a scheme.
+
+Bundles the steps the benchmarks repeat: construct a clock tree for an
+array, compute the model-bound ``sigma``, the empirical ``sigma`` of a
+buffered realization, the A5 period under pipelined and equipotential
+``tau``, and the area cost of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.arrays.model import ProcessorArray
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.tree import ClockTree
+from repro.core.models import SkewModel, max_skew_bound, max_skew_lower_bound
+from repro.core.parameters import ClockParameters, equipotential_tau
+from repro.core.schemes import build_scheme
+from repro.delay.buffer import InverterPairModel
+from repro.delay.variation import BoundedUniformVariation
+from repro.delay.wire import ElmoreWireModel
+
+
+@dataclass(frozen=True)
+class SchemeEvaluation:
+    """Everything one scheme costs and guarantees on one array."""
+
+    scheme: str
+    array_name: str
+    n_cells: int
+    sigma_bound: float
+    sigma_floor: float
+    sigma_empirical: float
+    tau_pipelined: float
+    tau_equipotential: float
+    clock_wire_length: float
+    longest_root_to_leaf: float
+
+    def period(self, delta: float, pipelined: bool = True) -> float:
+        tau = self.tau_pipelined if pipelined else self.tau_equipotential
+        return ClockParameters(self.sigma_bound, delta, tau).period
+
+
+def evaluate_scheme(
+    array: ProcessorArray,
+    scheme: str,
+    model: SkewModel,
+    m: float = 1.0,
+    eps: float = 0.1,
+    buffer_spacing: float = 1.0,
+    seed: int = 0,
+    tree: Optional[ClockTree] = None,
+) -> SchemeEvaluation:
+    """Build ``scheme`` for ``array`` (or evaluate a pre-built ``tree``) and
+    measure bounds, empirical skew, and costs."""
+    clock = tree if tree is not None else build_scheme(scheme, array)
+    pairs = array.communicating_pairs()
+    buffered = BufferedClockTree(
+        clock,
+        buffer_spacing=buffer_spacing,
+        wire_variation=BoundedUniformVariation(m=m, epsilon=eps, seed=seed),
+        buffer_model=InverterPairModel(nominal=buffer_spacing * m, seed=seed),
+    )
+    return SchemeEvaluation(
+        scheme=scheme,
+        array_name=array.name,
+        n_cells=array.size,
+        sigma_bound=max_skew_bound(clock, pairs, model),
+        sigma_floor=max_skew_lower_bound(clock, pairs, model),
+        sigma_empirical=buffered.max_skew(pairs),
+        tau_pipelined=buffered.tau(),
+        tau_equipotential=equipotential_tau(
+            clock, wire_model=ElmoreWireModel(r=m, c=m)
+        ),
+        clock_wire_length=clock.total_wire_length(),
+        longest_root_to_leaf=clock.longest_root_to_leaf(),
+    )
+
+
+def compare_schemes(
+    array: ProcessorArray,
+    schemes: Sequence[str],
+    model: SkewModel,
+    **kwargs,
+) -> List[SchemeEvaluation]:
+    """Evaluate several schemes on the same array, best sigma-bound first."""
+    evaluations = [evaluate_scheme(array, s, model, **kwargs) for s in schemes]
+    return sorted(evaluations, key=lambda e: e.sigma_bound)

@@ -1,0 +1,63 @@
+"""Processor arrays: topologies, processing elements, and ideal execution.
+
+An *ideally synchronized* processor array (assumption A1) is a communication
+graph whose cells all fire in lock step.  This package provides the array
+topologies the paper discusses (linear, mesh, hexagonal, torus, tree), a
+small processing-element framework, a lockstep reference executor, and the
+classical systolic workloads used by the examples and benchmarks.
+"""
+
+from repro.arrays.model import ProcessorArray
+from repro.arrays.topologies import (
+    complete_binary_tree,
+    hex_array,
+    linear_array,
+    mesh,
+    ring,
+    torus,
+)
+from repro.arrays.cells import (
+    PE,
+    ConstantCell,
+    DelayCell,
+    RecordingSink,
+    ScriptedSource,
+)
+from repro.arrays.ideal import LockstepExecutor
+from repro.arrays.networks import butterfly, cube_connected_cycles, shuffle_exchange
+from repro.arrays.priority_queue import build_priority_queue, reference_priority_queue
+from repro.arrays.systolic import (
+    FirCell,
+    MatVecCell,
+    build_fir_array,
+    build_matvec_array,
+    build_odd_even_sorter,
+    build_mesh_matmul,
+)
+
+__all__ = [
+    "ProcessorArray",
+    "complete_binary_tree",
+    "hex_array",
+    "linear_array",
+    "mesh",
+    "ring",
+    "torus",
+    "PE",
+    "ConstantCell",
+    "DelayCell",
+    "RecordingSink",
+    "ScriptedSource",
+    "LockstepExecutor",
+    "FirCell",
+    "MatVecCell",
+    "build_fir_array",
+    "build_matvec_array",
+    "build_odd_even_sorter",
+    "build_mesh_matmul",
+    "butterfly",
+    "cube_connected_cycles",
+    "shuffle_exchange",
+    "build_priority_queue",
+    "reference_priority_queue",
+]

@@ -1,0 +1,146 @@
+"""Processing elements (PEs).
+
+A PE is the behavioural content of a cell (A1): at every clock tick it
+consumes one value from each in-edge and produces one value for each
+out-edge.  The same PE objects run under the ideal lockstep executor
+(:mod:`repro.arrays.ideal`) and under the skew-aware discrete-event clocked
+simulator (:mod:`repro.sim.clocked`), which is what lets the tests check
+that a clocking scheme preserves ideal semantics.
+
+Values travelling on edges may be anything; ``None`` denotes "no data yet"
+(pipelines fill gradually) and PEs are expected to treat it as a harmless
+bubble.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Sequence
+
+CellId = Hashable
+Inputs = Mapping[CellId, Any]
+Outputs = Dict[CellId, Any]
+
+
+class PE:
+    """Base processing element: latch inputs, compute, drive outputs.
+
+    Subclasses override :meth:`fire`; ``reset`` must restore the initial
+    state so one PE instance can be re-run (the tests execute the same
+    program under several synchronization schemes).
+    """
+
+    def reset(self) -> None:
+        """Restore initial state.  Default: stateless."""
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        """Consume this tick's inputs, return this tick's outputs.
+
+        ``inputs`` maps each in-neighbor to the value it sent last tick
+        (``None`` while the pipeline is filling).  The returned dict maps
+        out-neighbors to values; omitted out-neighbors receive ``None``.
+        """
+        raise NotImplementedError
+
+
+class ScriptedSource(PE):
+    """A host/boundary cell that emits a pre-programmed stream.
+
+    Emits ``script[t]`` on tick ``t`` to every out-neighbor in ``targets``
+    (and ``None`` once the script is exhausted).
+    """
+
+    def __init__(self, script: Sequence[Any], targets: Sequence[CellId]) -> None:
+        self._script = list(script)
+        self._targets = list(targets)
+        self._t = 0
+
+    def reset(self) -> None:
+        self._t = 0
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        value = self._script[self._t] if self._t < len(self._script) else None
+        self._t += 1
+        return {target: value for target in self._targets}
+
+
+class RecordingSink(PE):
+    """A boundary cell that records everything it receives.
+
+    ``received[u]`` is the list of values received from in-neighbor ``u``,
+    one per tick, in tick order.
+    """
+
+    def __init__(self) -> None:
+        self.received: Dict[CellId, List[Any]] = {}
+
+    def reset(self) -> None:
+        self.received = {}
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        for src, value in inputs.items():
+            self.received.setdefault(src, []).append(value)
+        return {}
+
+    def stream_from(self, src: CellId, drop_none: bool = True) -> List[Any]:
+        """The recorded stream from ``src``, bubbles dropped by default."""
+        values = self.received.get(src, [])
+        if drop_none:
+            return [v for v in values if v is not None]
+        return list(values)
+
+
+class DelayCell(PE):
+    """A pure register: forwards each input to a designated target after a
+    configurable number of extra ticks (0 = plain systolic register)."""
+
+    def __init__(self, source: CellId, target: CellId, extra_delay: int = 0) -> None:
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be non-negative")
+        self._source = source
+        self._target = target
+        self._extra = extra_delay
+        self._pipe: List[Any] = [None] * extra_delay
+
+    def reset(self) -> None:
+        self._pipe = [None] * self._extra
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        value = inputs.get(self._source)
+        if self._extra == 0:
+            return {self._target: value}
+        self._pipe.append(value)
+        return {self._target: self._pipe.pop(0)}
+
+
+class ConstantCell(PE):
+    """Emits a fixed value to every target on every tick; useful as a
+    placeholder cell in clock-distribution-only experiments where data
+    content is irrelevant."""
+
+    def __init__(self, value: Any, targets: Sequence[CellId]) -> None:
+        self._value = value
+        self._targets = list(targets)
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        return {target: self._value for target in self._targets}
+
+
+class FunctionCell(PE):
+    """Wraps an arbitrary ``(state, inputs) -> (state, outputs)`` function —
+    the quickest way to define a custom PE in examples."""
+
+    def __init__(
+        self,
+        func: Callable[[Any, Inputs], "tuple[Any, Outputs]"],
+        initial_state: Any = None,
+    ) -> None:
+        self._func = func
+        self._initial = initial_state
+        self._state = initial_state
+
+    def reset(self) -> None:
+        self._state = self._initial
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        self._state, outputs = self._func(self._state, inputs)
+        return outputs

@@ -1,0 +1,69 @@
+"""The :class:`ProcessorArray` bundle: a COMM graph plus its planar layout.
+
+Assumption A1 ties the communication graph to a layout in the plane; skew
+models and clocking schemes need both, so topology generators return them
+together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from repro.geometry.layout import Layout
+from repro.graphs.comm import CommGraph
+
+CellId = Hashable
+
+
+@dataclass
+class ProcessorArray:
+    """A laid-out processor array.
+
+    ``host`` optionally names the cell through which the array talks to the
+    outside world (relevant to the Fig. 5 folding discussion, where skew
+    between the host and the array ends matters).
+    """
+
+    comm: CommGraph
+    layout: Layout
+    name: str = "array"
+    host: Optional[CellId] = None
+
+    def __post_init__(self) -> None:
+        missing = [cell for cell in self.comm.nodes() if cell not in self.layout]
+        if missing:
+            raise ValueError(
+                f"{len(missing)} cells of {self.name!r} have no layout position "
+                f"(first: {missing[0]!r})"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.comm.node_count
+
+    def communicating_pairs(self) -> List[Tuple[CellId, CellId]]:
+        return self.comm.communicating_pairs()
+
+    def max_communication_distance(self) -> float:
+        """Longest Manhattan distance between communicating cells.
+
+        Bounds the data-propagation component of the cycle (the delta of
+        assumption A5) under distance-proportional wire delay.
+        """
+        return max(
+            (self.layout.distance(u, v) for u, v in self.communicating_pairs()),
+            default=0.0,
+        )
+
+    def validate(self, min_separation: float = 1.0) -> None:
+        """Raise if the array violates the layout assumptions (A2)."""
+        if not self.comm.is_connected():
+            raise ValueError(f"{self.name!r} communication graph is disconnected")
+        if not self.layout.is_well_spaced(min_separation):
+            raise ValueError(
+                f"{self.name!r} layout places cells closer than {min_separation}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessorArray({self.name!r}, {self.size} cells)"

@@ -1,0 +1,124 @@
+"""High-bisection-width interconnection networks.
+
+Theorem 6 turns bisection width into a skew lower bound; meshes
+(W = Theta(sqrt(N))) are its headline case, but richer networks make the
+point harder: butterflies, cube-connected cycles, and shuffle-exchange
+graphs have bisection width Theta(N / log N) — *above* the theorem's
+``W(N) = O(sqrt(N))`` applicability window.  For such graphs the area
+argument caps what the machinery can certify at Theta(sqrt(N)) (a layout of
+N unit cells only has Theta(sqrt(N)) diameter to hide skew in), which is
+itself unbounded — so they are, a fortiori, unclockable at constant skew.
+
+Layouts here are the natural planar drawings (level-by-level grids for the
+butterfly, a ring-of-rings grid for CCC, a single row for shuffle-exchange);
+their long wires also illustrate the paper's closing remark that
+communication delay grows alongside skew in such graphs.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.model import ProcessorArray
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+from repro.graphs.comm import CommGraph
+
+
+def butterfly(k: int, bidirectional: bool = True) -> ProcessorArray:
+    """A k-dimensional butterfly: ``(k+1) * 2^k`` nodes ``(level, row)``.
+
+    Node ``(l, r)`` connects to ``(l+1, r)`` (straight) and to
+    ``(l+1, r XOR 2^l)`` (cross).  Laid out level by level: level ``l`` is
+    drawn as row ``l`` of a grid, rows in natural binary order, so cross
+    edges at level ``l`` have horizontal span ``2^l``.
+    """
+    if k < 1:
+        raise ValueError("butterfly dimension must be at least 1")
+    rows = 2**k
+    comm = CommGraph(nodes=(((l, r) for l in range(k + 1) for r in range(rows))))
+    layout = Layout(
+        {
+            (l, r): Point(float(r), float(l) * 2.0)
+            for l in range(k + 1)
+            for r in range(rows)
+        }
+    )
+    for l in range(k):
+        for r in range(rows):
+            straight = (l + 1, r)
+            cross = (l + 1, r ^ (1 << l))
+            if bidirectional:
+                comm.add_bidirectional((l, r), straight)
+                comm.add_bidirectional((l, r), cross)
+            else:
+                comm.add_edge((l, r), straight)
+                comm.add_edge((l, r), cross)
+    return ProcessorArray(comm, layout, name=f"butterfly-{k}", host=(0, 0))
+
+
+def cube_connected_cycles(k: int, bidirectional: bool = True) -> ProcessorArray:
+    """CCC(k): each hypercube corner becomes a k-cycle; ``k * 2^k`` nodes
+    ``(corner, position)``.
+
+    Cycle edges connect ``(c, i)`` to ``(c, (i+1) mod k)``; hypercube edges
+    connect ``(c, i)`` to ``(c XOR 2^i, i)``.  Corners are laid out on a
+    near-square grid (Gray-code-free, simple row-major), each corner's cycle
+    drawn as a small vertical stack.
+    """
+    if k < 3:
+        raise ValueError("CCC needs k >= 3 (a cycle needs three nodes)")
+    corners = 2**k
+    grid_cols = 2 ** ((k + 1) // 2)
+    comm = CommGraph(
+        nodes=((c, i) for c in range(corners) for i in range(k))
+    )
+    layout = Layout()
+    for c in range(corners):
+        gx = (c % grid_cols) * 2.0
+        gy = (c // grid_cols) * float(k + 1)
+        for i in range(k):
+            layout.place((c, i), Point(gx, gy + i))
+    for c in range(corners):
+        for i in range(k):
+            ring_next = (c, (i + 1) % k)
+            cube = (c ^ (1 << i), i)
+            if bidirectional:
+                comm.add_bidirectional((c, i), ring_next)
+                if c < c ^ (1 << i):  # add each cube edge once
+                    comm.add_bidirectional((c, i), cube)
+            else:
+                comm.add_edge((c, i), ring_next)
+                if c < c ^ (1 << i):
+                    comm.add_edge((c, i), cube)
+    return ProcessorArray(comm, layout, name=f"ccc-{k}", host=(0, 0))
+
+
+def shuffle_exchange(k: int, bidirectional: bool = True) -> ProcessorArray:
+    """The shuffle-exchange graph on ``2^k`` nodes, laid out in a row.
+
+    Exchange edges join ``x`` and ``x XOR 1``; shuffle edges join ``x`` to
+    ``rot_left(x)``.  The row layout makes shuffle edges long — the layout
+    cost Thompson's thesis (the paper's reference [11]) made famous.
+    """
+    if k < 2:
+        raise ValueError("shuffle-exchange needs k >= 2")
+    n = 2**k
+
+    def rol(x: int) -> int:
+        return ((x << 1) | (x >> (k - 1))) & (n - 1)
+
+    comm = CommGraph(nodes=range(n))
+    layout = Layout({x: Point(float(x), 0.0) for x in range(n)})
+    for x in range(n):
+        exchange = x ^ 1
+        if x < exchange:
+            if bidirectional:
+                comm.add_bidirectional(x, exchange)
+            else:
+                comm.add_edge(x, exchange)
+        shuffled = rol(x)
+        if shuffled != x and not comm.has_edge(x, shuffled):
+            if bidirectional:
+                comm.add_bidirectional(x, shuffled)
+            else:
+                comm.add_edge(x, shuffled)
+    return ProcessorArray(comm, layout, name=f"shuffle-exchange-{k}", host=0)

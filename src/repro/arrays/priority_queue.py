@@ -1,0 +1,168 @@
+"""A systolic priority queue on a linear array (Leiserson's classic).
+
+One of the linear-array workloads that make Section V-A's "one-dimensional
+arrays are especially important in practice" concrete: a priority queue
+with constant-time INSERT and EXTRACT-MIN at the array's left end,
+regardless of queue length — provided commands are spaced two ticks apart
+so the insertion and refill waves never collide.
+
+Protocol (per cell, per tick):
+
+* rightward channel carries commands: ``("ins", x)`` or ``("ext",)``;
+* leftward channel carries values: ``("val", x)`` — extraction answers at
+  cell 0, refills everywhere else;
+* a cell processes an arriving refill before an arriving command;
+* INSERT keeps the smaller of (held, incoming) and forwards an INSERT of
+  the larger — the sortedness wave;
+* EXTRACT emits the held value leftward, marks itself empty/awaiting, and
+  forwards EXTRACT; the refill arrives from the right two ticks later.
+
+The array therefore maintains "each cell's value <= its right neighbor's"
+between command waves, so cell 0 always holds the minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.arrays.cells import PE, Inputs, Outputs
+from repro.arrays.ideal import LockstepExecutor
+from repro.arrays.model import ProcessorArray
+from repro.arrays.systolic import SystolicProgram
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+from repro.graphs.comm import CommGraph
+
+CellId = Hashable
+
+Op = Tuple[str, Optional[float]]  # ("ins", x) or ("ext", None)
+
+
+class PriorityQueueCell(PE):
+    """One cell of the systolic priority queue."""
+
+    def __init__(self, left: CellId, right: Optional[CellId]) -> None:
+        self._left = left
+        self._right = right
+        self.value: Optional[float] = None
+        self._awaiting_refill = False
+
+    def reset(self) -> None:
+        self.value = None
+        self._awaiting_refill = False
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        out: Outputs = {}
+        # Refill from the right first (it belongs to the previous command).
+        if self._right is not None:
+            refill = inputs.get(self._right)
+            if refill is not None and refill[0] == "val":
+                if self._awaiting_refill:
+                    self.value = refill[1]
+                    self._awaiting_refill = False
+        command = inputs.get(self._left)
+        if command is None:
+            return out
+        kind = command[0]
+        if kind == "ins":
+            x = command[1]
+            if self.value is None:
+                self.value = x
+            else:
+                keep, push = (
+                    (self.value, x) if self.value <= x else (x, self.value)
+                )
+                self.value = keep
+                if self._right is not None:
+                    out[self._right] = ("ins", push)
+        elif kind == "ext":
+            out[self._left] = ("val", self.value)
+            self.value = None
+            self._awaiting_refill = True
+            if self._right is not None:
+                out[self._right] = ("ext",)
+        return out
+
+
+class _PqHost(PE):
+    """Feeds commands every other tick and records extraction answers."""
+
+    def __init__(self, ops: Sequence[Op], first_cell: CellId) -> None:
+        self._ops = list(ops)
+        self._first = first_cell
+        self._tick = 0
+        self.answers: List[Optional[float]] = []
+
+    def reset(self) -> None:
+        self._tick = 0
+        self.answers = []
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        reply = inputs.get(self._first)
+        if reply is not None and reply[0] == "val":
+            self.answers.append(reply[1])
+        out: Outputs = {}
+        if self._tick % 2 == 0:
+            index = self._tick // 2
+            if index < len(self._ops):
+                kind, x = self._ops[index]
+                out[self._first] = ("ins", x) if kind == "ins" else ("ext",)
+        self._tick += 1
+        return out
+
+
+def build_priority_queue(ops: Sequence[Op], n_cells: Optional[int] = None) -> SystolicProgram:
+    """A priority-queue program executing ``ops`` in order.
+
+    ``n_cells`` defaults to the maximum possible queue occupancy (number of
+    inserts), the capacity needed in the worst case.  Extractions from an
+    empty queue answer ``None``.
+    """
+    for kind, _x in ops:
+        if kind not in ("ins", "ext"):
+            raise ValueError(f"unknown op kind {kind!r}")
+    inserts = sum(1 for kind, _x in ops if kind == "ins")
+    if n_cells is None:
+        n_cells = max(1, inserts)
+    if n_cells < 1:
+        raise ValueError("need at least one cell")
+    if inserts > n_cells:
+        raise ValueError("queue capacity below number of inserts")
+
+    comm = CommGraph()
+    layout = Layout()
+    pes: Dict[CellId, PE] = {}
+    layout.place("host", Point(-1.0, 0.0))
+    host = _PqHost(ops, first_cell=0)
+    pes["host"] = host
+    comm.add_bidirectional("host", 0)
+    for i in range(n_cells):
+        layout.place(i, Point(float(i), 0.0))
+        left = "host" if i == 0 else i - 1
+        right = i + 1 if i + 1 < n_cells else None
+        if right is not None:
+            comm.add_bidirectional(i, right)
+        pes[i] = PriorityQueueCell(left=left, right=right)
+
+    # Commands are spaced 2 ticks; waves need ~2*n_cells to settle.
+    cycles = 2 * len(ops) + 2 * n_cells + 4
+    array = ProcessorArray(comm, layout, name=f"pqueue-{n_cells}", host="host")
+
+    def read_result(executor: LockstepExecutor) -> List[Optional[float]]:
+        return list(host.answers)
+
+    return SystolicProgram(array, pes, cycles, read_result)
+
+
+def reference_priority_queue(ops: Sequence[Op]) -> List[Optional[float]]:
+    """Heap-based reference semantics for validation."""
+    import heapq
+
+    heap: List[float] = []
+    out: List[Optional[float]] = []
+    for kind, x in ops:
+        if kind == "ins":
+            heapq.heappush(heap, x)  # type: ignore[arg-type]
+        else:
+            out.append(heapq.heappop(heap) if heap else None)
+    return out

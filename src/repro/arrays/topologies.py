@@ -1,0 +1,146 @@
+"""Generators for the array topologies the paper discusses.
+
+Each generator returns a :class:`~repro.arrays.model.ProcessorArray` whose
+layout places cells on the unit grid (satisfying A2 spacing) in the natural
+arrangement shown in the paper's figures: a row for linear arrays (Fig. 4),
+a grid for square arrays (Fig. 3(b)), a grid with one diagonal for hexagonal
+arrays (Fig. 3(c)), and a classical planar drawing for binary trees
+(Section VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.arrays.model import ProcessorArray
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+from repro.graphs.comm import CommGraph
+
+
+def linear_array(
+    n: int, spacing: float = 1.0, bidirectional: bool = True
+) -> ProcessorArray:
+    """A one-dimensional array of ``n`` cells in a row.
+
+    Cells are integers ``0 .. n-1`` placed at ``(i * spacing, 0)``.  With
+    ``bidirectional`` data flows both ways (the common systolic case); the
+    host sits at cell 0.
+    """
+    if n < 1:
+        raise ValueError("linear array needs at least one cell")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    comm = CommGraph(nodes=range(n))
+    layout = Layout({i: Point(i * spacing, 0.0) for i in range(n)})
+    for i in range(n - 1):
+        if bidirectional:
+            comm.add_bidirectional(i, i + 1)
+        else:
+            comm.add_edge(i, i + 1)
+    return ProcessorArray(comm, layout, name=f"linear-{n}", host=0)
+
+
+def ring(n: int, bidirectional: bool = True) -> ProcessorArray:
+    """A ring of ``n`` cells laid out as a folded (two-row) linear array, so
+    all communicating cells stay at bounded distance — the layout the Fig. 5
+    folding produces."""
+    if n < 3:
+        raise ValueError("ring needs at least three cells")
+    comm = CommGraph(nodes=range(n))
+    half = (n + 1) // 2
+    layout = Layout()
+    for i in range(n):
+        if i < half:
+            layout.place(i, Point(float(i), 0.0))
+        else:
+            layout.place(i, Point(float(n - 1 - i), 1.0))
+    for i in range(n):
+        j = (i + 1) % n
+        if bidirectional:
+            comm.add_bidirectional(i, j)
+        else:
+            comm.add_edge(i, j)
+    return ProcessorArray(comm, layout, name=f"ring-{n}", host=0)
+
+
+def mesh(rows: int, cols: int, bidirectional: bool = True) -> ProcessorArray:
+    """An ``rows x cols`` mesh-connected array (Fig. 3(b)); cells are
+    ``(r, c)`` tuples placed at ``(c, r)``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be positive")
+    comm = CommGraph(nodes=((r, c) for r in range(rows) for c in range(cols)))
+    layout = Layout(
+        {(r, c): Point(float(c), float(r)) for r in range(rows) for c in range(cols)}
+    )
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                _link(comm, (r, c), (r, c + 1), bidirectional)
+            if r + 1 < rows:
+                _link(comm, (r, c), (r + 1, c), bidirectional)
+    return ProcessorArray(comm, layout, name=f"mesh-{rows}x{cols}", host=(0, 0))
+
+
+def torus(rows: int, cols: int, bidirectional: bool = True) -> ProcessorArray:
+    """A mesh with wraparound edges.  The wrap edges make communicating
+    cells far apart under the natural grid layout — a topology for which
+    both the skew and the data-delay assumptions get strained, useful in
+    Theorem 6 sweeps (bisection width 2n)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3")
+    array = mesh(rows, cols, bidirectional)
+    comm = array.comm
+    for r in range(rows):
+        _link(comm, (r, cols - 1), (r, 0), bidirectional)
+    for c in range(cols):
+        _link(comm, (rows - 1, c), (0, c), bidirectional)
+    return ProcessorArray(comm, array.layout, name=f"torus-{rows}x{cols}", host=(0, 0))
+
+
+def hex_array(rows: int, cols: int, bidirectional: bool = True) -> ProcessorArray:
+    """A hexagonally connected array (Fig. 3(c)): the mesh plus one diagonal
+    per cell, giving each interior cell six neighbors."""
+    if rows < 1 or cols < 1:
+        raise ValueError("hex array dimensions must be positive")
+    array = mesh(rows, cols, bidirectional)
+    comm = array.comm
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            _link(comm, (r, c), (r + 1, c + 1), bidirectional)
+    return ProcessorArray(comm, array.layout, name=f"hex-{rows}x{cols}", host=(0, 0))
+
+
+def complete_binary_tree(depth: int, bidirectional: bool = True) -> ProcessorArray:
+    """A complete binary tree of the given depth (root = depth 0).
+
+    Cells are ``(level, index)`` tuples.  The default layout is the classical
+    planar drawing (leaves evenly spaced on the bottom row, each internal
+    node centered over its children); Section VIII's H-tree layout lives in
+    :mod:`repro.treemachine.layout`.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    comm = CommGraph(nodes=[(0, 0)])
+    layout = Layout()
+    leaves = 2**depth
+    for level in range(depth + 1):
+        count = 2**level
+        gap = leaves / count
+        for index in range(count):
+            x = gap * (index + 0.5)
+            layout.place((level, index), Point(x, float(depth - level) * 2.0))
+    for level in range(depth):
+        for index in range(2**level):
+            for child in (2 * index, 2 * index + 1):
+                _link(comm, (level, index), (level + 1, child), bidirectional)
+    return ProcessorArray(
+        comm, layout, name=f"binary-tree-depth-{depth}", host=(0, 0)
+    )
+
+
+def _link(comm: CommGraph, a: Tuple, b: Tuple, bidirectional: bool) -> None:
+    if bidirectional:
+        comm.add_bidirectional(a, b)
+    else:
+        comm.add_edge(a, b)

@@ -1,0 +1,290 @@
+"""Command-line interface: explore the paper's results from a shell.
+
+Run ``python -m repro <command> --help``.  Commands:
+
+* ``report``       — evaluate one clocking scheme on one array;
+* ``compare``      — rank all applicable schemes on one array;
+* ``sweep``        — sigma/period across sizes, with a growth-law verdict;
+* ``lower-bound``  — execute the Section V-B proof on a mesh;
+* ``inverter``     — the Section VII inverter-string experiment;
+* ``hybrid``       — hybrid cycle time vs the global equipotential clock.
+
+Every command prints a small table; nothing is written to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.scaling import classify_growth
+from repro.analysis.skew import compare_schemes, evaluate_scheme
+from repro.arrays.model import ProcessorArray
+from repro.arrays.topologies import hex_array, linear_array, mesh, ring, torus
+from repro.clocktree.builders import kdtree_clock, serpentine_clock
+from repro.clocktree.htree import htree_for_array
+from repro.core.hybrid import build_hybrid
+from repro.core.lower_bound import lower_bound_value, prove_skew_lower_bound
+from repro.core.models import DifferenceModel, PhysicalModel, SkewModel, SummationModel
+from repro.core.parameters import equipotential_tau
+from repro.core.schemes import available_schemes
+from repro.sim.hybrid_sim import simulate_hybrid
+from repro.sim.inverter import InverterString, paper_calibrated_model
+
+TOPOLOGIES: Dict[str, Callable[[int], ProcessorArray]] = {
+    "linear": linear_array,
+    "ring": ring,
+    "mesh": lambda n: mesh(n, n),
+    "torus": lambda n: torus(n, n),
+    "hex": lambda n: hex_array(n, n),
+}
+
+SCHEMES_BY_TOPOLOGY: Dict[str, List[str]] = {
+    "linear": ["spine", "dissection-1d", "kdtree", "star"],
+    "ring": ["serpentine", "kdtree", "star"],
+    "mesh": ["htree", "serpentine", "kdtree", "star"],
+    "torus": ["htree", "serpentine", "kdtree", "star"],
+    "hex": ["htree", "serpentine", "kdtree", "star"],
+}
+
+
+def _model(name: str, m: float, eps: float) -> SkewModel:
+    if name == "difference":
+        return DifferenceModel(m=m)
+    if name == "summation":
+        return SummationModel(m=m, eps=eps)
+    if name == "physical":
+        return PhysicalModel(m=m, eps=eps)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def _print_table(headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    text_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in text_rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in text_rows:
+        print("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_report(args: argparse.Namespace) -> int:
+    array = TOPOLOGIES[args.topology](args.size)
+    model = _model(args.model, args.m, args.eps)
+    ev = evaluate_scheme(array, args.scheme, model, m=args.m, eps=args.eps)
+    print(f"{args.scheme} on {array.name} under the {args.model} model:")
+    _print_table(
+        ["metric", "value"],
+        [
+            ("cells", ev.n_cells),
+            ("sigma (model bound)", ev.sigma_bound),
+            ("sigma (A11 floor)", ev.sigma_floor),
+            ("sigma (buffered, empirical)", ev.sigma_empirical),
+            ("tau pipelined", ev.tau_pipelined),
+            ("tau equipotential (RC)", ev.tau_equipotential),
+            ("period (pipelined, delta=%g)" % args.delta, ev.period(args.delta)),
+            ("period (equipotential)", ev.period(args.delta, pipelined=False)),
+            ("clock wire length", ev.clock_wire_length),
+            ("longest root-to-leaf", ev.longest_root_to_leaf),
+        ],
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    array = TOPOLOGIES[args.topology](args.size)
+    model = _model(args.model, args.m, args.eps)
+    schemes = SCHEMES_BY_TOPOLOGY[args.topology]
+    evs = compare_schemes(array, schemes, model, m=args.m, eps=args.eps)
+    print(f"schemes on {array.name} under the {args.model} model (best first):")
+    _print_table(
+        ["scheme", "sigma", "period (delta=%g)" % args.delta, "wire length"],
+        [(e.scheme, e.sigma_bound, e.period(args.delta), e.clock_wire_length) for e in evs],
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    model = _model(args.model, args.m, args.eps)
+    rows = []
+    sigmas = []
+    for n in sizes:
+        array = TOPOLOGIES[args.topology](n)
+        ev = evaluate_scheme(array, args.scheme, model, m=args.m, eps=args.eps)
+        rows.append((n, ev.sigma_bound, ev.period(args.delta)))
+        sigmas.append(ev.sigma_bound)
+    print(f"{args.scheme} on {args.topology} arrays, {args.model} model:")
+    _print_table(["n", "sigma", "period"], rows)
+    if len(sizes) >= 3:
+        fit = classify_growth(sizes, sigmas)
+        print(f"sigma growth law: {fit.law} (rmse {fit.rmse:.3g})")
+    return 0
+
+
+def cmd_lower_bound(args: argparse.Namespace) -> int:
+    array = mesh(args.size, args.size)
+    builders = [
+        ("htree", htree_for_array),
+        ("serpentine", serpentine_clock),
+        ("kdtree", kdtree_clock),
+    ]
+    print(
+        f"Section V-B proof on a {args.size}x{args.size} mesh "
+        f"(beta={args.beta}); tree-independent floor: "
+        f"{lower_bound_value(args.size, args.beta):.4g}"
+    )
+    rows = []
+    for name, builder in builders:
+        cert = prove_skew_lower_bound(builder(array), array, beta=args.beta)
+        cert.check()
+        rows.append((name, cert.sigma, cert.branch, cert.bound, cert.separator_fraction))
+    _print_table(["scheme", "sigma", "branch", "cert bound", "sep frac"], rows)
+    return 0
+
+
+def cmd_inverter(args: argparse.Namespace) -> int:
+    print(f"inverter string, n={args.stages}, {args.chips} chips:")
+    rows = []
+    for seed in range(args.chips):
+        r = InverterString(args.stages, paper_calibrated_model(seed)).result()
+        rows.append(
+            (seed, r.equipotential_cycle * 1e6, r.pipelined_cycle * 1e9, r.speedup)
+        )
+    _print_table(["chip", "equipotential (us)", "pipelined (ns)", "speedup"], rows)
+    return 0
+
+
+def cmd_hybrid(args: argparse.Namespace) -> int:
+    array = mesh(args.size, args.size)
+    scheme = build_hybrid(array, element_size=args.element)
+    result = simulate_hybrid(scheme, steps=args.steps, delta=args.delta)
+    tau = equipotential_tau(serpentine_clock(array))
+    print(f"hybrid scheme on {array.name} (element size {args.element}):")
+    _print_table(
+        ["metric", "value"],
+        [
+            ("elements", result.elements),
+            ("hybrid cycle time", result.cycle_time),
+            ("analytic bound", result.analytic_cycle_time),
+            ("global equipotential tau", tau),
+            ("hybrid wins", result.cycle_time < tau),
+        ],
+    )
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import recommend
+
+    array = TOPOLOGIES[args.topology](args.size)
+    model = _model(args.model, args.m, args.eps)
+    rec = recommend(array, model, delta=args.delta)
+    print(f"recommendation for {array.name} under the {args.model} model:")
+    _print_table(
+        ["field", "value"],
+        [
+            ("structure", rec.structure),
+            ("scheme", rec.scheme),
+            ("sigma", rec.sigma),
+            ("period", rec.period),
+            ("scales with size", rec.scales_with_size),
+        ],
+    )
+    print("rationale:")
+    for line in rec.rationale:
+        print(f"  - {line}")
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    _print_table(
+        ["scheme", "description"],
+        [(s.name, s.description) for s in available_schemes()],
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fisher & Kung (1983) 'Synchronizing Large VLSI Processor Arrays' — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, scheme_default=None):
+        p.add_argument("--topology", choices=sorted(TOPOLOGIES), default="linear")
+        p.add_argument("--size", type=int, default=16)
+        p.add_argument("--model", choices=["difference", "summation", "physical"], default="summation")
+        p.add_argument("--m", type=float, default=1.0, help="nominal per-unit delay")
+        p.add_argument("--eps", type=float, default=0.1, help="per-unit delay variation")
+        p.add_argument("--delta", type=float, default=1.0, help="cell compute+propagate time")
+        if scheme_default is not None:
+            p.add_argument("--scheme", default=scheme_default)
+
+    p = sub.add_parser("report", help="evaluate one scheme on one array")
+    common(p, scheme_default="spine")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("compare", help="rank schemes on one array")
+    common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="sigma/period across sizes + growth law")
+    common(p, scheme_default="spine")
+    p.add_argument("--sizes", default="8,16,32,64,128")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("lower-bound", help="run the Section V-B proof on a mesh")
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--beta", type=float, default=0.1)
+    p.set_defaults(func=cmd_lower_bound)
+
+    p = sub.add_parser("inverter", help="Section VII inverter-string experiment")
+    p.add_argument("--stages", type=int, default=2048)
+    p.add_argument("--chips", type=int, default=5)
+    p.set_defaults(func=cmd_inverter)
+
+    p = sub.add_parser("hybrid", help="hybrid scheme vs global clock on a mesh")
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--element", type=float, default=4.0)
+    p.add_argument("--steps", type=int, default=25)
+    p.add_argument("--delta", type=float, default=1.0)
+    p.set_defaults(func=cmd_hybrid)
+
+    p = sub.add_parser("advise", help="recommend a synchronization design")
+    common(p)
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("schemes", help="list registered clocking schemes")
+    p.set_defaults(func=cmd_schemes)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Clock distribution trees (assumption A4) and their construction.
+
+``CLK`` is a rooted binary tree laid out in the plane; a cell can be clocked
+if it is a node of CLK.  This package provides the tree structure with the
+two path metrics the skew models consume (``d`` = difference of root
+distances, ``s`` = tree path length), plus the constructions the paper
+studies: H-trees (Fig. 3), spine/folded/comb schemes for one-dimensional
+arrays (Figs. 4-6), buffered (pipelined) distribution (A7), and generic
+builders (serpentine, k-d, star) used as comparison points in the
+lower-bound experiments.
+"""
+
+from repro.clocktree.tree import ClockTree
+from repro.clocktree.htree import (
+    dissection_tree_for_linear,
+    htree,
+    htree_for_array,
+    htree_for_grid,
+)
+from repro.clocktree.spine import (
+    comb_linear_array,
+    folded_linear_array,
+    spine_clock,
+    tapped_trunk,
+)
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.builders import (
+    comm_tree_clock,
+    kdtree_clock,
+    serpentine_clock,
+    star_clock,
+)
+from repro.clocktree.optimize import greedy_clock_tree, max_pair_path_length
+from repro.clocktree.tuning import tune_to_equidistant
+
+__all__ = [
+    "ClockTree",
+    "htree",
+    "htree_for_grid",
+    "htree_for_array",
+    "dissection_tree_for_linear",
+    "spine_clock",
+    "tapped_trunk",
+    "folded_linear_array",
+    "comb_linear_array",
+    "BufferedClockTree",
+    "serpentine_clock",
+    "kdtree_clock",
+    "star_clock",
+    "comm_tree_clock",
+    "greedy_clock_tree",
+    "max_pair_path_length",
+    "tune_to_equidistant",
+]

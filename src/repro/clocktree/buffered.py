@@ -1,0 +1,166 @@
+"""Buffered (pipelined) clock distribution — assumption A7.
+
+Long clock wires are replaced by strings of buffers spaced a constant
+distance apart, so each unbuffered segment has constant delay and the
+distribution time ``tau`` of a single clock event becomes a constant
+independent of array size; several clock events can then be in flight along
+the tree at once ("pipelined clocking").
+
+:class:`BufferedClockTree` takes a geometric :class:`ClockTree`, slices its
+edges into segments of at most ``buffer_spacing``, and assigns each segment
+a wire delay (per-unit delay drawn from a :class:`VariationProcess` — the
+``m ± epsilon`` of Section III) plus a buffer delay (drawn from an
+:class:`InverterPairModel`, carrying rise/fall asymmetry — Section VII).
+Delays are sampled once at construction: assumption A8 (time-invariance)
+holds by construction; call :meth:`resample` to model A8 breaking.
+
+The resulting *empirical* skews can be compared against the difference- and
+summation-model bounds, which is exactly what the model-validation tests and
+the Fig. 1/2 bench do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.clocktree.tree import ClockTree
+from repro.delay.buffer import InverterPairModel
+from repro.delay.variation import NoVariation, VariationProcess
+
+NodeId = Hashable
+
+
+class BufferedClockTree:
+    """A clock tree with inserted buffers and concrete per-segment delays."""
+
+    def __init__(
+        self,
+        tree: ClockTree,
+        buffer_spacing: float = 1.0,
+        wire_variation: Optional[VariationProcess] = None,
+        buffer_model: Optional[InverterPairModel] = None,
+    ) -> None:
+        if buffer_spacing <= 0:
+            raise ValueError("buffer spacing must be positive")
+        self.tree = tree
+        self.buffer_spacing = buffer_spacing
+        self._wire_variation = wire_variation or NoVariation(m=1.0)
+        self._buffer_model = buffer_model or InverterPairModel(nominal=buffer_spacing)
+        self._arrival_rise: Dict[NodeId, float] = {}
+        self._arrival_fall: Dict[NodeId, float] = {}
+        self._segment_delays: List[float] = []
+        self._buffer_count = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """Sample every segment's delay and accumulate arrivals root-down.
+
+        Nodes are visited in tree insertion order (parents precede children
+        by construction), so sampling is deterministic for a fixed tree and
+        seed — that determinism *is* assumption A8.
+        """
+        self._wire_variation.reset()
+        self._arrival_rise = {self.tree.root: 0.0}
+        self._arrival_fall = {self.tree.root: 0.0}
+        self._segment_delays = []
+        self._buffer_count = 0
+        for node in self.tree.nodes():
+            if node == self.tree.root:
+                continue
+            parent = self.tree.parent(node)
+            length = self.tree.edge_length(node)
+            rise, fall = self._edge_delay(parent, node, length)
+            self._arrival_rise[node] = self._arrival_rise[parent] + rise
+            self._arrival_fall[node] = self._arrival_fall[parent] + fall
+
+    def _edge_delay(self, parent, node, length: float) -> Tuple[float, float]:
+        """Rising/falling delay of one tree edge after buffer insertion.
+
+        Segment delays are sampled *at* each segment's midpoint (straight-
+        line interpolation between endpoints), so spatially correlated
+        variation processes see the wire's physical location.
+        """
+        if length <= 0:
+            return 0.0, 0.0
+        segments = max(1, math.ceil(length / self.buffer_spacing - 1e-12))
+        seg_length = length / segments
+        p0 = self.tree.position(parent)
+        p1 = self.tree.position(node)
+        rise_total = 0.0
+        fall_total = 0.0
+        for i in range(segments):
+            frac = (i + 0.5) / segments
+            mid_x = p0.x + (p1.x - p0.x) * frac
+            mid_y = p0.y + (p1.y - p0.y) * frac
+            wire = seg_length * self._wire_variation.sample_at(mid_x, mid_y)
+            buf = self._buffer_model.sample_stage()
+            self._buffer_count += 1
+            rise_total += wire + buf.delay_rise
+            fall_total += wire + buf.delay_fall
+            self._segment_delays.append(wire + buf.max_delay)
+        return rise_total, fall_total
+
+    def resample(self, seed: int) -> None:
+        """Redraw all delays with a new seed — the A8-broken scenario where
+        physical conditions drift between clock events."""
+        self._wire_variation.resample(seed)
+        self._buffer_model = InverterPairModel(
+            nominal=self._buffer_model.nominal,
+            bias=self._buffer_model.bias,
+            variance=self._buffer_model.variance,
+            seed=seed,
+        )
+        self._build()
+
+    # ------------------------------------------------------------------
+    # timing queries
+    # ------------------------------------------------------------------
+    @property
+    def buffer_count(self) -> int:
+        return self._buffer_count
+
+    def arrival(self, node: NodeId, rising: bool = True) -> float:
+        """Arrival time of a clock edge launched from the root at t = 0."""
+        return self._arrival_rise[node] if rising else self._arrival_fall[node]
+
+    def latency(self, rising: bool = True) -> float:
+        """Worst-case root-to-node arrival (the pipelined analogue of the
+        equipotential ``alpha * P`` of A6; here it grows with size but does
+        not limit the period)."""
+        table = self._arrival_rise if rising else self._arrival_fall
+        return max(table.values())
+
+    def tau(self) -> float:
+        """A7's ``tau``: the largest delay of a single buffer-plus-segment —
+        the time to distribute a clock event across one unbuffered stretch.
+        Constant in array size for fixed spacing (tested)."""
+        return max(self._segment_delays, default=0.0)
+
+    def skew(self, a: NodeId, b: NodeId, rising: bool = True) -> float:
+        """Empirical skew: difference of concrete arrival times."""
+        return abs(self.arrival(a, rising) - self.arrival(b, rising))
+
+    def max_skew(self, pairs: Iterable[Tuple[NodeId, NodeId]], rising: bool = True) -> float:
+        """``sigma``: the maximum empirical skew over communicating pairs."""
+        return max((self.skew(a, b, rising) for a, b in pairs), default=0.0)
+
+    def pulse_distortion(self, node: NodeId) -> float:
+        """|rising - falling| cumulative arrival discrepancy at ``node`` —
+        the random walk of Section VII.  A clock pulse narrows or widens by
+        this much on its way from the root; the pipelined period must exceed
+        it or pulses vanish."""
+        return abs(self._arrival_rise[node] - self._arrival_fall[node])
+
+    def max_pulse_distortion(self) -> float:
+        return max(self.pulse_distortion(n) for n in self.tree.nodes())
+
+    def events_in_flight(self, period: float) -> float:
+        """How many clock events travel the tree simultaneously at the given
+        period — the "pipelining depth" of pipelined clocking."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        return self.latency() / period

@@ -1,0 +1,228 @@
+"""The clock tree ``CLK`` (assumption A4) and its path metrics.
+
+A :class:`ClockTree` is a rooted tree whose nodes sit at planar positions
+and whose edges carry explicit physical lengths (defaulting to the Manhattan
+distance between endpoints; explicit lengths let equidistant H-trees and
+delay-tuned trees represent "electrical length").  Binary arity is the
+paper's assumption and the default, relaxable for deliberately non-binary
+comparison schemes (star/equipotential hubs).
+
+The two quantities every skew model consumes are defined here:
+
+* ``path_difference(a, b)`` — the *d* of the difference model (A9): the
+  positive difference of the two nodes' root distances, equivalently the
+  difference of their distances to their lowest common ancestor (Fig. 1).
+* ``path_length(a, b)`` — the *s* of the summation model (A10/A11): the
+  length of the tree path between the nodes, i.e. the *sum* of their
+  distances to the LCA (Fig. 2).
+
+``s >= d >= 0`` always (tested as a hypothesis property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
+
+from repro.geometry.point import Point
+
+NodeId = Hashable
+
+
+class ClockTree:
+    """A rooted clock distribution tree with physical edge lengths."""
+
+    def __init__(
+        self, root: NodeId, root_position: Point, max_children: int = 2
+    ) -> None:
+        if max_children < 1:
+            raise ValueError("max_children must be at least 1")
+        self._root = root
+        self._max_children = max_children
+        self._position: Dict[NodeId, Point] = {root: root_position}
+        self._parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+        self._children: Dict[NodeId, List[NodeId]] = {root: []}
+        self._edge_length: Dict[NodeId, float] = {}  # keyed by child
+        # Lazy caches, cleared on mutation.
+        self._root_distance: Dict[NodeId, float] = {root: 0.0}
+        self._depth: Dict[NodeId, int] = {root: 0}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_child(
+        self,
+        parent: NodeId,
+        node: NodeId,
+        position: Point,
+        length: Optional[float] = None,
+    ) -> None:
+        """Attach ``node`` under ``parent``.
+
+        ``length`` defaults to the Manhattan distance between the two nodes'
+        positions; pass an explicit value to model routed detours or
+        delay-tuned wiring.  Zero lengths are allowed (a cell sitting exactly
+        at a tree tap point).
+        """
+        if node in self._position:
+            raise ValueError(f"node {node!r} is already in the tree")
+        if parent not in self._position:
+            raise KeyError(f"parent {parent!r} is not in the tree")
+        if len(self._children[parent]) >= self._max_children:
+            raise ValueError(
+                f"node {parent!r} already has {self._max_children} children "
+                f"(CLK is a binary tree per A4)"
+            )
+        if length is None:
+            length = self._position[parent].manhattan(position)
+        if length < 0:
+            raise ValueError("edge length must be non-negative")
+        self._position[node] = position
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+        self._edge_length[node] = float(length)
+        self._root_distance[node] = self._root_distance[parent] + float(length)
+        self._depth[node] = self._depth[parent] + 1
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> NodeId:
+        return self._root
+
+    @property
+    def max_children(self) -> int:
+        return self._max_children
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._position
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._position)
+
+    def nodes(self) -> List[NodeId]:
+        return list(self._position)
+
+    def leaves(self) -> List[NodeId]:
+        return [n for n, ch in self._children.items() if not ch]
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        return self._parent[node]
+
+    def children(self, node: NodeId) -> List[NodeId]:
+        return list(self._children[node])
+
+    def children_map(self) -> Dict[NodeId, List[NodeId]]:
+        """The ``children`` mapping in the form the Lemma 5 separator takes."""
+        return {n: list(ch) for n, ch in self._children.items()}
+
+    def position(self, node: NodeId) -> Point:
+        return self._position[node]
+
+    def edge_length(self, child: NodeId) -> float:
+        """Length of the edge from ``child`` to its parent."""
+        if child == self._root:
+            raise ValueError("the root has no parent edge")
+        return self._edge_length[child]
+
+    def depth(self, node: NodeId) -> int:
+        """Hop count from the root."""
+        return self._depth[node]
+
+    def subtree_nodes(self, node: NodeId) -> List[NodeId]:
+        out: List[NodeId] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(self._children[current])
+        return out
+
+    # ------------------------------------------------------------------
+    # path metrics (the d and s of the skew models)
+    # ------------------------------------------------------------------
+    def root_distance(self, node: NodeId) -> float:
+        """Physical length of the path from the root to ``node``."""
+        return self._root_distance[node]
+
+    def lca(self, a: NodeId, b: NodeId) -> NodeId:
+        """Lowest common ancestor of two nodes."""
+        da, db = self._depth[a], self._depth[b]
+        while da > db:
+            a = self._parent[a]
+            da -= 1
+        while db > da:
+            b = self._parent[b]
+            db -= 1
+        while a != b:
+            a = self._parent[a]
+            b = self._parent[b]
+        return a
+
+    def path_length(self, a: NodeId, b: NodeId) -> float:
+        """``s``: physical length of the tree path between ``a`` and ``b``
+        (sum of both nodes' distances to their LCA) — summation model."""
+        ancestor = self.lca(a, b)
+        return (
+            self._root_distance[a]
+            + self._root_distance[b]
+            - 2.0 * self._root_distance[ancestor]
+        )
+
+    def path_difference(self, a: NodeId, b: NodeId) -> float:
+        """``d``: positive difference of root distances — difference model."""
+        return abs(self._root_distance[a] - self._root_distance[b])
+
+    def longest_root_to_leaf(self) -> float:
+        """``P``: the longest root-to-leaf path length, which lower-bounds
+        the equipotential distribution time (A6)."""
+        leaves = self.leaves()
+        if not leaves:
+            return 0.0
+        return max(self._root_distance[leaf] for leaf in leaves)
+
+    def total_wire_length(self) -> float:
+        """Sum of all edge lengths; with unit wire width (A3) this is the
+        clock tree's area contribution (Lemma 1's accounting)."""
+        return sum(self._edge_length.values())
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def is_equidistant(self, nodes: Iterable[NodeId], tolerance: float = 1e-9) -> bool:
+        """True when all given nodes have equal root distance — the property
+        H-tree clocking establishes so that the difference model sees d = 0."""
+        distances = [self._root_distance[n] for n in nodes]
+        if not distances:
+            return True
+        return max(distances) - min(distances) <= tolerance
+
+    def validate(self) -> None:
+        """Check structural invariants (parent/child consistency, arity)."""
+        for node, kids in self._children.items():
+            if len(kids) > self._max_children:
+                raise AssertionError(f"node {node!r} exceeds arity")
+            for kid in kids:
+                if self._parent[kid] != node:
+                    raise AssertionError(f"parent pointer of {kid!r} is wrong")
+        # Every non-root node must reach the root.
+        for node in self._position:
+            seen = set()
+            current: Optional[NodeId] = node
+            while current is not None:
+                if current in seen:
+                    raise AssertionError(f"cycle through {current!r}")
+                seen.add(current)
+                current = self._parent[current]
+            if self._root not in seen:
+                raise AssertionError(f"{node!r} does not reach the root")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClockTree(root={self._root!r}, {len(self._position)} nodes, "
+            f"P={self.longest_root_to_leaf():.3g})"
+        )

@@ -1,0 +1,96 @@
+"""Core theory: skew models, clock period, theorems, and the lower bound.
+
+This package is the paper's contribution proper, built on the substrates:
+
+* :mod:`repro.core.models` — the difference (A9), summation (A10/A11) and
+  physical (Section III, ``m*d + eps*s``) skew models;
+* :mod:`repro.core.parameters` — the clock period ``sigma + delta + tau``
+  (A5) with equipotential (A6) and pipelined (A7) distribution time;
+* :mod:`repro.core.schemes` — a registry of clocking schemes;
+* :mod:`repro.core.theorems` — executable forms of Theorems 2, 3 and 6 and
+  the Fig. 3(a) counterexample;
+* :mod:`repro.core.lower_bound` — the Section V-B proof run as a checkable
+  certificate on concrete instances;
+* :mod:`repro.core.hybrid` — the Section VI hybrid synchronization scheme.
+"""
+
+from repro.core.models import (
+    DifferenceModel,
+    PhysicalModel,
+    SkewModel,
+    SummationModel,
+    max_skew_bound,
+)
+from repro.core.parameters import (
+    ClockParameters,
+    clock_period,
+    equipotential_tau,
+    pipelined_tau,
+    scheme_parameters,
+)
+from repro.core.schemes import ClockingScheme, available_schemes, build_scheme, register_scheme
+from repro.core.theorems import (
+    SweepRecord,
+    fig3a_counterexample_sweep,
+    theorem2_sweep,
+    theorem3_sweep,
+    theorem6_bound,
+    theorem6_sweep,
+)
+from repro.core.lower_bound import (
+    LowerBoundCertificate,
+    lower_bound_value,
+    prove_skew_lower_bound,
+)
+from repro.core.hybrid import HybridScheme, build_hybrid, partition_into_elements
+from repro.core.padding import ClockingPlan, compute_hold_padding, plan_safe_clocking
+from repro.core.disciplines import (
+    DisciplineReport,
+    PulseModeDiscipline,
+    SinglePhaseDiscipline,
+    TwoPhaseDiscipline,
+)
+from repro.core.assumptions import AssumptionCheck, audit, failures
+from repro.core.advisor import Recommendation, classify_structure, recommend
+
+__all__ = [
+    "SkewModel",
+    "DifferenceModel",
+    "SummationModel",
+    "PhysicalModel",
+    "max_skew_bound",
+    "ClockParameters",
+    "clock_period",
+    "equipotential_tau",
+    "pipelined_tau",
+    "scheme_parameters",
+    "ClockingScheme",
+    "available_schemes",
+    "build_scheme",
+    "register_scheme",
+    "SweepRecord",
+    "theorem2_sweep",
+    "theorem3_sweep",
+    "fig3a_counterexample_sweep",
+    "theorem6_bound",
+    "theorem6_sweep",
+    "LowerBoundCertificate",
+    "prove_skew_lower_bound",
+    "lower_bound_value",
+    "HybridScheme",
+    "build_hybrid",
+    "partition_into_elements",
+    "ClockingPlan",
+    "compute_hold_padding",
+    "plan_safe_clocking",
+    "DisciplineReport",
+    "SinglePhaseDiscipline",
+    "TwoPhaseDiscipline",
+    "PulseModeDiscipline",
+    "AssumptionCheck",
+    "audit",
+    "failures",
+    "Recommendation",
+    "classify_structure",
+    "recommend",
+]

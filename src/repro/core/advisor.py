@@ -1,0 +1,159 @@
+"""A synchronization design advisor.
+
+Automates the paper's decision tree for a concrete array:
+
+1. classify the communication structure (one-dimensional, tree, or
+   two-dimensional/other);
+2. pick the clocking scheme the theory prescribes — spine for 1D under the
+   summation model (Theorem 3), H-tree under the difference model
+   (Theorem 2), clock-along-data for trees (Section VIII) — confirmed by
+   *measuring* the registered schemes rather than trusting the rule;
+3. when no clocked scheme scales (a 2D array under the summation model,
+   Section V-B), recommend the hybrid scheme and report its constant cycle
+   time next to the best clocked alternative;
+4. attach the A5 period and a discipline note (padding needs or a two-phase
+   non-overlap) for the winning configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.skew import SchemeEvaluation, evaluate_scheme
+from repro.arrays.model import ProcessorArray
+from repro.core.hybrid import build_hybrid
+from repro.core.models import DifferenceModel, SkewModel, SummationModel
+from repro.sim.hybrid_sim import simulate_hybrid
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict for one array."""
+
+    structure: str                      # "one-dimensional" | "tree" | "two-dimensional"
+    scheme: str                         # winning clocked scheme (or "hybrid")
+    sigma: float
+    period: float
+    scales_with_size: bool              # does the recommendation stay flat?
+    rationale: List[str] = field(default_factory=list)
+    evaluations: List[SchemeEvaluation] = field(default_factory=list)
+    hybrid_cycle: Optional[float] = None
+
+
+def classify_structure(array: ProcessorArray) -> str:
+    """One-dimensional (path/ring: max degree <= 2), tree, or 2D/other."""
+    comm = array.comm
+    max_deg = comm.max_degree()
+    pairs = len(array.communicating_pairs())
+    n = comm.node_count
+    if max_deg <= 2:
+        return "one-dimensional"
+    if pairs == n - 1 and comm.is_connected():
+        return "tree"
+    return "two-dimensional"
+
+
+def _candidate_schemes(structure: str) -> List[str]:
+    if structure == "one-dimensional":
+        return ["spine", "dissection-1d", "kdtree"]
+    if structure == "tree":
+        return ["comm-tree", "kdtree"]
+    return ["htree", "serpentine", "kdtree"]
+
+
+def recommend(
+    array: ProcessorArray,
+    model: SkewModel,
+    delta: float = 1.0,
+    hybrid_threshold: float = 5.0,
+    element_size: float = 4.0,
+) -> Recommendation:
+    """Advise a synchronization design for ``array`` under ``model``.
+
+    ``hybrid_threshold``: if the best clocked scheme's sigma exceeds this
+    multiple of ``delta``, the advisor switches to the hybrid scheme (the
+    skew budget has outgrown the computation itself).
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    structure = classify_structure(array)
+    rationale = [f"communication structure: {structure}"]
+
+    candidates = _candidate_schemes(structure)
+    evaluations: List[SchemeEvaluation] = []
+    for name in candidates:
+        try:
+            evaluations.append(evaluate_scheme(array, name, model))
+        except (ValueError, KeyError) as exc:
+            rationale.append(f"scheme {name!r} not applicable: {exc}")
+    if not evaluations:
+        raise ValueError("no clocking scheme applies to this array")
+    evaluations.sort(key=lambda e: e.sigma_bound)
+    best = evaluations[0]
+    rationale.append(
+        f"best clocked scheme: {best.scheme!r} with sigma = {best.sigma_bound:.4g}"
+    )
+
+    if isinstance(model, DifferenceModel):
+        rationale.append(
+            "difference model: equidistant (H-tree style) clocking is optimal "
+            "when the clock tree can be delay-tuned (Theorem 2)"
+        )
+    if isinstance(model, SummationModel) and structure == "one-dimensional":
+        rationale.append(
+            "summation model + 1D: the spine keeps sigma at the neighbor "
+            "spacing at any size (Theorem 3)"
+        )
+
+    scales = True
+    hybrid_cycle: Optional[float] = None
+    scheme = best.scheme
+    sigma = best.sigma_bound
+    period = best.period(delta)
+
+    needs_hybrid = (
+        isinstance(model, SummationModel)
+        and structure == "two-dimensional"
+        and best.sigma_bound > hybrid_threshold * delta
+    )
+    if needs_hybrid:
+        scales = False
+        rationale.append(
+            f"sigma ({best.sigma_bound:.4g}) exceeds {hybrid_threshold:g}x delta: "
+            "the Section V-B lower bound is biting — no clock tree will stay "
+            "bounded as this array grows"
+        )
+        scheme_obj = build_hybrid(array, element_size=element_size)
+        hybrid_cycle = simulate_hybrid(scheme_obj, steps=20, delta=delta).cycle_time
+        if hybrid_cycle < period:
+            scheme = "hybrid"
+            sigma = 0.0
+            period = hybrid_cycle
+            rationale.append(
+                f"hybrid scheme (element size {element_size:g}) cycles at "
+                f"{hybrid_cycle:.4g} < clocked period — recommended (Section VI)"
+            )
+            scales = True
+        else:
+            rationale.append(
+                f"hybrid cycle {hybrid_cycle:.4g} not yet better at this size; "
+                "clocked scheme retained, expect the hybrid to win as it grows"
+            )
+    elif isinstance(model, SummationModel) and structure == "two-dimensional":
+        scales = False
+        rationale.append(
+            "two-dimensional under the summation model: sigma grows Omega(n) "
+            "with array size (Section V-B); fine at this size, plan for hybrid"
+        )
+
+    return Recommendation(
+        structure=structure,
+        scheme=scheme,
+        sigma=sigma,
+        period=period,
+        scales_with_size=scales,
+        rationale=rationale,
+        evaluations=evaluations,
+        hybrid_cycle=hybrid_cycle,
+    )

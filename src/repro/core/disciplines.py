@@ -1,0 +1,157 @@
+"""Clocking disciplines: single-phase, two-phase, and pulse-mode.
+
+Assumption A5 abstracts over "the exact clocking method used"; the paper
+notes the detailed period formula depends on flip-flop setup/hold times and
+sketches circuit options in Section VII (superbuffers, one-shot pulse
+generators, inverter strings).  This module makes those methods concrete as
+*disciplines*: given a skew budget and cell timing, each discipline reports
+its minimum period and its race (hold) immunity.
+
+* :class:`SinglePhaseDiscipline` — edge-triggered registers on one clock.
+  Setup: ``T >= sigma + delta + tau + t_setup``.  Hold: data must take at
+  least ``sigma + t_hold`` to cross an edge whose sender's clock leads —
+  fixed by padding (:mod:`repro.core.padding`), not by slowing down.
+* :class:`TwoPhaseDiscipline` — master-slave latching on non-overlapping
+  phases (the standard nMOS discipline of Mead & Conway).  A transfer is
+  race-immune when the non-overlap gap exceeds the skew plus hold time, at
+  the price of a longer period (the gap is dead time twice per cycle).
+* :class:`PulseModeDiscipline` — Section VII's one-shot scheme: each buffer
+  fires a self-timed pulse off the rising edge.  The pulse must stay wider
+  than the latch's minimum over the whole distribution path, so the width
+  budget has to absorb the worst accumulated rise/fall distortion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DisciplineReport:
+    """What a discipline concludes for a given skew/timing budget."""
+
+    discipline: str
+    min_period: float
+    race_immune: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class SinglePhaseDiscipline:
+    """One clock, edge-triggered registers."""
+
+    t_setup: float = 0.0
+    t_hold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_setup < 0 or self.t_hold < 0:
+            raise ValueError("setup/hold times must be non-negative")
+
+    def min_period(self, sigma: float, delta: float, tau: float) -> float:
+        """A5 plus the register's setup window."""
+        return sigma + delta + tau + self.t_setup
+
+    def min_contamination_delay(self, sigma: float) -> float:
+        """Fastest allowed data path: anything quicker than ``sigma +
+        t_hold`` can race through when the sender's clock leads by the full
+        skew.  This is the quantity padding must top up to."""
+        return sigma + self.t_hold
+
+    def evaluate(self, sigma: float, delta: float, tau: float, min_data_delay: float) -> DisciplineReport:
+        immune = min_data_delay >= self.min_contamination_delay(sigma) - 1e-12
+        return DisciplineReport(
+            discipline="single-phase",
+            min_period=self.min_period(sigma, delta, tau),
+            race_immune=immune,
+            detail=(
+                f"needs data contamination delay >= {self.min_contamination_delay(sigma):.3g}; "
+                f"have {min_data_delay:.3g}"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TwoPhaseDiscipline:
+    """Master-slave latching on two non-overlapping phases.
+
+    ``nonoverlap`` is the dead gap between phase-1 falling and phase-2
+    rising (and vice versa).  Data launched on phase 2 cannot reach a
+    phase-1 latch of a skewed neighbor within the same phase as long as the
+    gap covers the skew — race immunity *by clocking*, no padding needed.
+    """
+
+    nonoverlap: float
+    t_setup: float = 0.0
+    t_hold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nonoverlap < 0 or self.t_setup < 0 or self.t_hold < 0:
+            raise ValueError("timing parameters must be non-negative")
+
+    def min_period(self, sigma: float, delta: float, tau: float) -> float:
+        """The A5 sum plus two dead gaps per cycle."""
+        return sigma + delta + tau + self.t_setup + 2.0 * self.nonoverlap
+
+    def race_immune(self, sigma: float) -> bool:
+        return self.nonoverlap >= sigma + self.t_hold - 1e-12
+
+    def required_nonoverlap(self, sigma: float) -> float:
+        """Smallest gap that makes transfers at skew ``sigma`` race-free."""
+        return sigma + self.t_hold
+
+    def evaluate(self, sigma: float, delta: float, tau: float, min_data_delay: float = 0.0) -> DisciplineReport:
+        return DisciplineReport(
+            discipline="two-phase",
+            min_period=self.min_period(sigma, delta, tau),
+            race_immune=self.race_immune(sigma),
+            detail=(
+                f"nonoverlap {self.nonoverlap:.3g} vs required "
+                f"{self.required_nonoverlap(sigma):.3g}"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PulseModeDiscipline:
+    """Section VII's one-shot pulse clocking.
+
+    Buffers respond only to rising edges and regenerate the falling edge
+    locally with a one-shot, so rise/fall asymmetry cannot accumulate — at
+    the cost that the ``pulse_width`` is "wired into the circuit or
+    programmable".  The pulse must stay above the latch minimum after
+    absorbing residual distortion, and successive pulses must not merge.
+    """
+
+    pulse_width: float
+    min_latch_pulse: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pulse_width <= 0:
+            raise ValueError("pulse width must be positive")
+        if self.min_latch_pulse < 0:
+            raise ValueError("min latch pulse must be non-negative")
+
+    def pulse_survives(self, max_distortion: float) -> bool:
+        return self.pulse_width - max_distortion >= self.min_latch_pulse - 1e-12
+
+    def min_period(self, sigma: float, delta: float, tau: float) -> float:
+        """Pulses must be separated by at least a width (no merging) on top
+        of the A5 sum."""
+        return sigma + delta + tau + self.pulse_width
+
+    def max_absorbable_distortion(self) -> float:
+        return self.pulse_width - self.min_latch_pulse
+
+    def evaluate(
+        self, sigma: float, delta: float, tau: float, max_distortion: float = 0.0
+    ) -> DisciplineReport:
+        return DisciplineReport(
+            discipline="pulse-mode",
+            min_period=self.min_period(sigma, delta, tau),
+            race_immune=self.pulse_survives(max_distortion),
+            detail=(
+                f"pulse {self.pulse_width:.3g} absorbs distortion up to "
+                f"{self.max_absorbable_distortion():.3g}; worst seen "
+                f"{max_distortion:.3g}"
+            ),
+        )

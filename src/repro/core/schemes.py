@@ -1,0 +1,95 @@
+"""Registry of clocking schemes.
+
+A *clocking scheme* maps a laid-out processor array to a clock tree.  The
+registry gives benchmarks and the lower-bound search a uniform way to
+enumerate candidate schemes; users can register their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.arrays.model import ProcessorArray
+from repro.clocktree.builders import (
+    comm_tree_clock,
+    kdtree_clock,
+    serpentine_clock,
+    star_clock,
+)
+from repro.clocktree.htree import dissection_tree_for_linear, htree_for_array
+from repro.clocktree.spine import spine_clock
+from repro.clocktree.tree import ClockTree
+
+SchemeBuilder = Callable[[ProcessorArray], ClockTree]
+
+
+@dataclass(frozen=True)
+class ClockingScheme:
+    """A named clock tree construction."""
+
+    name: str
+    builder: SchemeBuilder
+    description: str
+
+    def build(self, array: ProcessorArray) -> ClockTree:
+        return self.builder(array)
+
+
+_REGISTRY: Dict[str, ClockingScheme] = {}
+
+
+def register_scheme(name: str, builder: SchemeBuilder, description: str) -> ClockingScheme:
+    """Register a scheme; raises on duplicate names."""
+    if name in _REGISTRY:
+        raise ValueError(f"scheme {name!r} is already registered")
+    scheme = ClockingScheme(name, builder, description)
+    _REGISTRY[name] = scheme
+    return scheme
+
+
+def build_scheme(name: str, array: ProcessorArray) -> ClockTree:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown scheme {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name].build(array)
+
+
+def available_schemes() -> List[ClockingScheme]:
+    return list(_REGISTRY.values())
+
+
+register_scheme(
+    "htree",
+    htree_for_array,
+    "Equidistant H-tree over the layout grid (Fig. 3; optimal under the difference model)",
+)
+register_scheme(
+    "dissection-1d",
+    dissection_tree_for_linear,
+    "Balanced binary dissection of a linear array (Fig. 3(a); fails under the summation model)",
+)
+register_scheme(
+    "spine",
+    spine_clock,
+    "Clock wire along a one-dimensional array (Fig. 4; Theorem 3 scheme)",
+)
+register_scheme(
+    "serpentine",
+    serpentine_clock,
+    "Single spine threading the cells in boustrophedon order of the layout",
+)
+register_scheme(
+    "kdtree",
+    kdtree_clock,
+    "Balanced recursive bisection by alternating axes (H-tree-like, any cell set)",
+)
+register_scheme(
+    "star",
+    star_clock,
+    "Direct wire from a central hub to every cell (idealized equipotential; non-binary)",
+)
+register_scheme(
+    "comm-tree",
+    comm_tree_clock,
+    "Clock distributed along the data paths of a tree-structured COMM (Section VIII)",
+)

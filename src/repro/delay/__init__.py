@@ -1,0 +1,33 @@
+"""Delay substrate: wire delay models, buffers, and process variation.
+
+The paper treats transmission delay as proportional to wire length ("we
+choose to treat them together as a 'distance' metric", Section II) and
+derives its skew models from per-unit-length delay ``m ± epsilon``
+(Section III).  This package supplies those delay models, an Elmore RC model
+for the equipotential-clocking comparisons, buffer/inverter elements with
+rising/falling-edge asymmetry (Section VII), and random variation processes
+used to break the time-invariance assumption A8 in experiments.
+"""
+
+from repro.delay.wire import ElmoreWireModel, LinearWireModel, WireDelayModel
+from repro.delay.buffer import Buffer, InverterPairModel
+from repro.delay.variation import (
+    BoundedUniformVariation,
+    GaussianVariation,
+    NoVariation,
+    SpatialGradientVariation,
+    VariationProcess,
+)
+
+__all__ = [
+    "WireDelayModel",
+    "LinearWireModel",
+    "ElmoreWireModel",
+    "Buffer",
+    "InverterPairModel",
+    "VariationProcess",
+    "NoVariation",
+    "BoundedUniformVariation",
+    "GaussianVariation",
+    "SpatialGradientVariation",
+]

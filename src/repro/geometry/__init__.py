@@ -1,0 +1,41 @@
+"""Geometric substrate: points, layouts, routing, and grid embeddings.
+
+Implements the physical side of the paper's model: planar layouts with
+unit-area cells (A2) and unit-width wires (A3), Manhattan wire routing, and
+the rectangular-to-square grid embedding used by Theorem 2.
+"""
+
+from repro.geometry.point import (
+    ORIGIN,
+    BoundingBox,
+    Point,
+    circle_area,
+    circle_circumference,
+    points_within,
+    polyline_length,
+)
+from repro.geometry.layout import Layout, Wire
+from repro.geometry.routing import (
+    l_route,
+    manhattan_route_length,
+    snake_order,
+    spiral_order,
+)
+from repro.geometry.embedding import embed_rectangle_in_square
+
+__all__ = [
+    "ORIGIN",
+    "BoundingBox",
+    "Point",
+    "Layout",
+    "Wire",
+    "circle_area",
+    "circle_circumference",
+    "points_within",
+    "polyline_length",
+    "l_route",
+    "manhattan_route_length",
+    "snake_order",
+    "spiral_order",
+    "embed_rectangle_in_square",
+]

@@ -1,0 +1,80 @@
+"""Grid embeddings for aspect-ratio normalization.
+
+Theorem 2 rests on a result of Aleliunas and Rosenberg [1] that any
+rectangular grid embeds in a square grid with constant edge stretch and
+constant area blow-up, so that H-tree clocking (which needs bounded aspect
+ratio, Lemma 1) applies to arrays of any shape.
+
+We implement the classical *boustrophedon folding* embedding: the long
+dimension of an ``rows x cols`` grid is cut into vertical strips which are
+stacked to form a near-square.  Folding gives
+
+* area within a constant factor of ``rows * cols`` (tested),
+* aspect ratio bounded by a constant (tested), and
+* edge stretch at most ``rows + 1`` (exact Aleliunas-Rosenberg achieves a
+  universal constant; folding's stretch is constant for the common case of
+  one-dimensional and bounded-height arrays, and the achieved value is
+  reported so callers can account for it in the communication delay bound).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+
+
+def embed_rectangle_in_square(
+    rows: int, cols: int
+) -> Tuple[Layout, Dict[str, float]]:
+    """Embed an ``rows x cols`` grid into a near-square layout by folding.
+
+    Returns the folded :class:`Layout` (cells keyed ``(r, c)`` by their
+    coordinates in the *original* grid) and a stats dict with keys
+    ``aspect_ratio``, ``area_factor`` (folded bounding-box area over the
+    original cell count) and ``max_edge_stretch`` (largest Manhattan distance
+    between cells adjacent in the original grid).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("grid dimensions must be positive")
+
+    transposed = rows > cols
+    if transposed:
+        rows, cols = cols, rows
+
+    # Cut the column range into k strips of width w, stacked k*rows tall.
+    # Balance k*rows against w = ceil(cols / k): k ~ sqrt(cols / rows).
+    k = max(1, round(math.sqrt(cols / rows)))
+    width = math.ceil(cols / k)
+    k = math.ceil(cols / width)  # drop empty trailing strips
+
+    layout = Layout()
+    for r in range(rows):
+        for c in range(cols):
+            strip, offset = divmod(c, width)
+            x = offset if strip % 2 == 0 else width - 1 - offset
+            y = strip * rows + r
+            key = (c, r) if transposed else (r, c)
+            layout.place(key, Point(float(x), float(y)))
+
+    max_stretch = 0.0
+    for r in range(rows):
+        for c in range(cols):
+            here = (c, r) if transposed else (r, c)
+            if c + 1 < cols:
+                right = (c + 1, r) if transposed else (r, c + 1)
+                max_stretch = max(max_stretch, layout.distance(here, right))
+            if r + 1 < rows:
+                down = (c, r + 1) if transposed else (r + 1, c)
+                max_stretch = max(max_stretch, layout.distance(here, down))
+
+    stats = {
+        "aspect_ratio": layout.aspect_ratio,
+        "area_factor": layout.area / (rows * cols),
+        "max_edge_stretch": max_stretch,
+        "strips": float(k),
+        "strip_width": float(width),
+    }
+    return layout, stats

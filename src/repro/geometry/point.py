@@ -1,0 +1,185 @@
+"""Planar points and distance metrics.
+
+The paper (assumptions A1-A3) works with layouts in the plane: cells occupy
+unit area and wires have unit width, so every physical length in the model
+is a planar distance.  Wire lengths in VLSI layouts are Manhattan (rectilinear
+routing), which is the default metric throughout this package; Euclidean
+distance is provided for the circle argument of the Section V-B lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the plane.
+
+    Coordinates are floats; integer grid positions are the common case
+    (unit-area cells on a grid) but H-tree internal nodes and folded/comb
+    layouts use fractional coordinates.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return this point scaled about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return this point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan(self, other: "Point") -> float:
+        """Rectilinear (L1) distance — the length of a Manhattan route."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Straight-line (L2) distance — used by the circle argument."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def chebyshev(self, other: "Point") -> float:
+        """L-infinity distance; handy for hex-array adjacency checks."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle, used for layout area accounting (A2)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Long side over short side; >= 1, or inf for a degenerate strip.
+
+        "Bounded aspect ratio" is the precondition of Lemma 1 (H-tree
+        clocking), so layouts report this number.
+        """
+        short = min(self.width, self.height)
+        long = max(self.width, self.height)
+        if short == 0:
+            return math.inf if long > 0 else 1.0
+        return long / short
+
+    @property
+    def diameter(self) -> float:
+        """Manhattan diameter of the box — lower-bounds any root-to-leaf
+        clock path that must span the layout (A6)."""
+        return self.width + self.height
+
+    def contains(self, point: Point) -> bool:
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a box grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    @staticmethod
+    def around(points: Iterable[Point]) -> "BoundingBox":
+        """The tightest box containing ``points`` (at least one required)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty set of points")
+        return BoundingBox(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total Manhattan length of a polyline given by its corner points.
+
+    Wires in the model are rectilinear; a polyline with diagonal segments is
+    measured by the Manhattan length of each segment, which equals the length
+    of any staircase route realizing it.
+    """
+    if len(points) < 2:
+        return 0.0
+    return sum(a.manhattan(b) for a, b in zip(points, points[1:]))
+
+
+def circle_area(radius: float) -> float:
+    """Area of a circle; the counting step of the lower-bound proof compares
+    this with the number of unit-area cells inside the circle (A2)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return math.pi * radius * radius
+
+
+def circle_circumference(radius: float) -> float:
+    """Perimeter of a circle; bounds the number of unit-width wires that can
+    cross it (A3) in the lower-bound proof."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return 2.0 * math.pi * radius
+
+
+def points_within(
+    points: Iterable[Tuple[object, Point]], center: Point, radius: float
+) -> list:
+    """Return the keys of labelled points whose Euclidean distance to
+    ``center`` is at most ``radius``.
+
+    This is the "cells inside the circle" predicate of the Section V-B proof.
+    """
+    return [key for key, p in points if p.euclidean(center) <= radius]

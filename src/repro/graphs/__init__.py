@@ -1,0 +1,29 @@
+"""Graph substrate: COMM graphs, bisection width, tree separators.
+
+Implements assumption A1 (directed communication graphs), Lemma 4 (mesh
+bisection width) and its algorithmic generalizations, and Lemma 5 (the tree
+edge separator used by the Section V-B lower-bound proof).
+"""
+
+from repro.graphs.comm import CommGraph
+from repro.graphs.bisection import (
+    BisectionResult,
+    bisection_width_exact,
+    bisection_width_kernighan_lin,
+    bisection_width_spectral,
+    bisection_width_upper_bound,
+    mesh_bisection_lower_bound,
+)
+from repro.graphs.separators import SeparatorResult, tree_edge_separator
+
+__all__ = [
+    "CommGraph",
+    "BisectionResult",
+    "bisection_width_exact",
+    "bisection_width_kernighan_lin",
+    "bisection_width_spectral",
+    "bisection_width_upper_bound",
+    "mesh_bisection_lower_bound",
+    "SeparatorResult",
+    "tree_edge_separator",
+]

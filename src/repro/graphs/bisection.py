@@ -1,0 +1,249 @@
+"""Minimum bisection width (Lemma 4 and Theorem 6's ``W(N)``).
+
+*Bisecting* a graph partitions its nodes into two parts, neither larger than
+a fixed fraction of the whole; the *minimum bisection width* is the smallest
+number of communicating pairs that must be cut.  The paper's Lemma 4 states
+the classical fact that bisecting an ``n x n`` mesh cuts ``Omega(n)`` edges,
+and Theorem 6 turns any bisection-width lower bound into a clock-skew lower
+bound.
+
+Three algorithms are provided:
+
+* :func:`bisection_width_exact` — exhaustive search, exponential, for graphs
+  of at most ~20 nodes; ground truth in tests.
+* :func:`bisection_width_kernighan_lin` — the classical KL improvement
+  heuristic; an *upper bound* on the true width.
+* :func:`bisection_width_spectral` — Fiedler-vector split; another upper
+  bound, good starting partition for KL.
+
+plus :func:`mesh_bisection_lower_bound`, the analytic ``c * n`` bound used by
+the lower-bound certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.comm import CommGraph
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    """A concrete bisection: the two parts and the number of cut pairs."""
+
+    part_a: FrozenSet[NodeId]
+    part_b: FrozenSet[NodeId]
+    cut_size: int
+
+    @property
+    def balance(self) -> float:
+        """Fraction of nodes in the larger part (0.5 = perfectly balanced)."""
+        total = len(self.part_a) + len(self.part_b)
+        return max(len(self.part_a), len(self.part_b)) / total
+
+
+def _cut_size(pairs: List[Tuple[NodeId, NodeId]], part_a: Set[NodeId]) -> int:
+    return sum(1 for u, v in pairs if (u in part_a) != (v in part_a))
+
+
+def _check_balance(n: int, max_fraction: float) -> int:
+    if not 0.5 <= max_fraction < 1.0:
+        raise ValueError("max_fraction must be in [0.5, 1)")
+    if n < 2:
+        raise ValueError("bisection needs at least two nodes")
+    return int(max_fraction * n)
+
+
+def bisection_width_exact(
+    graph: CommGraph, max_fraction: float = 0.5, size_limit: int = 22
+) -> BisectionResult:
+    """Exhaustive minimum bisection.
+
+    ``max_fraction`` bounds the larger part (the paper uses 23/30 in the
+    lower-bound proof and 1/2 for the classical definition; 0.5 here means
+    the larger part holds ``ceil(n/2)`` nodes).
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n > size_limit:
+        raise ValueError(
+            f"exact bisection is exponential; {n} nodes exceeds limit {size_limit}"
+        )
+    largest = max(_check_balance(n, max_fraction), (n + 1) // 2)
+    pairs = graph.communicating_pairs()
+
+    best: Optional[BisectionResult] = None
+    # Fix nodes[0] in part A to halve the search space.
+    anchor, rest = nodes[0], nodes[1:]
+    for size_a in range(n - largest, largest + 1):
+        if size_a < 1 or n - size_a < 1:
+            continue
+        for combo in itertools.combinations(rest, size_a - 1):
+            part_a = set(combo) | {anchor}
+            cut = _cut_size(pairs, part_a)
+            if best is None or cut < best.cut_size:
+                best = BisectionResult(
+                    frozenset(part_a), frozenset(set(nodes) - part_a), cut
+                )
+    assert best is not None
+    return best
+
+
+def bisection_width_kernighan_lin(
+    graph: CommGraph,
+    rounds: int = 10,
+    seed: int = 0,
+    initial: Optional[Set[NodeId]] = None,
+) -> BisectionResult:
+    """Kernighan-Lin heuristic bisection (upper bound on the true width).
+
+    Runs the classical pass-until-no-gain loop from ``rounds`` random
+    balanced starts (or from ``initial``) and keeps the best cut.
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    _check_balance(n, 0.5)
+    pairs = graph.communicating_pairs()
+    adj: Dict[NodeId, Set[NodeId]] = {node: graph.neighbors(node) for node in nodes}
+    rng = random.Random(seed)
+
+    def one_run(part_a: Set[NodeId]) -> Tuple[Set[NodeId], int]:
+        part_a = set(part_a)
+        while True:
+            part_b = set(nodes) - part_a
+            # D-values: external minus internal degree.
+            d = {}
+            for node in nodes:
+                own = part_a if node in part_a else part_b
+                ext = sum(1 for m in adj[node] if m not in own)
+                d[node] = ext - (len(adj[node]) - ext)
+            locked: Set[NodeId] = set()
+            gains: List[Tuple[int, NodeId, NodeId]] = []
+            a_work, b_work = set(part_a), set(part_b)
+            d_work = dict(d)
+            for _ in range(min(len(a_work), len(b_work))):
+                best_gain, best_pair = None, None
+                for a in a_work:
+                    if a in locked:
+                        continue
+                    for b in b_work:
+                        if b in locked:
+                            continue
+                        cost = 2 if b in adj[a] else 0
+                        gain = d_work[a] + d_work[b] - cost
+                        if best_gain is None or gain > best_gain:
+                            best_gain, best_pair = gain, (a, b)
+                if best_pair is None:
+                    break
+                a, b = best_pair
+                gains.append((best_gain, a, b))
+                locked.update((a, b))
+                for x in adj[a]:
+                    if x in locked:
+                        continue
+                    d_work[x] += 2 if (x in a_work) else -2
+                for x in adj[b]:
+                    if x in locked:
+                        continue
+                    d_work[x] += 2 if (x in b_work) else -2
+            # Best prefix of the swap sequence.
+            best_k, best_total, total = 0, 0, 0
+            for k, (g, _, _) in enumerate(gains, start=1):
+                total += g
+                if total > best_total:
+                    best_total, best_k = total, k
+            if best_total <= 0:
+                return part_a, _cut_size(pairs, part_a)
+            for _, a, b in gains[:best_k]:
+                part_a.discard(a)
+                part_a.add(b)
+
+    best: Optional[BisectionResult] = None
+    starts: List[Set[NodeId]] = []
+    if initial is not None:
+        starts.append(set(initial))
+    for _ in range(rounds):
+        shuffled = list(nodes)
+        rng.shuffle(shuffled)
+        starts.append(set(shuffled[: n // 2]))
+    for start in starts:
+        part_a, cut = one_run(start)
+        if best is None or cut < best.cut_size:
+            best = BisectionResult(
+                frozenset(part_a), frozenset(set(nodes) - part_a), cut
+            )
+    assert best is not None
+    return best
+
+
+def bisection_width_spectral(graph: CommGraph) -> BisectionResult:
+    """Fiedler-vector bisection: split at the median of the second Laplacian
+    eigenvector.  An upper bound on the true width; also a good KL seed."""
+    nodes = graph.nodes()
+    n = len(nodes)
+    _check_balance(n, 0.5)
+    index = {node: i for i, node in enumerate(nodes)}
+    lap = np.zeros((n, n))
+    for u, v in graph.communicating_pairs():
+        i, j = index[u], index[v]
+        lap[i, j] -= 1
+        lap[j, i] -= 1
+        lap[i, i] += 1
+        lap[j, j] += 1
+    eigenvalues, eigenvectors = np.linalg.eigh(lap)
+    # Second-smallest eigenvalue's eigenvector (Fiedler vector).
+    fiedler = eigenvectors[:, np.argsort(eigenvalues)[1]]
+    order = np.argsort(fiedler, kind="stable")
+    half = n // 2
+    part_a = {nodes[i] for i in order[:half]}
+    pairs = graph.communicating_pairs()
+    return BisectionResult(
+        frozenset(part_a),
+        frozenset(set(nodes) - part_a),
+        _cut_size(pairs, part_a),
+    )
+
+
+def bisection_width_upper_bound(
+    graph: CommGraph, seed: int = 0, kl_rounds: int = 6
+) -> BisectionResult:
+    """Best available bisection: exact for tiny graphs, otherwise the better
+    of spectral and spectral-seeded Kernighan-Lin."""
+    if graph.node_count <= 14:
+        return bisection_width_exact(graph)
+    spectral = bisection_width_spectral(graph)
+    refined = bisection_width_kernighan_lin(
+        graph, rounds=kl_rounds, seed=seed, initial=set(spectral.part_a)
+    )
+    return refined if refined.cut_size <= spectral.cut_size else spectral
+
+
+def mesh_bisection_lower_bound(n: int, max_fraction: float = 23.0 / 30.0) -> float:
+    """Lemma 4: partitioning an ``n x n`` mesh so that neither part exceeds
+    ``max_fraction`` of the nodes cuts at least ``(1 - max_fraction) * n``
+    edges.
+
+    Proof of the constant (pure-row argument): call a row *mixed* when it
+    holds cells of both parts; each mixed row contributes at least one cut
+    edge.  If there are fewer than ``(1 - max_fraction) * n`` mixed rows,
+    the pure rows cannot be of both kinds — an all-A row and an all-B row
+    would make every *column* mixed, giving ``n`` cut edges — so all pure
+    rows belong to one part, confining the other part to the mixed rows;
+    that part then has fewer than ``(1 - max_fraction) * n * n`` cells,
+    contradicting the balance requirement.  Hence the cut is at least
+    ``min(n, (1 - max_fraction) * n)``.
+
+    For the paper's 23/30 balance this is ``(7/30) * n = Omega(n)``.
+    """
+    if n < 2:
+        raise ValueError("mesh bisection is defined for n >= 2")
+    if not 0.5 <= max_fraction < 1.0:
+        raise ValueError("max_fraction must be in [0.5, 1)")
+    return min(float(n), (1.0 - max_fraction) * n)

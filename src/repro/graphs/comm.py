@@ -1,0 +1,228 @@
+"""Directed communication graphs (assumption A1).
+
+``COMM`` is a directed graph laid out in the plane: nodes are cells, edges
+are wires that carry one data item per cycle from source to target.  Two
+cells joined by an edge in either direction are *communicating cells*; clock
+skew constraints (and the clock period, A5) are stated over communicating
+pairs, so the class exposes the undirected pair set prominently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+class CommGraph:
+    """A directed graph of communicating cells.
+
+    Nodes may be added explicitly (isolated hosts, boundary cells) or
+    implicitly by adding edges.  Self-loops are rejected: a cell needs no
+    synchronization with itself.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Edge]] = None,
+        nodes: Optional[Iterable[NodeId]] = None,
+    ) -> None:
+        self._succ: Dict[NodeId, Set[NodeId]] = {}
+        self._pred: Dict[NodeId, Set[NodeId]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for src, dst in edges:
+                self.add_edge(src, dst)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: NodeId, dst: NodeId) -> None:
+        if src == dst:
+            raise ValueError(f"self-loop on {src!r}: a cell does not communicate with itself")
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def add_bidirectional(self, a: NodeId, b: NodeId) -> None:
+        """Add edges in both directions (common in systolic arrays where
+        data streams flow both ways along the same neighbor link)."""
+        self.add_edge(a, b)
+        self.add_edge(b, a)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._succ)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of *directed* edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    def nodes(self) -> List[NodeId]:
+        return list(self._succ)
+
+    def edges(self) -> List[Edge]:
+        return [(u, v) for u, succ in self._succ.items() for v in succ]
+
+    def successors(self, node: NodeId) -> Set[NodeId]:
+        return set(self._succ[node])
+
+    def predecessors(self, node: NodeId) -> Set[NodeId]:
+        return set(self._pred[node])
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """All cells communicating with ``node`` in either direction."""
+        return self._succ[node] | self._pred[node]
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def degree(self, node: NodeId) -> int:
+        """Undirected degree: number of distinct communicating partners."""
+        return len(self.neighbors(node))
+
+    def max_degree(self) -> int:
+        return max((self.degree(n) for n in self._succ), default=0)
+
+    # ------------------------------------------------------------------
+    # communicating pairs (the objects skew bounds quantify over)
+    # ------------------------------------------------------------------
+    def communicating_pairs(self) -> List[Tuple[NodeId, NodeId]]:
+        """Unordered pairs of cells connected by an edge in either direction.
+
+        Each pair appears once; this is the index set of the max in
+        ``sigma = max skew over communicating cells`` (A5).
+        """
+        seen: Set[FrozenSet[NodeId]] = set()
+        pairs: List[Tuple[NodeId, NodeId]] = []
+        for u, v in self.edges():
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                pairs.append((u, v))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Weak connectivity (edge directions ignored)."""
+        if not self._succ:
+            return True
+        start = next(iter(self._succ))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in self.neighbors(node):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self._succ)
+
+    def undirected_components(self) -> List[Set[NodeId]]:
+        remaining = set(self._succ)
+        components: List[Set[NodeId]] = []
+        while remaining:
+            start = remaining.pop()
+            comp = {start}
+            frontier = deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for nxt in self.neighbors(node):
+                    if nxt not in comp:
+                        comp.add(nxt)
+                        remaining.discard(nxt)
+                        frontier.append(nxt)
+            components.append(comp)
+        return components
+
+    def is_acyclic(self) -> bool:
+        """True when the directed graph has no cycle.
+
+        Acyclic COMM graphs admit the Section VIII pipelining transformation
+        (pipeline registers on long edges).
+        """
+        indeg = {n: len(self._pred[n]) for n in self._succ}
+        queue = deque(n for n, d in indeg.items() if d == 0)
+        visited = 0
+        while queue:
+            node = queue.popleft()
+            visited += 1
+            for nxt in self._succ[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        return visited == len(self._succ)
+
+    def undirected_distance(self, a: NodeId, b: NodeId) -> int:
+        """Hop distance ignoring edge direction; ``-1`` if disconnected."""
+        if a == b:
+            return 0
+        seen = {a}
+        frontier = deque([(a, 0)])
+        while frontier:
+            node, dist = frontier.popleft()
+            for nxt in self.neighbors(node):
+                if nxt == b:
+                    return dist + 1
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, dist + 1))
+        return -1
+
+    def crossing_edges(
+        self, part_a: Set[NodeId], part_b: Set[NodeId]
+    ) -> List[Tuple[NodeId, NodeId]]:
+        """Communicating pairs with one cell in each part.
+
+        This is the quantity the lower-bound proof counts against the circle
+        circumference (A3) and against the bisection width (Lemma 4).
+        """
+        out = []
+        for u, v in self.communicating_pairs():
+            if (u in part_a and v in part_b) or (u in part_b and v in part_a):
+                out.append((u, v))
+        return out
+
+    def subgraph(self, keep: Set[NodeId]) -> "CommGraph":
+        sub = CommGraph(nodes=[n for n in self._succ if n in keep])
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CommGraph({self.node_count} nodes, {self.edge_count} directed edges)"

@@ -1,0 +1,214 @@
+"""Skew-aware execution of systolic programs (the functional meaning of A5).
+
+Each cell fires at its own clock tick times (a :class:`ClockSchedule`); at
+tick ``k`` it latches, for every input wire, the most recent value to have
+*arrived* by that instant, computes, and drives its outputs, which arrive at
+each neighbor after ``delta`` (compute) plus the wire's propagation delay.
+
+Correct synchronization means: the value latched at the receiver's tick
+``k`` is the sender's tick ``k-1`` output.  Two failure modes exist, and
+both are detected and reported:
+
+* **setup/stale** — the sender's tick ``k-1`` output arrives *after* the
+  receiver's tick ``k`` (skew + delays exceed the period): the receiver
+  reuses older data.
+* **hold/race-through** — the sender's tick ``k`` output arrives *before*
+  the receiver's tick ``k`` (the sender's clock leads by more than the data
+  path delay): new data overruns the latch.
+
+The period bound of A5 (``sigma + delta + tau``) is exactly what makes both
+impossible; the tests drive this simulator on both sides of the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.arrays.cells import PE
+from repro.arrays.systolic import SystolicProgram
+from repro.delay.wire import LinearWireModel, WireDelayModel
+from repro.graphs.comm import CommGraph
+from repro.sim.clock_distribution import ClockSchedule
+
+CellId = Hashable
+EdgeKey = Tuple[CellId, CellId]
+
+
+@dataclass(frozen=True)
+class TimingViolation:
+    """One latch event that read the wrong generation of data."""
+
+    edge: EdgeKey
+    receiver_tick: int
+    expected_sender_tick: int
+    actual_sender_tick: int
+
+    @property
+    def kind(self) -> str:
+        """``race`` (hold violation) or ``stale`` (setup violation)."""
+        return "race" if self.actual_sender_tick > self.expected_sender_tick else "stale"
+
+
+@dataclass
+class ClockedRunResult:
+    """Outcome of a clocked run: result payload plus timing diagnostics."""
+
+    result: Any
+    violations: List[TimingViolation]
+    ticks: int
+    makespan: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+class _ExecutorFacade:
+    """Quacks like a LockstepExecutor for ``SystolicProgram.read_result``
+    (which only ever calls ``pe``)."""
+
+    def __init__(self, pes: Mapping[CellId, PE]) -> None:
+        self._pes = pes
+
+    def pe(self, cell: CellId) -> PE:
+        return self._pes[cell]
+
+
+class ClockedArraySimulator:
+    """Execute a systolic program under a concrete clock schedule."""
+
+    def __init__(
+        self,
+        program: SystolicProgram,
+        schedule: ClockSchedule,
+        delta: float = 0.0,
+        data_wire_model: Optional[WireDelayModel] = None,
+        edge_padding: Optional[Mapping[EdgeKey, float]] = None,
+    ) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self._program = program
+        self._comm: CommGraph = program.array.comm
+        self._schedule = schedule
+        self._delta = delta
+        self._wire_model = data_wire_model or LinearWireModel(m=0.0 + 1e-12)
+        for cell in self._comm.nodes():
+            if cell not in schedule.cells():
+                raise ValueError(f"cell {cell!r} has no clock schedule (A4)")
+        # Precompute data propagation delay per directed edge; hold-fix
+        # padding ("adding delay to circuits", Section I) folds in here.
+        self._edge_delay: Dict[EdgeKey, float] = {}
+        padding = dict(edge_padding or {})
+        layout = program.array.layout
+        for u, v in self._comm.edges():
+            pad = padding.get((u, v), 0.0)
+            if pad < 0:
+                raise ValueError(f"negative padding on edge {(u, v)!r}")
+            self._edge_delay[(u, v)] = (
+                self._wire_model.delay(layout.distance(u, v)) + pad
+            )
+
+    def _latched_sender_tick(self, edge: EdgeKey, receiver_tick: int) -> int:
+        """Which sender tick's output is on the wire when the receiver
+        latches at its tick ``receiver_tick``?  The largest ``k`` with
+        ``send(k) + delta + wire <= recv(receiver_tick)``.
+
+        An affine schedule gives the answer in closed form; schedules with
+        bounded per-tick jitter (A8 broken — :mod:`repro.sim.faults`) keep
+        tick times monotone, so a short downward scan from the affine
+        estimate finds the true latch generation.
+        """
+        u, v = edge
+        t_latch = self._schedule.tick_time(v, receiver_tick)
+        lag = self._delta + self._edge_delay[edge]
+        estimate = int(
+            math.floor(
+                (t_latch - self._schedule.offset(u) - lag) / self._schedule.period
+            )
+        )
+        k = estimate + 3  # covers jitter up to ~1.5 periods
+        while k >= 0 and self._schedule.tick_time(u, k) + lag > t_latch + 1e-12:
+            k -= 1
+        return k
+
+    def run(self, ticks: Optional[int] = None) -> ClockedRunResult:
+        """Fire every cell for ``ticks`` ticks (default: the program's cycle
+        count) in global time order, track what each latch actually read,
+        and extract the program result."""
+        n_ticks = ticks if ticks is not None else self._program.cycles
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        pes = self._program.pes
+        for pe in pes.values():
+            pe.reset()
+
+        # All (cell, tick) firing events in global time order; ties resolved
+        # by tick then stable cell order for determinism.
+        cells = self._comm.nodes()
+        events = sorted(
+            ((self._schedule.tick_time(c, k), k, i, c) for i, c in enumerate(cells) for k in range(n_ticks)),
+        )
+
+        history: Dict[EdgeKey, Dict[int, Any]] = {e: {} for e in self._edge_delay}
+        violations: List[TimingViolation] = []
+        makespan = 0.0
+
+        for t_fire, k, _i, cell in events:
+            makespan = max(makespan, t_fire)
+            inputs: Dict[CellId, Any] = {}
+            for src in self._comm.predecessors(cell):
+                edge = (src, cell)
+                latched = self._latched_sender_tick(edge, k)
+                expected = k - 1
+                if latched != expected and (latched >= 0 or expected >= 0):
+                    violations.append(
+                        TimingViolation(
+                            edge=edge,
+                            receiver_tick=k,
+                            expected_sender_tick=expected,
+                            actual_sender_tick=latched,
+                        )
+                    )
+                inputs[src] = history[edge].get(latched) if latched >= 0 else None
+            outputs = pes[cell].fire(inputs)
+            for dst in self._comm.successors(cell):
+                value = outputs.get(dst) if outputs else None
+                history[(cell, dst)][k] = value
+
+        result = self._program.read_result(_ExecutorFacade(pes))
+        return ClockedRunResult(
+            result=result,
+            violations=violations,
+            ticks=n_ticks,
+            makespan=makespan,
+        )
+
+    def minimum_safe_period(self) -> float:
+        """The smallest period for which this schedule's skews cause no
+        violations: from the closed-form latch condition,
+        ``T > skew(u,v) + delta + wire`` for the setup side on every edge
+        (the hold side needs ``offset(u) + delta + wire > offset(v)``, which
+        a period cannot fix — it is reported by :meth:`hold_hazards`)."""
+        worst = 0.0
+        for (u, v), wire in self._edge_delay.items():
+            need = (
+                self._schedule.offset(u)
+                - self._schedule.offset(v)
+                + self._delta
+                + wire
+            )
+            worst = max(worst, need)
+        return worst
+
+    def hold_hazards(self) -> List[EdgeKey]:
+        """Edges where the sender's clock leads the receiver's by more than
+        the data path delay — race-through no period can repair; the fix is
+        added delay (padding) or a better clock layout, as the paper notes
+        ("adding delay to circuits")."""
+        hazards = []
+        for (u, v), wire in self._edge_delay.items():
+            if self._schedule.offset(u) + self._delta + wire < self._schedule.offset(v) - 1e-12:
+                hazards.append((u, v))
+        return hazards

@@ -1,0 +1,64 @@
+"""The discrete-event simulation engine.
+
+A thin driver over :class:`~repro.sim.events.EventQueue`: payloads are
+zero-argument callables executed at their scheduled time; callbacks may
+schedule further events.  Time never runs backwards (scheduling in the past
+raises), and the run is fully deterministic for deterministic callbacks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.sim.events import EventQueue
+
+Action = Callable[[], None]
+
+
+class Simulator:
+    """Run scheduled actions in time order."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._queue.push(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at an absolute time >= now."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now ({self.now})")
+        self._queue.push(time, action)
+
+    def run(
+        self,
+        until: float = math.inf,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events in order until the queue drains, simulated time
+        passes ``until``, or ``max_events`` are processed (a runaway guard).
+        Returns the number of events processed in this call."""
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if next_time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, action = self._queue.pop()
+            self.now = time
+            action()
+            processed += 1
+        self.events_processed += processed
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

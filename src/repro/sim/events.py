@@ -1,0 +1,43 @@
+"""A minimal discrete-event queue.
+
+Events are ``(time, sequence, payload)`` triples in a binary heap; the
+sequence number makes ordering stable and deterministic for simultaneous
+events (insertion order breaks ties), which the reproducibility tests rely
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+
+class EventQueue:
+    """A time-ordered queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, payload: Any) -> None:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        time, _seq, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,113 @@
+"""Event-level simulation of the hybrid synchronization network (Fig. 8).
+
+Controllers run a neighbor-barrier handshake: element ``e`` may start its
+global step ``k+1`` once it has finished step ``k`` *and* received "done(k)"
+from every handshake neighbor.  Within a step, a controller distributes the
+local clock (bounded by the element diameter), cells compute (``delta``),
+and the controller signals done.
+
+The recurrence
+
+``start[e][k+1] = max(finish[e][k], max_nbr finish[nbr][k] + hs(e, nbr))``
+``finish[e][k]  = start[e][k] + local_cost(e)``
+
+is a max-plus linear system whose asymptotic cycle time is bounded by
+``local_cost + max handshake`` — all element-local quantities, hence
+*constant as the array grows*, which is the Section VI claim the
+``bench_fig8_hybrid`` benchmark demonstrates against the equipotential
+global clock's linear growth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.hybrid import HybridScheme
+
+ElementId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class HybridRunResult:
+    """Measured steady-state behaviour of the hybrid network."""
+
+    elements: int
+    steps: int
+    completion_time: float
+    cycle_time: float
+    analytic_cycle_time: float
+
+    @property
+    def within_analytic_bound(self) -> bool:
+        return self.cycle_time <= self.analytic_cycle_time + 1e-9
+
+
+def simulate_hybrid(
+    scheme: HybridScheme,
+    steps: int,
+    delta: float,
+    m: float = 1.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> HybridRunResult:
+    """Run the controller handshake network for ``steps`` global steps.
+
+    ``jitter`` adds a uniform random extension (up to the given fraction of
+    ``delta``) to each element's per-step local cost — self-timed schemes
+    absorb such variation without resynchronization, which is part of the
+    scheme's robustness story (and would desynchronize pipelined clocking,
+    A8).
+    """
+    if steps < 2:
+        raise ValueError("need at least two steps to measure a cycle")
+    if delta < 0 or m <= 0 or jitter < 0:
+        raise ValueError("delta >= 0, m > 0, jitter >= 0 required")
+    rng = random.Random(seed)
+
+    eids = list(scheme.elements.keys())
+    # Per-element fixed local cost: clock down + compute + clock gathering up.
+    base_cost: Dict[ElementId, float] = {
+        e: 2.0 * m * scheme.local_trees[e].longest_root_to_leaf() + delta for e in eids
+    }
+    handshake: Dict[Tuple[ElementId, ElementId], float] = {}
+    for a, b in scheme.element_graph.communicating_pairs():
+        d = m * scheme.controllers[a].manhattan(scheme.controllers[b])
+        handshake[(a, b)] = d
+        handshake[(b, a)] = d
+
+    finish: Dict[ElementId, float] = {e: 0.0 for e in eids}
+    finish_times = []
+    for _step in range(steps):
+        start: Dict[ElementId, float] = {}
+        for e in eids:
+            ready = finish[e]
+            for nbr in scheme.element_graph.neighbors(e):
+                ready = max(ready, finish[nbr] + handshake[(e, nbr)])
+            start[e] = ready
+        for e in eids:
+            cost = base_cost[e]
+            if jitter > 0:
+                cost += rng.uniform(0.0, jitter * delta)
+            finish[e] = start[e] + cost
+        finish_times.append(max(finish.values()))
+
+    half = steps // 2
+    steady = finish_times[half:]
+    if len(steady) >= 2:
+        cycle = (steady[-1] - steady[0]) / (len(steady) - 1)
+    else:
+        cycle = finish_times[-1] / steps
+    analytic = (
+        max(base_cost.values())
+        + (max(handshake.values()) if handshake else 0.0)
+        + jitter * delta
+    )
+    return HybridRunResult(
+        elements=len(eids),
+        steps=steps,
+        completion_time=finish_times[-1],
+        cycle_time=cycle,
+        analytic_cycle_time=analytic,
+    )

@@ -1,0 +1,203 @@
+"""The Section VII inverter-string experiment, in simulation.
+
+The paper fabricated an nMOS chip with a string of 2048 minimum inverters
+and measured:
+
+* equipotential single-phase clocking: cycle time ~= 34 microseconds (the
+  whole string must settle each cycle);
+* pipelined clocking: cycle time ~= 500 nanoseconds — **68x faster** — with
+  the same speedup on five separate chips (design bias dominated random
+  stage noise).
+
+We model stage ``i`` as a :class:`~repro.delay.buffer.Buffer` with rise and
+fall delays ``nominal +- (bias + noise)/2``; then
+
+* the **equipotential cycle** is the time for both a rising and a falling
+  edge to traverse the whole string (sum of all rise delays + sum of all
+  fall delays);
+* the **pipelined cycle** must keep the pulse alive along the string: a
+  half-period must exceed the worst per-stage delay *plus* the worst
+  cumulative rise/fall discrepancy over any prefix (the pulse shrinks by
+  the running discrepancy sum), so
+  ``T_pipe = 2 * (max stage delay + max |prefix discrepancy|)``.
+
+With the calibrated constants of :func:`paper_calibrated_model` the n=2048
+simulation reproduces 34 us / 500 ns / 68x; with zero bias the prefix sum
+is a random walk and ``T_pipe`` scales as ``sqrt(n)`` at fixed yield
+(:func:`fixed_yield_cycle_time`) — both Section VII claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.delay.buffer import Buffer, InverterPairModel
+
+#: Calibration: 2 * 2048 * nominal = 34 us  =>  nominal ~= 8.3 ns.
+PAPER_NOMINAL_STAGE_DELAY = 34.0e-6 / (2 * 2048)
+#: Calibration: 2 * (nominal + 2048 * bias) = 500 ns  =>  bias ~= 0.118 ns.
+PAPER_STAGE_BIAS = (500.0e-9 / 2 - PAPER_NOMINAL_STAGE_DELAY) / 2048
+#: Random stage noise, small compared to the bias (the paper observed the
+#: same 68x on five chips, i.e. bias-dominated behaviour).
+PAPER_STAGE_NOISE_SD = PAPER_STAGE_BIAS / 20.0
+
+PAPER_STRING_LENGTH = 2048
+PAPER_EQUIPOTENTIAL_CYCLE = 34.0e-6
+PAPER_PIPELINED_CYCLE = 500.0e-9
+PAPER_SPEEDUP = 68.0
+
+
+def paper_calibrated_model(seed: int = 0) -> InverterPairModel:
+    """Stage model calibrated to the paper's measured 34 us / 500 ns chip."""
+    return InverterPairModel(
+        nominal=PAPER_NOMINAL_STAGE_DELAY,
+        bias=PAPER_STAGE_BIAS,
+        variance=PAPER_STAGE_NOISE_SD**2,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class InverterStringResult:
+    """Cycle times of one simulated chip."""
+
+    n: int
+    equipotential_cycle: float
+    pipelined_cycle: float
+    max_stage_delay: float
+    max_prefix_discrepancy: float
+
+    @property
+    def speedup(self) -> float:
+        return self.equipotential_cycle / self.pipelined_cycle
+
+
+class InverterString:
+    """One simulated chip: ``n`` inverter stages with sampled delays."""
+
+    def __init__(self, n: int, model: InverterPairModel) -> None:
+        if n < 1:
+            raise ValueError("string needs at least one stage")
+        self.n = n
+        self.stages: List[Buffer] = model.sample_string(n)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def total_rise(self) -> float:
+        return sum(stage.delay_rise for stage in self.stages)
+
+    def total_fall(self) -> float:
+        return sum(stage.delay_fall for stage in self.stages)
+
+    def equipotential_cycle(self) -> float:
+        """Single event in flight: the line settles through a full rising
+        and a full falling traversal per cycle."""
+        return self.total_rise() + self.total_fall()
+
+    def total_discrepancy(self) -> float:
+        """``|sum_i (rise_i - fall_i)|`` over the whole string — the
+        endpoint of the Section VII random walk, the quantity whose
+        ``N(0, n*V)`` distribution drives the fixed-yield analysis."""
+        return abs(sum(stage.discrepancy for stage in self.stages))
+
+    def max_prefix_discrepancy(self) -> float:
+        """``max_k |sum_{i<=k} (rise_i - fall_i)|`` — how much a pulse can
+        shrink (or stretch) on its way down the string."""
+        running = 0.0
+        worst = 0.0
+        for stage in self.stages:
+            running += stage.discrepancy
+            worst = max(worst, abs(running))
+        return worst
+
+    def max_stage_delay(self) -> float:
+        return max(stage.max_delay for stage in self.stages)
+
+    def pipelined_cycle(self) -> float:
+        """Minimum period keeping every pulse alive along the whole string:
+        each half-period must cover one stage plus the worst accumulated
+        pulse-width erosion."""
+        return 2.0 * (self.max_stage_delay() + self.max_prefix_discrepancy())
+
+    def result(self) -> InverterStringResult:
+        return InverterStringResult(
+            n=self.n,
+            equipotential_cycle=self.equipotential_cycle(),
+            pipelined_cycle=self.pipelined_cycle(),
+            max_stage_delay=self.max_stage_delay(),
+            max_prefix_discrepancy=self.max_prefix_discrepancy(),
+        )
+
+    # ------------------------------------------------------------------
+    # functional check
+    # ------------------------------------------------------------------
+    def propagate_edges(self, launch_times: Sequence[float], rising_first: bool = True) -> List[float]:
+        """Arrival times at the string output of edges launched at the given
+        times (alternating rising/falling).  Used by tests to confirm that
+        at the pipelined period edges arrive in order (no pulse collapse),
+        and that below it they would reorder."""
+        arrivals = []
+        for index, t in enumerate(launch_times):
+            rising = (index % 2 == 0) == rising_first
+            total = t
+            for stage in self.stages:
+                total += stage.delay(rising)
+            arrivals.append(total)
+        return arrivals
+
+
+def fixed_yield_cycle_time(
+    n: int,
+    variance: float,
+    stage_delay: float,
+    yield_fraction: float = 0.95,
+) -> float:
+    """Section VII's probabilistic analysis: with zero design bias, the sum
+    of per-pair discrepancies over ``n`` stages is ``N(0, n * variance)``;
+    accepting a fixed fraction of chips means accepting discrepancy sums up
+    to ``z * sqrt(n * variance)``, so the pipelined cycle time at fixed
+    yield grows as ``sqrt(n)``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    if not 0.0 < yield_fraction < 1.0:
+        raise ValueError("yield_fraction must be in (0, 1)")
+    z = _normal_quantile(0.5 + yield_fraction / 2.0)
+    return 2.0 * (stage_delay + z * math.sqrt(n * variance))
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's rational approximation; max
+    relative error ~1e-9, ample for yield curves)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )

@@ -1,0 +1,250 @@
+"""Self-timed (handshake) array simulation — the Section I analysis.
+
+In a fully self-timed array each cell starts computing as soon as its
+inputs are available and publishes outputs as soon as it finishes; cells
+have data-dependent compute times.  The paper argues this buys little in
+regular arrays: the throughput of a path of ``k`` cells is limited by the
+slowest computation on it, and the probability that a wave of computations
+hits at least one worst-case cell on a ``k``-path is ``1 - p^k`` (``p`` =
+probability a given cell is *not* worst-case) — approaching 1, so large
+self-timed arrays run at worst-case speed anyway.
+
+:func:`simulate_selftimed_line` computes exact completion times of a linear
+pipeline with random per-(cell, wave) service times via the standard
+tandem-queue recurrence (a longest-path computation, equivalent to the
+event-driven simulation but deterministic and fast), and reports measured
+throughput against the worst-case and best-case rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+Sampler = Callable[[random.Random], float]
+
+
+def worst_case_path_probability(p: float, k: int) -> float:
+    """``1 - p^k``: probability a ``k``-cell path sees a worst-case cell."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if k < 1:
+        raise ValueError("path length must be positive")
+    return 1.0 - p**k
+
+
+def two_point_sampler(
+    normal_time: float, worst_time: float, worst_probability: float
+) -> Sampler:
+    """Service times that are ``worst_time`` with probability
+    ``worst_probability`` and ``normal_time`` otherwise — the two-speed cell
+    model behind the ``1 - p^k`` argument."""
+    if normal_time <= 0 or worst_time < normal_time:
+        raise ValueError("need 0 < normal_time <= worst_time")
+    if not 0.0 <= worst_probability <= 1.0:
+        raise ValueError("worst_probability must be a probability")
+
+    def sample(rng: random.Random) -> float:
+        return worst_time if rng.random() < worst_probability else normal_time
+
+    return sample
+
+
+@dataclass(frozen=True)
+class SelfTimedResult:
+    """Measured behaviour of a self-timed pipeline run."""
+
+    n_cells: int
+    waves: int
+    completion_time: float
+    mean_cycle_time: float
+    worst_case_cycle: float
+    best_case_cycle: float
+    waves_hitting_worst_case: int
+
+    @property
+    def worst_case_fraction(self) -> float:
+        """Fraction of waves that met at least one worst-case cell —
+        compare with ``1 - p^k``."""
+        return self.waves_hitting_worst_case / self.waves
+
+    @property
+    def slowdown_vs_best(self) -> float:
+        """Measured cycle over the best case — how little self-timing won."""
+        return self.mean_cycle_time / self.best_case_cycle
+
+
+def simulate_selftimed_line(
+    n_cells: int,
+    waves: int,
+    sampler: Sampler,
+    wire_delay: float = 0.0,
+    seed: int = 0,
+    worst_time: Optional[float] = None,
+    blocking: bool = True,
+) -> SelfTimedResult:
+    """Run ``waves`` computation waves through ``n_cells`` self-timed cells.
+
+    Tandem recurrence with fresh service time ``s`` per (cell, wave)::
+
+        start[i][w]  = max(finish[i][w-1], finish[i-1][w] + wire
+                           [, start[i+1][w-1] if blocking])
+        finish[i][w] = start[i][w] + s
+
+    ``blocking=True`` models the systolic reality of one-place channels: a
+    cell cannot start its next computation until its successor has consumed
+    the previous output.  Without buffering slack, one slow cell stalls its
+    whole neighborhood — the mechanism behind the paper's claim that large
+    self-timed arrays run at worst-case speed.  ``blocking=False`` gives the
+    infinite-FIFO idealization for comparison.
+
+    Throughput is measured over the second half of the run (past the fill
+    transient).  ``worst_time`` (default: the largest sampled service time)
+    defines which waves "hit a worst-case cell" for the ``1 - p^k``
+    comparison.
+    """
+    if n_cells < 1 or waves < 2:
+        raise ValueError("need at least one cell and two waves")
+    if wire_delay < 0:
+        raise ValueError("wire delay must be non-negative")
+    rng = random.Random(seed)
+
+    finish_prev_wave = [0.0] * n_cells  # finish[i][w-1]
+    start_prev_wave = [0.0] * n_cells   # start[i][w-1]
+    samples_max = 0.0
+    samples_min = float("inf")
+    wave_finish: List[float] = []
+    wave_hits: List[bool] = []
+
+    threshold = worst_time
+    all_samples: List[List[float]] = []
+    for w in range(waves):
+        row = [sampler(rng) for _ in range(n_cells)]
+        all_samples.append(row)
+        samples_max = max(samples_max, max(row))
+        samples_min = min(samples_min, min(row))
+    if threshold is None:
+        threshold = samples_max
+
+    for w in range(waves):
+        upstream_finish = 0.0
+        hit = False
+        starts = [0.0] * n_cells
+        for i in range(n_cells):
+            service = all_samples[w][i]
+            if service >= threshold - 1e-12:
+                hit = True
+            start = max(
+                finish_prev_wave[i],
+                upstream_finish + (wire_delay if i > 0 else 0.0),
+            )
+            if blocking and i + 1 < n_cells:
+                start = max(start, start_prev_wave[i + 1])
+            starts[i] = start
+            finish = start + service
+            finish_prev_wave[i] = finish
+            upstream_finish = finish
+        start_prev_wave = starts
+        wave_finish.append(finish_prev_wave[-1])
+        wave_hits.append(hit)
+
+    half = waves // 2
+    steady = wave_finish[half:]
+    if len(steady) >= 2:
+        mean_cycle = (steady[-1] - steady[0]) / (len(steady) - 1)
+    else:
+        mean_cycle = wave_finish[-1] / waves
+    return SelfTimedResult(
+        n_cells=n_cells,
+        waves=waves,
+        completion_time=wave_finish[-1],
+        mean_cycle_time=mean_cycle,
+        worst_case_cycle=samples_max + wire_delay,
+        best_case_cycle=samples_min + wire_delay,
+        waves_hitting_worst_case=sum(wave_hits),
+    )
+
+
+def simulate_selftimed_wavefront(
+    rows: int,
+    cols: int,
+    waves: int,
+    sampler: Sampler,
+    seed: int = 0,
+    worst_time: Optional[float] = None,
+) -> SelfTimedResult:
+    """A two-dimensional self-timed *wavefront array* (meshes are the 2D
+    case the paper's Section V-B is about).
+
+    Each wave sweeps the mesh from the top-left corner: cell ``(r, c)``
+    starts wave ``w`` when its north and west neighbors have finished wave
+    ``w`` and it has itself finished wave ``w-1``::
+
+        t[r][c][w] = max(t[r-1][c][w], t[r][c-1][w], t[r][c][w-1]) + s
+
+    The critical path to the far corner has ``rows + cols - 1`` cells, so
+    the worst-case-hit probability is ``1 - p^(rows+cols-1)`` per wave —
+    larger than the 1D case at equal cell count, reinforcing the paper's
+    point that self-timing helps 2D arrays even less.
+    """
+    if rows < 1 or cols < 1 or waves < 2:
+        raise ValueError("need a non-empty mesh and at least two waves")
+    rng = random.Random(seed)
+
+    finish_prev = [[0.0] * cols for _ in range(rows)]
+    samples_max = 0.0
+    samples_min = float("inf")
+    wave_finish: List[float] = []
+    wave_hits: List[bool] = []
+    threshold = worst_time
+
+    all_samples: List[List[List[float]]] = []
+    for _w in range(waves):
+        grid = [[sampler(rng) for _ in range(cols)] for _ in range(rows)]
+        all_samples.append(grid)
+        flat = [s for row in grid for s in row]
+        samples_max = max(samples_max, max(flat))
+        samples_min = min(samples_min, min(flat))
+    if threshold is None:
+        threshold = samples_max
+
+    # Worst-case hits are judged along one designated monotone path (first
+    # row, then last column): length rows + cols - 1 cells, so the measured
+    # fraction should track 1 - p^(rows+cols-1).
+    path_cells = {(0, c) for c in range(cols)} | {
+        (r, cols - 1) for r in range(1, rows)
+    }
+    for w in range(waves):
+        finish = [[0.0] * cols for _ in range(rows)]
+        hit = False
+        for r in range(rows):
+            for c in range(cols):
+                service = all_samples[w][r][c]
+                if (r, c) in path_cells and service >= threshold - 1e-12:
+                    hit = True
+                start = finish_prev[r][c]
+                if r > 0:
+                    start = max(start, finish[r - 1][c])
+                if c > 0:
+                    start = max(start, finish[r][c - 1])
+                finish[r][c] = start + service
+        finish_prev = finish
+        wave_finish.append(finish[rows - 1][cols - 1])
+        wave_hits.append(hit)
+
+    half = waves // 2
+    steady = wave_finish[half:]
+    if len(steady) >= 2:
+        mean_cycle = (steady[-1] - steady[0]) / (len(steady) - 1)
+    else:
+        mean_cycle = wave_finish[-1] / waves
+    return SelfTimedResult(
+        n_cells=rows * cols,
+        waves=waves,
+        completion_time=wave_finish[-1],
+        mean_cycle_time=mean_cycle,
+        worst_case_cycle=samples_max,
+        best_case_cycle=samples_min,
+        waves_hitting_worst_case=sum(wave_hits),
+    )

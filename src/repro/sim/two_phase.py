@@ -1,0 +1,93 @@
+"""Two-phase (master-slave) execution of systolic programs.
+
+Under the Mead-Conway two-phase discipline a cell's *master* latch captures
+inputs on phase 1 and its *slave* drives outputs on phase 2, so new data
+becomes visible to neighbors only ``phase_separation`` after the capturing
+edge (half a period plus the non-overlap gap).  Functionally this is
+equivalent to single-phase execution whose every output is delayed by the
+phase separation — so the simulator composes :class:`ClockedArraySimulator`
+with a uniform output delay, and the equivalence is the *point*: the same
+machinery shows that
+
+* a schedule that races under single-phase clocking (sender's clock leads
+  by more than the data delay) runs **clean** under two-phase clocking once
+  the phase separation exceeds the skew — hold fixed by the discipline, no
+  data-path padding needed; and
+* the price is paid in the period: the setup side must now cover the phase
+  separation too (``min_safe_period`` grows by it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arrays.systolic import SystolicProgram
+from repro.core.disciplines import TwoPhaseDiscipline
+from repro.delay.wire import WireDelayModel
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+
+
+def two_phase_simulator(
+    program: SystolicProgram,
+    schedule: ClockSchedule,
+    discipline: TwoPhaseDiscipline,
+    delta: float = 0.0,
+    data_wire_model: Optional[WireDelayModel] = None,
+) -> ClockedArraySimulator:
+    """A clocked simulator realizing master-slave two-phase semantics.
+
+    The phase separation — half the period plus the non-overlap gap — is
+    added to every cell's output delay.  The returned simulator's
+    ``hold_hazards()`` and ``run()`` then reflect two-phase behaviour
+    directly.
+    """
+    separation = phase_separation(schedule.period, discipline)
+    return ClockedArraySimulator(
+        program,
+        schedule,
+        delta=delta + separation,
+        data_wire_model=data_wire_model,
+    )
+
+
+def phase_separation(period: float, discipline: TwoPhaseDiscipline) -> float:
+    """Delay from a cell's capturing edge to its outputs changing: half a
+    period plus the non-overlap gap."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    return period / 2.0 + discipline.nonoverlap
+
+
+def min_two_phase_period(
+    program: SystolicProgram,
+    schedule: ClockSchedule,
+    discipline: TwoPhaseDiscipline,
+    delta: float = 0.0,
+    data_wire_model: Optional[WireDelayModel] = None,
+) -> float:
+    """The smallest period at which the two-phase machine runs clean.
+
+    With ``lead(u,v) = offset(u) - offset(v)`` (positive when the sender's
+    clock leads) and ``separation(T) = T/2 + nonoverlap``, per edge:
+
+    * **setup**: ``T >= lead + delta + wire + separation(T)``, i.e.
+      ``T >= 2 * (lead + delta + wire + nonoverlap)``;
+    * **hold**: ``delta + wire + separation(T) > -lead`` — a *receiver*-
+      leading edge races unless the separation covers the lag, i.e.
+      ``T >= 2 * (-lead - delta - wire - nonoverlap)``.
+
+    Unlike single-phase clocking, *both* constraints are satisfiable by
+    raising the period: the discipline converts race-through into a timing
+    budget.  The returned value is the max over edges of both bounds.
+    """
+    from repro.core.padding import _edge_delays
+
+    delays = _edge_delays(program.array, data_wire_model)
+    worst = 0.0
+    for (u, v), wire in delays.items():
+        lead = schedule.offset(u) - schedule.offset(v)
+        setup_bound = 2.0 * (lead + delta + wire + discipline.nonoverlap)
+        hold_bound = 2.0 * (-lead - delta - wire - discipline.nonoverlap)
+        worst = max(worst, setup_bound, hold_bound)
+    return worst

@@ -1,0 +1,27 @@
+"""Tree machines under the summation model (Section VIII).
+
+The paper's concluding construction: a complete binary tree COMM, laid out
+as an H-tree (area ``O(N)``), clocked along its data paths (legal under the
+summation model), with pipeline registers added to the long upper-level
+edges so that every wire segment has bounded length — giving a constant
+pipeline interval with ``O(sqrt(N))`` through-delay.
+
+* :mod:`repro.treemachine.layout` — H-tree layout of complete binary trees,
+  with per-level edge lengths;
+* :mod:`repro.treemachine.pipeline` — register insertion on long edges
+  (same count per level), segment-length and area accounting;
+* :mod:`repro.treemachine.machine` — a Bentley-Kung style searching tree
+  machine that runs on the pipelined structure.
+"""
+
+from repro.treemachine.layout import htree_tree_layout, level_edge_lengths
+from repro.treemachine.pipeline import PipelinedTree, pipeline_tree
+from repro.treemachine.machine import SearchTreeMachine
+
+__all__ = [
+    "htree_tree_layout",
+    "level_edge_lengths",
+    "PipelinedTree",
+    "pipeline_tree",
+    "SearchTreeMachine",
+]

@@ -1,0 +1,76 @@
+"""H-tree layout of a complete binary tree (Section VIII, Mead & Rem).
+
+A complete binary tree of ``N`` nodes embeds in ``O(N)`` area by recursive
+halving: the root sits at the center of a square, its children at the
+centers of the two halves, alternating horizontal and vertical splits.
+Edges at tree level ``l`` all have the *same* length, roughly
+``sqrt(N) / 2^(l/2)`` — long near the root, constant near the leaves.
+That uniformity per level is exactly the precondition for the Section VIII
+pipelining transformation ("the ratio between lengths of any two edges at
+the same level ... is bounded").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arrays.model import ProcessorArray
+from repro.arrays.topologies import complete_binary_tree
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+
+NodeKey = Tuple[int, int]  # (level, index)
+
+
+def htree_tree_layout(depth: int, leaf_spacing: float = 1.0) -> ProcessorArray:
+    """A complete binary tree of the given depth, laid out as an H-tree.
+
+    Node keys match :func:`repro.arrays.topologies.complete_binary_tree`:
+    ``(level, index)`` with the root at ``(0, 0)``.  The bounding box side is
+    ``Theta(sqrt(N))`` and the area ``O(N)`` (asserted in tests).
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    base = complete_binary_tree(depth)
+
+    layout = Layout()
+    # Region (cx, cy, w, h): node at center; split alternates with level.
+    leaves = 2**depth
+    # Arrange leaves on a near-square grid: 2^ceil(d/2) x 2^floor(d/2).
+    width = float(2 ** ((depth + 1) // 2)) * leaf_spacing
+    height = float(2 ** (depth // 2)) * leaf_spacing
+
+    stack: List[Tuple[NodeKey, float, float, float, float]] = [
+        ((0, 0), width / 2.0, height / 2.0, width, height)
+    ]
+    while stack:
+        (level, index), cx, cy, w, h = stack.pop()
+        layout.place((level, index), Point(cx, cy))
+        if level == depth:
+            continue
+        if w >= h:  # split horizontally: children side by side
+            child_dims = (w / 2.0, h)
+            offsets = ((-w / 4.0, 0.0), (w / 4.0, 0.0))
+        else:  # split vertically: children stacked
+            child_dims = (w, h / 2.0)
+            offsets = ((0.0, -h / 4.0), (0.0, h / 4.0))
+        for i, (dx, dy) in enumerate(offsets):
+            child = (level + 1, 2 * index + i)
+            stack.append((child, cx + dx, cy + dy, child_dims[0], child_dims[1]))
+
+    return ProcessorArray(
+        base.comm, layout, name=f"htree-tree-depth-{depth}", host=(0, 0)
+    )
+
+
+def level_edge_lengths(array: ProcessorArray, depth: int) -> Dict[int, float]:
+    """Edge length per tree level (level ``l`` = edges from level ``l-1``
+    parents to level ``l`` children).  For the H-tree layout all edges of a
+    level share one length (tested), so a single value per level suffices.
+    """
+    lengths: Dict[int, float] = {}
+    for level in range(1, depth + 1):
+        sample_child = (level, 0)
+        sample_parent = (level - 1, 0)
+        lengths[level] = array.layout.distance(sample_parent, sample_child)
+    return lengths

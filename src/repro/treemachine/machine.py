@@ -1,0 +1,250 @@
+"""A Bentley-Kung style searching tree machine (Section VIII's workload).
+
+Queries enter at the root, broadcast down to all leaves, each leaf answers
+membership against its resident keys, and answers OR-combine on the way
+back up — one query per tick in steady state (constant pipeline interval),
+with latency proportional to twice the tree's tick-depth.
+
+The machine runs on either the plain complete binary tree or the
+register-pipelined H-tree structure from :mod:`repro.treemachine.pipeline`;
+packets are self-describing, so pipeline registers (plain delays) forward
+them unchanged, and the per-level-uniform register counts keep sibling
+answers aligned at every combine node (asserted at runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.arrays.cells import PE, Inputs, Outputs
+from repro.arrays.ideal import LockstepExecutor
+from repro.arrays.model import ProcessorArray
+from repro.arrays.topologies import complete_binary_tree
+from repro.graphs.comm import CommGraph
+from repro.treemachine.pipeline import PipelinedTree
+
+CellId = Hashable
+NodeKey = Tuple[int, int]
+
+
+def _resolve_hop(comm: CommGraph, node: CellId, logical_target: NodeKey) -> CellId:
+    """Physical next hop from ``node`` toward a logical tree neighbor: the
+    neighbor itself, or the first register of the chain leading to it."""
+    if comm.has_edge(node, logical_target):
+        return logical_target
+    for succ in comm.successors(node):
+        if isinstance(succ, tuple) and len(succ) == 5 and succ[0] == "reg":
+            _tag, parent, child, _direction, _i = succ
+            if logical_target in (parent, child):
+                return succ
+    raise ValueError(f"no route from {node!r} to {logical_target!r}")
+
+
+class _InternalCell(PE):
+    """Broadcast queries down; OR-combine the two child answers up."""
+
+    def __init__(self, down_hops: Sequence[CellId], up_hop: Optional[CellId]) -> None:
+        self._down = list(down_hops)
+        self._up = up_hop
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        out: Outputs = {}
+        answers: List[Tuple[int, bool]] = []
+        for value in inputs.values():
+            if value is None:
+                continue
+            kind = value[0]
+            if kind in ("q", "ins"):
+                for hop in self._down:
+                    out[hop] = value
+            elif kind == "a":
+                answers.append((value[1], bool(value[2])))
+        if answers and self._up is not None:
+            qids = {qid for qid, _hit in answers}
+            if len(qids) != 1:
+                raise AssertionError(
+                    f"misaligned answers at combine node: qids {sorted(qids)}"
+                )
+            if len(answers) != len(self._down):
+                raise AssertionError(
+                    f"expected {len(self._down)} child answers, got {len(answers)}"
+                )
+            qid = answers[0][0]
+            out[self._up] = ("a", qid, any(hit for _qid, hit in answers))
+        return out
+
+
+class _LeafCell(PE):
+    """Hold a key shard; answer queries; accept routed inserts."""
+
+    def __init__(self, index: int, n_leaves: int, up_hop: CellId) -> None:
+        self._index = index
+        self._n_leaves = n_leaves
+        self._up = up_hop
+        self.store: set = set()
+
+    def reset(self) -> None:
+        self.store = set()
+
+    def _owns(self, key: Any) -> bool:
+        return hash(key) % self._n_leaves == self._index
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        for value in inputs.values():
+            if value is None:
+                continue
+            kind = value[0]
+            if kind == "q":
+                _tag, qid, key = value
+                return {self._up: ("a", qid, key in self.store)}
+            if kind == "ins":
+                _tag, qid, key = value
+                if self._owns(key):
+                    self.store.add(key)
+                return {self._up: ("a", qid, True)}
+        return {}
+
+
+class _IoCell(PE):
+    """The host: injects the command script and records answers."""
+
+    def __init__(self, script: Sequence[Any], root_hop: CellId) -> None:
+        self._script = list(script)
+        self._root_hop = root_hop
+        self._t = 0
+        self.answers: List[Tuple[int, bool]] = []
+
+    def reset(self) -> None:
+        self._t = 0
+        self.answers = []
+
+    def fire(self, inputs: Inputs) -> Outputs:
+        for value in inputs.values():
+            if value is not None and value[0] == "a":
+                self.answers.append((value[1], bool(value[2])))
+        command = self._script[self._t] if self._t < len(self._script) else None
+        self._t += 1
+        return {self._root_hop: command} if command is not None else {}
+
+
+class SearchTreeMachine:
+    """A complete-binary-tree search machine, optionally register-pipelined.
+
+    ``load`` distributes keys to leaf shards (by hash); ``run`` feeds one
+    command per tick (``("ins", key)`` or ``("q", key)``) and returns the
+    query results in order, plus the measured latency and steady-state
+    interval (one answer per tick once the pipeline fills — the Section VIII
+    constant-pipeline-interval claim).
+    """
+
+    def __init__(self, depth: int, pipelined: Optional[PipelinedTree] = None) -> None:
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.depth = depth
+        if pipelined is not None:
+            base = pipelined.array
+            self._register_pes = pipelined.register_pes()
+        else:
+            base = complete_binary_tree(depth)
+            self._register_pes = {}
+        # Attach the host above the root.
+        comm = base.comm
+        root: NodeKey = (0, 0)
+        io: CellId = "io"
+        comm.add_bidirectional(io, root)
+        layout = base.layout
+        layout.place(io, layout[root].translated(0.0, 1.0))
+        self.array = ProcessorArray(comm, layout, name=f"search-machine-{depth}", host=io)
+        self._io_node = io
+        self._root = root
+
+    # ------------------------------------------------------------------
+    def _build_pes(self, script: Sequence[Any]) -> Tuple[Dict[CellId, PE], _IoCell]:
+        comm = self.array.comm
+        pes: Dict[CellId, PE] = dict(self._register_pes)
+        n_leaves = 2**self.depth
+        io = _IoCell(script, root_hop=_resolve_hop(comm, self._io_node, self._root))
+        pes[self._io_node] = io
+        for level in range(self.depth + 1):
+            for index in range(2**level):
+                node: NodeKey = (level, index)
+                if level == self.depth:
+                    up_target = (level - 1, index // 2)
+                    pes[node] = _LeafCell(
+                        index, n_leaves, up_hop=_resolve_hop(comm, node, up_target)
+                    )
+                else:
+                    up_target = (level - 1, index // 2) if level > 0 else None
+                    down = [
+                        _resolve_hop(comm, node, (level + 1, 2 * index + i))
+                        for i in (0, 1)
+                    ]
+                    up_hop = (
+                        _resolve_hop(comm, node, up_target)
+                        if up_target is not None
+                        else self._io_node
+                        if comm.has_edge(node, self._io_node)
+                        else _resolve_hop(comm, node, (0, 0))
+                    )
+                    if level == 0:
+                        up_hop = self._io_node
+                    pes[node] = _InternalCell(down, up_hop)
+        return pes, io
+
+    def run(
+        self, commands: Sequence[Tuple[str, Any]], extra_ticks: Optional[int] = None
+    ) -> "SearchRunResult":
+        """Feed one command per tick; commands are ``("ins", key)`` or
+        ``("q", key)``.  Returns per-query hits in submission order."""
+        script = [
+            (kind, qid, key) for qid, (kind, key) in enumerate(commands)
+        ]
+        round_trip = 2 * (self._tick_depth() + 1)
+        ticks = len(script) + round_trip + (extra_ticks or 4)
+        pes, io = self._build_pes(script)
+        executor = LockstepExecutor(self.array.comm, pes)
+        executor.reset()
+        executor.run(ticks)
+        hits = {qid: hit for qid, hit in io.answers}
+        results = [
+            hits.get(qid, False)
+            for qid, (kind, _key) in enumerate(commands)
+            if kind == "q"
+        ]
+        latency = round_trip
+        return SearchRunResult(
+            results=results,
+            answers=len(io.answers),
+            latency_ticks=latency,
+            interval_ticks=1,
+        )
+
+    def _tick_depth(self) -> int:
+        """Ticks from root to a leaf (registers add one tick each)."""
+        if not self._register_pes:
+            return self.depth
+        # Count hops along the leftmost root-to-leaf path.
+        comm = self.array.comm
+        ticks = 0
+        node: CellId = self._root
+        for level in range(self.depth):
+            target: NodeKey = (level + 1, 0)
+            hop = _resolve_hop(comm, node, target)
+            while hop != target:
+                ticks += 1
+                hop = next(iter(comm.successors(hop)))
+            ticks += 1
+            node = target
+        return ticks
+
+
+class SearchRunResult:
+    """Results of one tree-machine run."""
+
+    def __init__(
+        self, results: List[bool], answers: int, latency_ticks: int, interval_ticks: int
+    ) -> None:
+        self.results = results
+        self.answers = answers
+        self.latency_ticks = latency_ticks
+        self.interval_ticks = interval_ticks

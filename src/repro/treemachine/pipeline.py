@@ -1,0 +1,175 @@
+"""Pipeline register insertion on long tree edges (Section VIII).
+
+For an acyclic COMM graph laid out with per-level uniform edge lengths
+(the H-tree layout), adding the *same* number of pipeline registers to every
+edge of a level keeps the computation's data alignment intact while making
+every wire segment's length bounded by a constant — so each cell's
+operate-and-forward time becomes independent of tree size, and the machine
+achieves a constant pipeline interval with ``O(sqrt(N))`` total latency.
+Registers "just make wires thicker": the area grows by at most a constant
+factor (accounted below).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from repro.arrays.model import ProcessorArray
+from repro.arrays.cells import DelayCell, PE
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+from repro.graphs.comm import CommGraph
+
+CellId = Hashable
+
+
+@dataclass
+class PipelinedTree:
+    """The register-augmented tree and its accounting.
+
+    ``comm``/``layout`` include the register nodes; ``registers_per_level``
+    records the uniform per-edge register count at each level, and
+    ``extra_latency_per_level`` the added ticks a signal spends crossing
+    that level (the same for both children, preserving wavefront alignment).
+    """
+
+    array: ProcessorArray
+    depth: int
+    segment_limit: float
+    registers_per_level: Dict[int, int]
+    register_cells: List[CellId]
+
+    @property
+    def total_registers(self) -> int:
+        return len(self.register_cells)
+
+    @property
+    def max_segment_length(self) -> float:
+        """Longest wire segment after insertion — bounded by the limit."""
+        return max(
+            (self.array.layout.distance(u, v) for u, v in self.array.communicating_pairs()),
+            default=0.0,
+        )
+
+    def level_latency(self, level: int) -> int:
+        """Ticks to cross one edge of the given level: one per register plus
+        the edge itself."""
+        return 1 + self.registers_per_level.get(level, 0)
+
+    def root_to_leaf_latency(self) -> int:
+        """Total ticks from root to any leaf — Theta(sqrt(N)) for H-tree
+        layouts (dominated by the register chains of the top levels)."""
+        return sum(self.level_latency(level) for level in range(1, self.depth + 1))
+
+    def register_area(self) -> float:
+        """Unit-area registers (A2): the constant-factor area cost."""
+        return float(self.total_registers)
+
+    def register_pes(self) -> Dict[CellId, PE]:
+        """Ready-made DelayCell PEs for the register nodes (downstream
+        direction), for executing programs on the pipelined structure."""
+        pes: Dict[CellId, PE] = {}
+        for reg in self.register_cells:
+            preds = self.array.comm.predecessors(reg)
+            succs = self.array.comm.successors(reg)
+            if len(preds) != 1 or len(succs) != 1:
+                raise AssertionError(f"register {reg!r} is not a 2-port node")
+            pes[reg] = DelayCell(source=next(iter(preds)), target=next(iter(succs)))
+        return pes
+
+
+def pipeline_tree(
+    array: ProcessorArray,
+    depth: int,
+    segment_limit: float = 2.0,
+) -> PipelinedTree:
+    """Insert pipeline registers on the edges of an H-tree-laid-out binary
+    tree so that no wire segment exceeds ``segment_limit``.
+
+    Every edge of a level receives the same register count (computed from
+    the level's uniform edge length), so sibling paths stay aligned.  The
+    original tree's node keys are preserved; register nodes are keyed
+    ``("reg", parent, child, i)`` and placed evenly along the edge.
+    """
+    if segment_limit <= 0:
+        raise ValueError("segment limit must be positive")
+
+    # Uniform per-level lengths (validated here rather than assumed).
+    level_length: Dict[int, float] = {}
+    for u, v in array.communicating_pairs():
+        parent, child = (u, v) if u[0] < v[0] else (v, u)
+        level = child[0]
+        length = array.layout.distance(parent, child)
+        if level in level_length:
+            if abs(level_length[level] - length) > 1e-6:
+                raise ValueError(
+                    f"level {level} edge lengths differ "
+                    f"({level_length[level]} vs {length}); Section VIII "
+                    f"needs bounded same-level ratio"
+                )
+        else:
+            level_length[level] = length
+
+    registers_per_level = {
+        level: max(0, math.ceil(length / segment_limit) - 1)
+        for level, length in level_length.items()
+    }
+
+    comm = CommGraph()
+    layout = Layout(array.layout.positions())
+    register_cells: List[CellId] = []
+    for node in array.comm.nodes():
+        comm.add_node(node)
+
+    seen_pairs = set()
+    for u, v in array.communicating_pairs():
+        parent, child = (u, v) if u[0] < v[0] else (v, u)
+        key = (parent, child)
+        if key in seen_pairs:
+            continue
+        seen_pairs.add(key)
+        count = registers_per_level[child[0]]
+        forward = array.comm.has_edge(parent, child)
+        backward = array.comm.has_edge(child, parent)
+        p0 = array.layout[parent]
+        p1 = array.layout[child]
+        if count == 0:
+            if forward:
+                comm.add_edge(parent, child)
+            if backward:
+                comm.add_edge(child, parent)
+            continue
+        # Chain of registers evenly spaced along the edge, one chain per
+        # direction (registers are unidirectional storage).
+        for direction, active in (("down", forward), ("up", backward)):
+            if not active:
+                continue
+            src, dst = (parent, child) if direction == "down" else (child, parent)
+            previous = src
+            for i in range(count):
+                fraction = (i + 1) / (count + 1)
+                if direction == "up":
+                    fraction = 1.0 - fraction
+                pos = Point(
+                    p0.x + (p1.x - p0.x) * fraction,
+                    p0.y + (p1.y - p0.y) * fraction,
+                )
+                reg: CellId = ("reg", parent, child, direction, i)
+                layout.place(reg, pos)
+                comm.add_edge(previous, reg)
+                register_cells.append(reg)
+                previous = reg
+            comm.add_edge(previous, dst)
+
+    out = ProcessorArray(
+        comm, layout, name=f"{array.name}-pipelined", host=array.host
+    )
+    return PipelinedTree(
+        array=out,
+        depth=depth,
+        segment_limit=segment_limit,
+        registers_per_level=registers_per_level,
+        register_cells=register_cells,
+    )

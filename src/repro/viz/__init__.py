@@ -1,0 +1,18 @@
+"""Visualization: ASCII renderings and SVG export of layouts and clock trees.
+
+Dependency-free (string generation only), so it works in any environment.
+The figures of the paper — H-trees over arrays (Fig. 3), spine clocks along
+folded and comb layouts (Figs. 4-6), the hybrid element grid (Fig. 8) — can
+be regenerated as SVG for inspection.
+"""
+
+from repro.viz.ascii_art import render_array, render_clock_tree, render_layout
+from repro.viz.svg import figure_to_svg, save_svg
+
+__all__ = [
+    "render_layout",
+    "render_array",
+    "render_clock_tree",
+    "figure_to_svg",
+    "save_svg",
+]

@@ -1,0 +1,112 @@
+"""ASCII renderings for quick terminal inspection."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.arrays.model import ProcessorArray
+from repro.clocktree.tree import ClockTree
+from repro.geometry.layout import Layout
+
+CellId = Hashable
+
+
+def render_layout(
+    layout: Layout,
+    cell_char: str = "#",
+    scale: float = 1.0,
+    labels: Optional[Dict[CellId, str]] = None,
+) -> str:
+    """A character grid with one mark per cell.
+
+    Positions are scaled by ``scale`` and rounded to character cells; the
+    y-axis grows downward (screen convention).  ``labels`` overrides the
+    mark per cell (first character used).
+    """
+    if len(layout) == 0:
+        return ""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    points = [(cell, layout[cell]) for cell in layout.cells()]
+    xs = [round(p.x * scale) for _c, p in points]
+    ys = [round(p.y * scale) for _c, p in points]
+    min_x, min_y = min(xs), min(ys)
+    width = max(xs) - min_x + 1
+    height = max(ys) - min_y + 1
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (cell, p), x, y in zip(points, xs, ys):
+        mark = (labels or {}).get(cell, cell_char)
+        grid[y - min_y][x - min_x] = str(mark)[0] if mark else cell_char
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def render_array(array: ProcessorArray, scale: float = 2.0) -> str:
+    """Cells plus their communication edges on a doubled grid.
+
+    With ``scale=2`` horizontal/vertical unit edges render as ``-``/``|``
+    between the cell marks and diagonals as ``\\`` or ``/`` (hex arrays).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    layout = array.layout
+    points = {cell: layout[cell] for cell in array.comm.nodes()}
+    xs = [round(p.x * scale) for p in points.values()]
+    ys = [round(p.y * scale) for p in points.values()]
+    min_x, min_y = min(xs), min(ys)
+    width = max(xs) - min_x + 1
+    height = max(ys) - min_y + 1
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def mark(x: int, y: int, ch: str) -> None:
+        if grid[y - min_y][x - min_x] == " ":
+            grid[y - min_y][x - min_x] = ch
+
+    for a, b in array.communicating_pairs():
+        ax, ay = round(points[a].x * scale), round(points[a].y * scale)
+        bx, by = round(points[b].x * scale), round(points[b].y * scale)
+        mx, my = (ax + bx) // 2, (ay + by) // 2
+        if ay == by:
+            mark(mx, my, "-")
+        elif ax == bx:
+            mark(mx, my, "|")
+        elif (bx - ax) * (by - ay) > 0:
+            mark(mx, my, "\\")
+        else:
+            mark(mx, my, "/")
+    for cell, p in points.items():
+        x, y = round(p.x * scale), round(p.y * scale)
+        grid[y - min_y][x - min_x] = "#"
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def render_clock_tree(
+    tree: ClockTree, max_depth: Optional[int] = None, show_positions: bool = False
+) -> str:
+    """An indented textual tree with edge lengths and root distances."""
+    lines: List[str] = []
+
+    def visit(node: CellId, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        prefix = "  " * depth
+        if node == tree.root:
+            head = f"{prefix}{node!r} (root)"
+        else:
+            head = (
+                f"{prefix}{node!r} "
+                f"[edge {tree.edge_length(node):.3g}, "
+                f"from root {tree.root_distance(node):.3g}]"
+            )
+        if show_positions:
+            p = tree.position(node)
+            head += f" @ ({p.x:.3g}, {p.y:.3g})"
+        lines.append(head)
+        for child in tree.children(node):
+            visit(child, depth + 1)
+
+    visit(tree.root, 0)
+    if max_depth is not None:
+        hidden = len(tree) - len(lines)
+        if hidden > 0:
+            lines.append(f"... ({hidden} more nodes below depth {max_depth})")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""SVG export of arrays and clock trees (regenerating the paper's figures).
+
+Pure string generation: cells are squares (unit area, A2), communication
+edges thin lines, clock tree edges heavy lines — matching the paper's
+drawing convention ("heavy lines represent clock edges and thin lines
+represent communication edges", Fig. 3 caption).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Hashable, List, Optional
+
+from repro.arrays.model import ProcessorArray
+from repro.clocktree.tree import ClockTree
+
+CellId = Hashable
+
+CELL_FILL = "#dbe7f5"
+CELL_STROKE = "#3d5a80"
+COMM_COLOR = "#9ab0c4"
+CLOCK_COLOR = "#c1121f"
+
+
+def figure_to_svg(
+    array: ProcessorArray,
+    tree: Optional[ClockTree] = None,
+    unit: float = 24.0,
+    cell_size: float = 0.6,
+    title: Optional[str] = None,
+) -> str:
+    """Render an array (and optionally its clock tree) as an SVG document.
+
+    ``unit`` is pixels per layout unit; ``cell_size`` the drawn square's
+    side in layout units.  Clock tree nodes that are also cells are not
+    re-drawn; internal clock nodes appear as small dots.
+    """
+    if unit <= 0 or not 0 < cell_size <= 1:
+        raise ValueError("unit must be positive and 0 < cell_size <= 1")
+
+    points = {cell: array.layout[cell] for cell in array.comm.nodes()}
+    all_points = list(points.values())
+    if tree is not None:
+        all_points += [tree.position(n) for n in tree.nodes()]
+    min_x = min(p.x for p in all_points)
+    min_y = min(p.y for p in all_points)
+    max_x = max(p.x for p in all_points)
+    max_y = max(p.y for p in all_points)
+    pad = 1.0
+
+    def sx(x: float) -> float:
+        return (x - min_x + pad) * unit
+
+    def sy(y: float) -> float:
+        return (y - min_y + pad) * unit
+
+    width = (max_x - min_x + 2 * pad) * unit
+    height = (max_y - min_y + 2 * pad) * unit
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+    ]
+    if title:
+        parts.append(f"<title>{html.escape(title)}</title>")
+
+    # Communication edges (thin).
+    for a, b in array.communicating_pairs():
+        pa, pb = points[a], points[b]
+        parts.append(
+            f'<line x1="{sx(pa.x):.1f}" y1="{sy(pa.y):.1f}" '
+            f'x2="{sx(pb.x):.1f}" y2="{sy(pb.y):.1f}" '
+            f'stroke="{COMM_COLOR}" stroke-width="1.5" class="comm"/>'
+        )
+
+    # Clock edges (heavy), drawn above comm edges.
+    if tree is not None:
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            pa, pb = tree.position(parent), tree.position(node)
+            parts.append(
+                f'<line x1="{sx(pa.x):.1f}" y1="{sy(pa.y):.1f}" '
+                f'x2="{sx(pb.x):.1f}" y2="{sy(pb.y):.1f}" '
+                f'stroke="{CLOCK_COLOR}" stroke-width="2.5" class="clock"/>'
+            )
+
+    # Cells (unit squares).
+    half = cell_size / 2.0
+    for cell, p in points.items():
+        parts.append(
+            f'<rect x="{sx(p.x - half):.1f}" y="{sy(p.y - half):.1f}" '
+            f'width="{cell_size * unit:.1f}" height="{cell_size * unit:.1f}" '
+            f'fill="{CELL_FILL}" stroke="{CELL_STROKE}" class="cell"/>'
+        )
+
+    # Internal clock nodes as dots; root marked larger.
+    if tree is not None:
+        cell_set = set(points)
+        for node in tree.nodes():
+            if node in cell_set:
+                continue
+            p = tree.position(node)
+            radius = 4.0 if node == tree.root else 2.0
+            parts.append(
+                f'<circle cx="{sx(p.x):.1f}" cy="{sy(p.y):.1f}" r="{radius}" '
+                f'fill="{CLOCK_COLOR}" class="clknode"/>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path: str, content: str) -> None:
+    """Write an SVG document to disk."""
+    if not content.lstrip().startswith("<svg"):
+        raise ValueError("content does not look like an SVG document")
+    with open(path, "w") as fh:
+        fh.write(content)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small canonical arrays, models, and clock trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.topologies import hex_array, linear_array, mesh
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.spine import spine_clock
+from repro.core.models import DifferenceModel, PhysicalModel, SummationModel
+
+
+@pytest.fixture
+def line8():
+    return linear_array(8)
+
+
+@pytest.fixture
+def mesh4():
+    return mesh(4, 4)
+
+
+@pytest.fixture
+def hex4():
+    return hex_array(4, 4)
+
+
+@pytest.fixture
+def spine8(line8):
+    return spine_clock(line8)
+
+
+@pytest.fixture
+def htree4(mesh4):
+    return htree_for_array(mesh4)
+
+
+@pytest.fixture
+def diff_model():
+    return DifferenceModel(m=1.0)
+
+
+@pytest.fixture
+def sum_model():
+    return SummationModel(m=1.0, eps=0.1)
+
+
+@pytest.fixture
+def phys_model():
+    return PhysicalModel(m=1.0, eps=0.1)

@@ -1,0 +1,142 @@
+"""Tests for the analysis toolbox: growth fitting, Monte Carlo, scheme
+evaluation."""
+
+import math
+
+import pytest
+
+from repro.analysis.montecarlo import run_trials, summarize
+from repro.analysis.scaling import classify_growth, doubling_ratios, fit_growth
+from repro.analysis.skew import compare_schemes, evaluate_scheme
+from repro.arrays.topologies import linear_array, mesh
+from repro.core.models import DifferenceModel, SummationModel
+
+
+class TestFitGrowth:
+    def test_recovers_linear(self):
+        xs = [4, 8, 16, 32, 64]
+        ys = [2 * x + 1 for x in xs]
+        fit = classify_growth(xs, ys)
+        assert fit.law == "linear"
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_recovers_sqrt(self):
+        xs = [4, 16, 64, 256, 1024]
+        ys = [3 * math.sqrt(x) for x in xs]
+        assert classify_growth(xs, ys).law == "sqrt"
+
+    def test_recovers_constant_despite_noise(self):
+        xs = [4, 8, 16, 32]
+        ys = [5.0, 5.01, 4.99, 5.0]
+        assert classify_growth(xs, ys).law == "constant"
+
+    def test_recovers_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [0.5 * x * x for x in xs]
+        assert classify_growth(xs, ys).law == "quadratic"
+
+    def test_recovers_log(self):
+        xs = [4, 16, 64, 256, 1024, 4096]
+        ys = [7 * math.log(x) for x in xs]
+        assert classify_growth(xs, ys).law == "log"
+
+    def test_prediction(self):
+        xs = [1, 2, 3, 4]
+        ys = [2, 4, 6, 8]
+        fit = classify_growth(xs, ys)
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_fit_returns_all_laws(self):
+        fits = fit_growth([1, 2, 3, 4], [1, 2, 3, 4])
+        assert set(fits) == {"constant", "log", "sqrt", "linear", "quadratic"}
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            fit_growth([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_growth([1, 2, 3], [1, 2])
+
+    def test_doubling_ratios(self):
+        xs = [4, 8, 16, 32]
+        ys = [1.0, 2.0, 4.0, 8.0]
+        ratios = doubling_ratios(xs, ys)
+        assert all(r == pytest.approx(2.0) for _x, r in ratios)
+
+    def test_doubling_ratios_constant_series(self):
+        ratios = doubling_ratios([4, 8, 16], [3.0, 3.0, 3.0])
+        assert all(r == pytest.approx(1.0) for _x, r in ratios)
+
+
+class TestMonteCarlo:
+    def test_summary_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0 and summary.maximum == 5.0
+        assert summary.ci_low < 3.0 < summary.ci_high
+
+    def test_run_trials_deterministic_seeds(self):
+        trial = lambda seed: float(seed % 7)
+        a = run_trials(trial, 20, base_seed=3)
+        b = run_trials(trial, 20, base_seed=3)
+        assert a.mean == b.mean
+
+    def test_contains(self):
+        summary = summarize([10.0, 10.1, 9.9, 10.0])
+        assert summary.contains(10.0)
+        assert not summary.contains(12.0)
+
+    def test_ci_shrinks_with_trials(self):
+        import random
+
+        def trial(seed):
+            return random.Random(seed).gauss(0, 1)
+
+        few = run_trials(trial, 20)
+        many = run_trials(trial, 200)
+        assert many.ci_half_width < few.ci_half_width
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            summarize([1.0])
+        with pytest.raises(ValueError):
+            run_trials(lambda s: 1.0, 1)
+
+
+class TestSchemeEvaluation:
+    def test_evaluate_spine_on_linear(self):
+        array = linear_array(32)
+        ev = evaluate_scheme(array, "spine", SummationModel(m=1.0, eps=0.1))
+        assert ev.sigma_bound == pytest.approx(1.1)
+        assert ev.sigma_floor == pytest.approx(0.1)
+        assert ev.tau_pipelined < ev.tau_equipotential
+
+    def test_empirical_between_floor_and_bound_plus_buffers(self):
+        array = linear_array(64)
+        ev = evaluate_scheme(array, "spine", SummationModel(m=1.0, eps=0.2), eps=0.2)
+        assert ev.sigma_empirical <= ev.sigma_bound + 2.5  # buffer asymmetry slack
+
+    def test_period_pipelined_vs_equipotential(self):
+        array = linear_array(128)
+        ev = evaluate_scheme(array, "spine", SummationModel())
+        assert ev.period(delta=1.0, pipelined=True) < ev.period(delta=1.0, pipelined=False)
+
+    def test_compare_schemes_orders_by_sigma(self):
+        array = mesh(4, 4)
+        evs = compare_schemes(array, ["serpentine", "htree"], DifferenceModel())
+        sigmas = [e.sigma_bound for e in evs]
+        assert sigmas == sorted(sigmas)
+        assert evs[0].scheme == "htree"  # d=0 wins under the difference model
+
+    def test_summation_model_flips_winner_on_linear(self):
+        array = linear_array(16)
+        evs = compare_schemes(array, ["spine", "dissection-1d"], SummationModel())
+        assert evs[0].scheme == "spine"
+
+    def test_prebuilt_tree_accepted(self):
+        from repro.clocktree.spine import spine_clock
+
+        array = linear_array(8)
+        ev = evaluate_scheme(
+            array, "custom", SummationModel(), tree=spine_clock(array)
+        )
+        assert ev.scheme == "custom"

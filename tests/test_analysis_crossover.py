@@ -1,0 +1,65 @@
+"""Tests for crossover detection."""
+
+import pytest
+
+from repro.analysis.crossover import Crossover, find_crossover, winning_factor
+from repro.arrays.topologies import linear_array
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.core.parameters import equipotential_tau, pipelined_tau
+
+
+class TestFindCrossover:
+    def test_simple_crossing_interpolated(self):
+        xs = [1.0, 2.0, 3.0]
+        a = [1.0, 2.0, 3.0]      # growing
+        b = [2.5, 2.5, 2.5]      # flat
+        cross = find_crossover(xs, a, b)
+        assert cross is not None
+        assert cross.exact
+        assert cross.x == pytest.approx(2.5)
+
+    def test_b_wins_everywhere(self):
+        cross = find_crossover([1, 2], [5, 6], [1, 1])
+        assert cross is not None
+        assert cross.x == 1
+        assert not cross.exact
+
+    def test_no_crossover(self):
+        assert find_crossover([1, 2, 3], [1, 1, 1], [2, 2, 2]) is None
+
+    def test_touching_then_winning(self):
+        xs = [1, 2, 3]
+        a = [2.0, 2.0, 2.0]
+        b = [3.0, 2.0, 1.0]
+        cross = find_crossover(xs, a, b)
+        assert cross is not None
+        assert cross.x == 2  # tie at sample 1, win at 2 -> reported at tie
+
+    def test_rejects_mismatched_or_unsorted(self):
+        with pytest.raises(ValueError):
+            find_crossover([1, 2], [1], [1, 2])
+        with pytest.raises(ValueError):
+            find_crossover([2, 1], [1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            find_crossover([], [], [])
+
+    def test_winning_factor(self):
+        assert winning_factor([10.0, 20.0], [2.0, 4.0]) == 5.0
+        with pytest.raises(ValueError):
+            winning_factor([1.0], [0.0])
+
+
+class TestOnRealCurves:
+    def test_pipelined_vs_equipotential_crossover(self):
+        """The paper's motivating crossover, located concretely."""
+        sizes = [2, 4, 8, 16, 32, 64]
+        eq, pipe = [], []
+        for n in sizes:
+            tree = spine_clock(linear_array(n))
+            eq.append(equipotential_tau(tree))
+            pipe.append(pipelined_tau(BufferedClockTree(tree)))
+        cross = find_crossover(sizes, eq, pipe)
+        assert cross is not None
+        assert 2 <= cross.x <= 8  # a few cells, as the EQ bench shows
+        assert winning_factor(eq, pipe) > 20

@@ -1,0 +1,106 @@
+"""Unit tests for the processing-element framework."""
+
+import pytest
+
+from repro.arrays.cells import (
+    ConstantCell,
+    DelayCell,
+    FunctionCell,
+    PE,
+    RecordingSink,
+    ScriptedSource,
+)
+
+
+class TestScriptedSource:
+    def test_emits_script_in_order(self):
+        src = ScriptedSource([10, 20, 30], targets=["t"])
+        assert [src.fire({})["t"] for _ in range(3)] == [10, 20, 30]
+
+    def test_exhausted_script_emits_none(self):
+        src = ScriptedSource([1], targets=["t"])
+        src.fire({})
+        assert src.fire({})["t"] is None
+
+    def test_reset_restarts(self):
+        src = ScriptedSource([1, 2], targets=["t"])
+        src.fire({})
+        src.reset()
+        assert src.fire({})["t"] == 1
+
+    def test_multiple_targets(self):
+        src = ScriptedSource([7], targets=["a", "b"])
+        out = src.fire({})
+        assert out == {"a": 7, "b": 7}
+
+
+class TestRecordingSink:
+    def test_records_per_source(self):
+        sink = RecordingSink()
+        sink.fire({"u": 1, "v": 9})
+        sink.fire({"u": 2, "v": None})
+        assert sink.received["u"] == [1, 2]
+        assert sink.received["v"] == [9, None]
+
+    def test_stream_drops_none_by_default(self):
+        sink = RecordingSink()
+        sink.fire({"u": None})
+        sink.fire({"u": 5})
+        assert sink.stream_from("u") == [5]
+        assert sink.stream_from("u", drop_none=False) == [None, 5]
+
+    def test_unknown_source_is_empty(self):
+        assert RecordingSink().stream_from("nope") == []
+
+    def test_reset_clears(self):
+        sink = RecordingSink()
+        sink.fire({"u": 1})
+        sink.reset()
+        assert sink.stream_from("u") == []
+
+
+class TestDelayCell:
+    def test_zero_extra_delay_forwards(self):
+        cell = DelayCell(source="a", target="b")
+        assert cell.fire({"a": 42}) == {"b": 42}
+
+    def test_extra_delay_pipes(self):
+        cell = DelayCell(source="a", target="b", extra_delay=2)
+        outs = [cell.fire({"a": v})["b"] for v in (1, 2, 3, 4)]
+        assert outs == [None, None, 1, 2]
+
+    def test_reset_flushes_pipe(self):
+        cell = DelayCell(source="a", target="b", extra_delay=1)
+        cell.fire({"a": 1})
+        cell.reset()
+        assert cell.fire({"a": 2})["b"] is None
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            DelayCell("a", "b", extra_delay=-1)
+
+
+class TestConstantAndFunctionCells:
+    def test_constant_cell(self):
+        cell = ConstantCell(3.14, targets=["x", "y"])
+        assert cell.fire({}) == {"x": 3.14, "y": 3.14}
+
+    def test_function_cell_threads_state(self):
+        def accumulate(state, inputs):
+            total = state + sum(v for v in inputs.values() if v is not None)
+            return total, {"out": total}
+
+        cell = FunctionCell(accumulate, initial_state=0)
+        assert cell.fire({"in": 2})["out"] == 2
+        assert cell.fire({"in": 3})["out"] == 5
+
+    def test_function_cell_reset(self):
+        cell = FunctionCell(lambda s, i: (s + 1, {"out": s}), initial_state=0)
+        cell.fire({})
+        cell.fire({})
+        cell.reset()
+        assert cell.fire({})["out"] == 0
+
+    def test_base_pe_fire_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            PE().fire({})

@@ -1,0 +1,84 @@
+"""Unit tests for the ideal lockstep executor (A1 reference semantics)."""
+
+import pytest
+
+from repro.arrays.cells import DelayCell, RecordingSink, ScriptedSource
+from repro.arrays.ideal import LockstepExecutor
+from repro.graphs.comm import CommGraph
+
+
+def pipeline(n_stages, script):
+    """src -> stage_0 -> ... -> stage_{n-1} -> snk with pure delay cells."""
+    comm = CommGraph()
+    pes = {}
+    prev = "src"
+    pes["src"] = ScriptedSource(script, targets=[0])
+    for i in range(n_stages):
+        comm.add_edge(prev, i)
+        nxt = i + 1 if i + 1 < n_stages else "snk"
+        pes[i] = DelayCell(source=prev, target=nxt)
+        prev = i
+    comm.add_edge(prev, "snk")
+    pes["snk"] = RecordingSink()
+    return comm, pes
+
+
+class TestLockstep:
+    def test_edge_latency_is_one_cycle(self):
+        comm, pes = pipeline(1, [42])
+        ex = LockstepExecutor(comm, pes)
+        ex.run(3)
+        # src emits at cycle 1 (tick 0), stage sees it at tick 1, sink at 2.
+        assert pes["snk"].stream_from(0) == [42]
+
+    def test_values_traverse_in_order(self):
+        comm, pes = pipeline(3, [1, 2, 3])
+        ex = LockstepExecutor(comm, pes)
+        ex.run(10)
+        assert pes["snk"].stream_from(2) == [1, 2, 3]
+
+    def test_latency_matches_stage_count(self):
+        comm, pes = pipeline(4, [9])
+        ex = LockstepExecutor(comm, pes, trace=True)
+        ex.run(6)
+        # value appears on the final edge at cycle index 4 (0-based trace).
+        trace = ex.edge_trace[(3, "snk")]
+        assert trace.index(9) == 4
+
+    def test_missing_pe_rejected(self):
+        comm = CommGraph(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            LockstepExecutor(comm, {"a": ScriptedSource([], targets=["b"])})
+
+    def test_reset_restores_initial_state(self):
+        comm, pes = pipeline(2, [5, 6])
+        ex = LockstepExecutor(comm, pes)
+        ex.run(8)
+        first = list(pes["snk"].stream_from(1))
+        ex.reset()
+        ex.run(8)
+        assert pes["snk"].stream_from(1) == first
+
+    def test_cycle_counter(self):
+        comm, pes = pipeline(1, [1])
+        ex = LockstepExecutor(comm, pes)
+        ex.run(5)
+        assert ex.cycle == 5
+
+    def test_negative_cycles_rejected(self):
+        comm, pes = pipeline(1, [1])
+        with pytest.raises(ValueError):
+            LockstepExecutor(comm, pes).run(-1)
+
+    def test_edge_value_inspection(self):
+        comm, pes = pipeline(1, [7])
+        ex = LockstepExecutor(comm, pes)
+        ex.step()
+        assert ex.edge_value("src", 0) == 7
+        assert ex.edge_value(0, "snk") is None
+
+    def test_trace_disabled_by_default(self):
+        comm, pes = pipeline(1, [1])
+        ex = LockstepExecutor(comm, pes)
+        ex.run(2)
+        assert ex.edge_trace == {}

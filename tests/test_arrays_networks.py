@@ -1,0 +1,89 @@
+"""Tests for the interconnection-network generators."""
+
+import pytest
+
+from repro.arrays.networks import butterfly, cube_connected_cycles, shuffle_exchange
+
+
+class TestButterfly:
+    def test_node_count(self):
+        assert butterfly(3).size == 4 * 8
+
+    def test_pair_count(self):
+        # k levels of 2^k nodes, 2 undirected edges down from each.
+        assert len(butterfly(3).communicating_pairs()) == 3 * 8 * 2
+
+    def test_straight_and_cross_edges(self):
+        a = butterfly(2)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        assert frozenset({(0, 0), (1, 0)}) in pairs      # straight
+        assert frozenset({(0, 0), (1, 1)}) in pairs      # cross at level 0
+        assert frozenset({(1, 0), (2, 2)}) in pairs      # cross at level 1
+
+    def test_cross_span_doubles_per_level(self):
+        a = butterfly(4)
+        assert a.layout.distance((0, 0), (1, 1)) < a.layout.distance((3, 0), (4, 8))
+
+    def test_connected_and_spaced(self):
+        butterfly(3).validate()
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            butterfly(0)
+
+
+class TestCCC:
+    def test_node_count(self):
+        assert cube_connected_cycles(3).size == 3 * 8
+
+    def test_degree_three(self):
+        a = cube_connected_cycles(3)
+        assert all(a.comm.degree(n) == 3 for n in a.comm.nodes())
+
+    def test_cycle_edges(self):
+        a = cube_connected_cycles(3)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        assert frozenset({(0, 0), (0, 1)}) in pairs
+        assert frozenset({(0, 2), (0, 0)}) in pairs  # wrap
+
+    def test_cube_edges(self):
+        a = cube_connected_cycles(3)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        assert frozenset({(0, 0), (1, 0)}) in pairs   # dimension 0
+        assert frozenset({(0, 2), (4, 2)}) in pairs   # dimension 2
+
+    def test_connected_and_spaced(self):
+        cube_connected_cycles(4).validate()
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            cube_connected_cycles(2)
+
+
+class TestShuffleExchange:
+    def test_node_count(self):
+        assert shuffle_exchange(4).size == 16
+
+    def test_exchange_edges(self):
+        a = shuffle_exchange(3)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        assert frozenset({0, 1}) in pairs
+        assert frozenset({6, 7}) in pairs
+
+    def test_shuffle_edges(self):
+        a = shuffle_exchange(3)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        # rol(1, k=3) = 2; rol(3) = 6.
+        assert frozenset({1, 2}) in pairs
+        assert frozenset({3, 6}) in pairs
+
+    def test_long_wires_in_row_layout(self):
+        a = shuffle_exchange(6)
+        assert a.max_communication_distance() > 16
+
+    def test_connected(self):
+        shuffle_exchange(5).validate()
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            shuffle_exchange(1)

@@ -1,0 +1,136 @@
+"""Unit tests for the systolic workloads against NumPy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.systolic import (
+    build_fir_array,
+    build_matvec_array,
+    build_mesh_matmul,
+    build_odd_even_sorter,
+)
+
+
+class TestFir:
+    def test_matches_numpy_convolve(self):
+        weights = [1.0, 2.0, -1.0]
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        got = build_fir_array(weights, xs).run_lockstep()
+        assert got == pytest.approx(list(np.convolve(xs, weights)))
+
+    def test_single_tap(self):
+        got = build_fir_array([0.5], [1.0, 2.0, 3.0]).run_lockstep()
+        assert got == pytest.approx([0.5, 1.0, 1.5])
+
+    def test_long_filter(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=8).tolist()
+        xs = rng.normal(size=20).tolist()
+        got = build_fir_array(weights, xs).run_lockstep()
+        assert got == pytest.approx(list(np.convolve(xs, weights)))
+
+    def test_impulse_response_recovers_weights(self):
+        weights = [2.0, -3.0, 5.0, 7.0]
+        got = build_fir_array(weights, [1.0]).run_lockstep()
+        assert got == pytest.approx(weights)
+
+    def test_output_length(self):
+        got = build_fir_array([1.0, 1.0], [1.0] * 6).run_lockstep()
+        assert len(got) == 7
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(ValueError):
+            build_fir_array([], [1.0])
+
+    def test_rerun_is_deterministic(self):
+        prog = build_fir_array([1.0, 2.0], [1.0, 0.0, 1.0])
+        assert prog.run_lockstep() == prog.run_lockstep()
+
+
+class TestMatVec:
+    def test_matches_numpy(self):
+        a = [[1, 2], [3, 4], [5, 6]]
+        x = [1, -1]
+        got = build_matvec_array(a, x).run_lockstep()
+        assert got == pytest.approx(list(np.array(a) @ np.array(x)))
+
+    def test_square_random(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 5))
+        x = rng.normal(size=5)
+        got = build_matvec_array(a.tolist(), x.tolist()).run_lockstep()
+        assert got == pytest.approx(list(a @ x))
+
+    def test_single_element(self):
+        assert build_matvec_array([[3.0]], [4.0]).run_lockstep() == pytest.approx([12.0])
+
+    def test_wide_matrix_rejected_on_mismatch(self):
+        with pytest.raises(ValueError):
+            build_matvec_array([[1, 2, 3]], [1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_matvec_array([], [1.0])
+
+
+class TestSorter:
+    def test_sorts(self):
+        got = build_odd_even_sorter([5, 3, 8, 1, 9, 2]).run_lockstep()
+        assert got == [1, 2, 3, 5, 8, 9]
+
+    def test_already_sorted(self):
+        got = build_odd_even_sorter([1, 2, 3, 4]).run_lockstep()
+        assert got == [1, 2, 3, 4]
+
+    def test_reverse_sorted_worst_case(self):
+        values = list(range(9, -1, -1))
+        got = build_odd_even_sorter(values).run_lockstep()
+        assert got == sorted(values)
+
+    def test_duplicates(self):
+        got = build_odd_even_sorter([2, 2, 1, 1, 3]).run_lockstep()
+        assert got == [1, 1, 2, 2, 3]
+
+    def test_single_value(self):
+        assert build_odd_even_sorter([7]).run_lockstep() == [7]
+
+    def test_random_permutations(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            values = rng.permutation(12).astype(float).tolist()
+            got = build_odd_even_sorter(values).run_lockstep()
+            assert got == sorted(values)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_odd_even_sorter([])
+
+
+class TestMeshMatmul:
+    def test_matches_numpy_2x2(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        got = build_mesh_matmul(a, b).run_lockstep()
+        assert np.allclose(got, np.array(a) @ np.array(b))
+
+    def test_matches_numpy_random(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4))
+        got = build_mesh_matmul(a.tolist(), b.tolist()).run_lockstep()
+        assert np.allclose(got, a @ b)
+
+    def test_identity(self):
+        eye = np.eye(3).tolist()
+        b = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        got = build_mesh_matmul(eye, b).run_lockstep()
+        assert np.allclose(got, b)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            build_mesh_matmul([[1, 2]], [[1], [2]])
+
+    def test_program_metadata(self):
+        prog = build_mesh_matmul([[1.0]], [[2.0]])
+        assert prog.cycles >= 3
+        assert prog.array.size >= 3  # cell + two hosts

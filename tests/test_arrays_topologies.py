@@ -1,0 +1,161 @@
+"""Unit tests for topology generators (the arrays of Figs. 3-6)."""
+
+import pytest
+
+from repro.arrays.topologies import (
+    complete_binary_tree,
+    hex_array,
+    linear_array,
+    mesh,
+    ring,
+    torus,
+)
+
+
+class TestLinear:
+    def test_size_and_edges(self):
+        a = linear_array(5)
+        assert a.size == 5
+        assert len(a.communicating_pairs()) == 4
+
+    def test_layout_is_a_row(self):
+        a = linear_array(4, spacing=2.0)
+        assert a.layout[3].x == 6.0
+        assert all(a.layout[i].y == 0.0 for i in range(4))
+
+    def test_unidirectional(self):
+        a = linear_array(4, bidirectional=False)
+        assert a.comm.has_edge(0, 1)
+        assert not a.comm.has_edge(1, 0)
+        assert len(a.communicating_pairs()) == 3
+
+    def test_host_is_first_cell(self):
+        assert linear_array(3).host == 0
+
+    def test_validates(self):
+        linear_array(10).validate()
+
+    def test_max_communication_distance_is_spacing(self):
+        assert linear_array(10, spacing=1.5).max_communication_distance() == 1.5
+
+    def test_single_cell(self):
+        assert linear_array(1).size == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            linear_array(0)
+        with pytest.raises(ValueError):
+            linear_array(4, spacing=0)
+
+
+class TestRing:
+    def test_ring_closes(self):
+        a = ring(6)
+        assert len(a.communicating_pairs()) == 6
+        assert frozenset({5, 0}) in {frozenset(p) for p in a.communicating_pairs()}
+
+    def test_folded_layout_keeps_neighbors_close(self):
+        a = ring(10)
+        assert a.max_communication_distance() <= 2.0
+
+    def test_odd_ring(self):
+        a = ring(7)
+        a.validate()
+        assert a.size == 7
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+
+class TestMesh:
+    def test_size_and_edges(self):
+        a = mesh(3, 4)
+        assert a.size == 12
+        # horizontal: 3*3, vertical: 2*4
+        assert len(a.communicating_pairs()) == 9 + 8
+
+    def test_layout_positions(self):
+        a = mesh(2, 3)
+        assert a.layout[(1, 2)].x == 2.0 and a.layout[(1, 2)].y == 1.0
+
+    def test_interior_degree(self):
+        a = mesh(5, 5)
+        assert a.comm.degree((2, 2)) == 4
+        assert a.comm.degree((0, 0)) == 2
+
+    def test_validates(self):
+        mesh(4, 4).validate()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mesh(0, 3)
+
+
+class TestTorus:
+    def test_wraparound_edges(self):
+        a = torus(4, 4)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        assert frozenset({(0, 0), (0, 3)}) in pairs
+        assert frozenset({(0, 0), (3, 0)}) in pairs
+
+    def test_edge_count(self):
+        a = torus(4, 5)
+        assert len(a.communicating_pairs()) == 2 * 4 * 5  # 2N pairs on a torus
+
+    def test_all_degree_four(self):
+        a = torus(3, 3)
+        assert all(a.comm.degree(c) == 4 for c in a.comm.nodes())
+
+    def test_wrap_edges_are_long_in_layout(self):
+        a = torus(6, 6)
+        assert a.max_communication_distance() == 5.0
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            torus(2, 5)
+
+
+class TestHex:
+    def test_diagonal_edges_present(self):
+        a = hex_array(3, 3)
+        pairs = {frozenset(p) for p in a.communicating_pairs()}
+        assert frozenset({(0, 0), (1, 1)}) in pairs
+
+    def test_interior_degree_six(self):
+        a = hex_array(4, 4)
+        assert a.comm.degree((1, 1)) == 6
+
+    def test_edge_count(self):
+        a = hex_array(3, 3)
+        # mesh edges 12 + diagonals 4
+        assert len(a.communicating_pairs()) == 16
+
+    def test_validates(self):
+        hex_array(3, 5).validate()
+
+
+class TestBinaryTree:
+    def test_node_count(self):
+        a = complete_binary_tree(3)
+        assert a.size == 15
+
+    def test_edges(self):
+        a = complete_binary_tree(3)
+        assert len(a.communicating_pairs()) == 14
+
+    def test_leaves_on_bottom_row(self):
+        a = complete_binary_tree(3)
+        assert all(a.layout[(3, i)].y == 0.0 for i in range(8))
+
+    def test_root_centered_over_leaves(self):
+        a = complete_binary_tree(2)
+        assert a.layout[(0, 0)].x == 2.0
+
+    def test_depth_zero(self):
+        a = complete_binary_tree(0)
+        assert a.size == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            complete_binary_tree(-1)

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestReport:
+    def test_spine_on_linear(self, capsys):
+        code, out, _ = run_cli(capsys, "report", "--topology", "linear", "--size", "32")
+        assert code == 0
+        assert "spine on linear-32" in out
+        assert "sigma (model bound)" in out
+
+    def test_htree_on_mesh_difference(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "report", "--topology", "mesh", "--size", "4",
+            "--scheme", "htree", "--model", "difference",
+        )
+        assert code == 0
+        assert "difference model" in out
+
+    def test_unknown_scheme_errors(self, capsys):
+        code, _out, err = run_cli(capsys, "report", "--scheme", "bogus")
+        assert code == 2
+        assert "error" in err
+
+
+class TestCompare:
+    def test_linear_summation_ranks_spine_first(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "compare", "--topology", "linear", "--size", "32",
+            "--model", "summation",
+        )
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        first_scheme_row = lines[2]
+        assert first_scheme_row.strip().startswith("spine")
+
+    def test_mesh_difference_ranks_htree_first(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "compare", "--topology", "mesh", "--size", "4",
+            "--model", "difference",
+        )
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines[2].strip().startswith("htree")
+
+
+class TestSweep:
+    def test_spine_classified_constant(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--topology", "linear", "--scheme", "spine",
+            "--sizes", "8,16,32,64",
+        )
+        assert code == 0
+        assert "growth law: constant" in out
+
+    def test_dissection_classified_linear(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--topology", "linear", "--scheme", "dissection-1d",
+            "--sizes", "8,16,32,64,128",
+        )
+        assert code == 0
+        assert "growth law: linear" in out
+
+    def test_two_sizes_skip_classification(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--sizes", "8,16", "--topology", "linear"
+        )
+        assert code == 0
+        assert "growth law" not in out
+
+
+class TestLowerBound:
+    def test_runs_certificates(self, capsys):
+        code, out, _ = run_cli(capsys, "lower-bound", "--size", "8")
+        assert code == 0
+        assert "Section V-B proof" in out
+        for scheme in ("htree", "serpentine", "kdtree"):
+            assert scheme in out
+
+
+class TestInverter:
+    def test_default_reproduces_68x(self, capsys):
+        code, out, _ = run_cli(capsys, "inverter", "--chips", "2")
+        assert code == 0
+        assert "67.9" in out or "68" in out.replace("67.96", "68")
+
+    def test_custom_length(self, capsys):
+        code, out, _ = run_cli(capsys, "inverter", "--stages", "256", "--chips", "2")
+        assert code == 0
+        assert "n=256" in out
+
+
+class TestHybridAndSchemes:
+    def test_hybrid_wins_at_scale(self, capsys):
+        code, out, _ = run_cli(capsys, "hybrid", "--size", "16")
+        assert code == 0
+        assert "hybrid wins" in out
+        assert "True" in out
+
+    def test_schemes_listing(self, capsys):
+        code, out, _ = run_cli(capsys, "schemes")
+        assert code == 0
+        for name in ("htree", "spine", "serpentine", "kdtree", "star", "comm-tree"):
+            assert name in out
+
+    def test_advise_linear(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "advise", "--topology", "linear", "--size", "64"
+        )
+        assert code == 0
+        assert "spine" in out
+        assert "rationale" in out
+
+    def test_advise_mesh_difference(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "advise", "--topology", "mesh", "--size", "8",
+            "--model", "difference",
+        )
+        assert code == 0
+        assert "htree" in out

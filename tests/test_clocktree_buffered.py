@@ -1,0 +1,132 @@
+"""Unit tests for buffered (pipelined) clock trees — assumptions A7/A8."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array, mesh
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.spine import spine_clock
+from repro.delay.buffer import InverterPairModel
+from repro.delay.variation import BoundedUniformVariation, NoVariation
+
+
+def buffered_spine(n, eps=0.2, seed=1, spacing=1.0):
+    array = linear_array(n)
+    return array, BufferedClockTree(
+        spine_clock(array),
+        buffer_spacing=spacing,
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=eps, seed=seed),
+        buffer_model=InverterPairModel(nominal=spacing, seed=seed),
+    )
+
+
+class TestConstruction:
+    def test_buffer_count_scales_with_wire_length(self):
+        _a1, b1 = buffered_spine(16)
+        _a2, b2 = buffered_spine(64)
+        assert b2.buffer_count > b1.buffer_count
+
+    def test_zero_length_edges_free(self):
+        array = linear_array(4)
+        tree = spine_clock(array)  # taps have zero length
+        b = BufferedClockTree(tree, wire_variation=NoVariation())
+        for cell in range(4):
+            station = ("tap", cell)
+            assert b.arrival(cell) == b.arrival(station)
+
+    def test_rejects_bad_spacing(self):
+        array = linear_array(4)
+        with pytest.raises(ValueError):
+            BufferedClockTree(spine_clock(array), buffer_spacing=0)
+
+
+class TestTauConstancy:
+    def test_tau_independent_of_size(self):
+        taus = []
+        for n in (16, 128, 1024):
+            _a, b = buffered_spine(n, eps=0.2, seed=3)
+            taus.append(b.tau())
+        assert max(taus) - min(taus) <= 0.25  # bounded by segment + buffer max
+
+    def test_tau_bounded_by_segment_plus_buffer(self):
+        _a, b = buffered_spine(256, eps=0.2)
+        # Max per-segment: wire (<= 1.2 per unit) + buffer (~1).
+        assert b.tau() <= 1.2 + 1.1
+
+    def test_latency_grows_linearly(self):
+        _a1, b1 = buffered_spine(64)
+        _a2, b2 = buffered_spine(256)
+        assert b2.latency() / b1.latency() == pytest.approx(4.0, rel=0.15)
+
+
+class TestEmpiricalSkew:
+    def test_neighbor_skew_constant_on_spine(self):
+        skews = []
+        for n in (32, 256, 1024):
+            array, b = buffered_spine(n, eps=0.2, seed=2)
+            skews.append(b.max_skew(array.communicating_pairs()))
+        assert max(skews) <= 2.5  # s=1 -> at most (m+eps)*1 + buffer ~ 2.2
+        assert max(skews) - min(skews) <= 0.5
+
+    def test_skew_bounded_by_summation_model(self):
+        # Empirical skew <= (m + eps) * s + buffer asymmetry contribution.
+        array, b = buffered_spine(64, eps=0.3, seed=5)
+        tree = b.tree
+        for a_cell, b_cell in array.communicating_pairs():
+            s = tree.path_length(a_cell, b_cell)
+            assert b.skew(a_cell, b_cell) <= (1.0 + 0.3) * s + 2.0 + 1e-9
+
+    def test_zero_variation_zero_skew_on_htree(self):
+        array = mesh(4, 4)
+        b = BufferedClockTree(
+            htree_for_array(array),
+            wire_variation=NoVariation(m=1.0),
+            buffer_model=InverterPairModel(nominal=1.0),
+        )
+        assert b.max_skew(array.communicating_pairs()) <= 1e-9
+
+    def test_variation_breaks_htree_equidistance(self):
+        array = mesh(8, 8)
+        b = BufferedClockTree(
+            htree_for_array(array),
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.3, seed=4),
+        )
+        assert b.max_skew(array.communicating_pairs()) > 0.1
+
+    def test_empty_pairs(self):
+        _a, b = buffered_spine(4)
+        assert b.max_skew([]) == 0.0
+
+
+class TestDeterminismAndA8:
+    def test_same_seed_same_arrivals(self):
+        a1, b1 = buffered_spine(32, seed=11)
+        _a2, b2 = buffered_spine(32, seed=11)
+        assert all(b1.arrival(c) == b2.arrival(c) for c in range(32))
+
+    def test_resample_changes_arrivals(self):
+        array, b = buffered_spine(32, seed=11)
+        before = [b.arrival(c) for c in range(32)]
+        b.resample(99)
+        after = [b.arrival(c) for c in range(32)]
+        assert before != after
+
+    def test_pulse_distortion_zero_without_bias(self):
+        _a, b = buffered_spine(32)
+        assert b.max_pulse_distortion() == pytest.approx(0.0)
+
+    def test_pulse_distortion_accumulates_with_bias(self):
+        array = linear_array(64)
+        b = BufferedClockTree(
+            spine_clock(array),
+            wire_variation=NoVariation(),
+            buffer_model=InverterPairModel(nominal=1.0, bias=0.1),
+        )
+        assert b.pulse_distortion(63) == pytest.approx(0.1 * 63, rel=0.05)
+
+    def test_events_in_flight(self):
+        _a, b = buffered_spine(256)
+        depth = b.events_in_flight(period=4.0)
+        assert depth > 10  # genuinely pipelined
+        with pytest.raises(ValueError):
+            b.events_in_flight(0)

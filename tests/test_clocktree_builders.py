@@ -1,0 +1,120 @@
+"""Unit tests for generic clock tree builders (comparison schemes)."""
+
+import pytest
+
+from repro.arrays.topologies import complete_binary_tree, linear_array, mesh
+from repro.clocktree.builders import (
+    comm_tree_clock,
+    kdtree_clock,
+    serpentine_clock,
+    star_clock,
+)
+
+
+class TestSerpentine:
+    def test_covers_all_cells(self):
+        array = mesh(4, 5)
+        t = serpentine_clock(array)
+        assert all(c in t for c in array.comm.nodes())
+
+    def test_horizontal_neighbors_close(self):
+        array = mesh(4, 4)
+        t = serpentine_clock(array)
+        assert t.path_length((0, 0), (0, 1)) == pytest.approx(1.0)
+
+    def test_vertical_neighbors_far(self):
+        # The snake makes vertical neighbors ~2*cols apart on the trunk.
+        array = mesh(4, 8)
+        t = serpentine_clock(array)
+        assert t.path_length((0, 0), (1, 0)) > 8.0
+
+    def test_binary(self):
+        serpentine_clock(mesh(3, 3)).validate()
+
+    def test_on_linear_array_equals_spine_behaviour(self):
+        array = linear_array(16)
+        t = serpentine_clock(array)
+        max_s = max(t.path_length(a, b) for a, b in array.communicating_pairs())
+        assert max_s == pytest.approx(1.0)
+
+
+class TestKdTree:
+    def test_covers_all_cells(self):
+        array = mesh(5, 3)
+        t = kdtree_clock(array)
+        assert all(c in t for c in array.comm.nodes())
+        t.validate()
+
+    def test_is_binary(self):
+        t = kdtree_clock(mesh(4, 4))
+        assert all(len(t.children(n)) <= 2 for n in t.nodes())
+
+    def test_balanced_depth(self):
+        array = mesh(8, 8)
+        t = kdtree_clock(array)
+        depths = [t.depth(c) for c in array.comm.nodes()]
+        assert max(depths) <= 2 * 7  # ~log2(64)=6 splits, generous bound
+
+    def test_mesh_neighbor_skew_grows(self):
+        # No binary hierarchical scheme escapes the lower bound; check the
+        # max communicating s grows with mesh size.
+        s_small = _max_pair_s(kdtree_clock(mesh(4, 4)), mesh(4, 4))
+        s_large = _max_pair_s(kdtree_clock(mesh(16, 16)), mesh(16, 16))
+        assert s_large > 2 * s_small
+
+    def test_single_cell(self):
+        array = linear_array(1)
+        t = kdtree_clock(array)
+        assert 0 in t
+
+
+class TestStar:
+    def test_all_cells_direct_children(self):
+        array = mesh(3, 3)
+        t = star_clock(array)
+        assert all(t.depth(c) == 1 for c in array.comm.nodes())
+
+    def test_s_metric_small(self):
+        array = mesh(8, 8)
+        t = star_clock(array)
+        # Each pair's s is at most twice the layout radius.
+        assert _max_pair_s(t, array) <= 2 * (7 + 7)
+
+    def test_total_wire_length_is_large(self):
+        # The physical price A6 charges: total wiring Theta(n * diameter).
+        small = star_clock(mesh(4, 4)).total_wire_length()
+        large = star_clock(mesh(8, 8)).total_wire_length()
+        assert large > 4 * small
+
+
+class TestCommTreeClock:
+    def test_follows_data_paths(self):
+        array = complete_binary_tree(3)
+        t = comm_tree_clock(array)
+        for a, b in array.communicating_pairs():
+            assert t.path_length(a, b) == pytest.approx(array.layout.distance(a, b))
+
+    def test_root_defaults_to_host(self):
+        array = complete_binary_tree(2)
+        t = comm_tree_clock(array)
+        assert t.root == (0, 0)
+
+    def test_custom_root(self):
+        array = complete_binary_tree(2)
+        t = comm_tree_clock(array, root=(1, 0))
+        assert t.root == (1, 0)
+        assert all(c in t for c in array.comm.nodes())
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(ValueError):
+            comm_tree_clock(mesh(3, 3))
+
+    def test_works_on_linear(self):
+        array = linear_array(8)
+        t = comm_tree_clock(array)
+        max_s = max(t.path_length(a, b) for a, b in array.communicating_pairs())
+        assert max_s == pytest.approx(1.0)
+
+
+def _max_pair_s(tree, array):
+    return max(tree.path_length(a, b) for a, b in array.communicating_pairs())

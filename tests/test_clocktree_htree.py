@@ -1,0 +1,138 @@
+"""Unit tests for H-tree construction (Fig. 3, Lemma 1) and the linear
+dissection counterexample."""
+
+import pytest
+
+from repro.arrays.topologies import hex_array, linear_array, mesh
+from repro.clocktree.htree import (
+    dissection_tree_for_linear,
+    htree,
+    htree_for_array,
+    htree_for_grid,
+)
+
+
+class TestHtree:
+    def test_leaf_count(self):
+        t = htree(4, 4)
+        leaves = [n for n in t.leaves() if isinstance(n, tuple) and n[0] == "leaf"]
+        assert len(leaves) == 16
+
+    def test_leaves_equidistant(self):
+        t = htree(8, 8)
+        leaves = [n for n in t.nodes() if isinstance(n, tuple) and n[0] == "leaf"]
+        assert t.is_equidistant(leaves)
+
+    def test_leaf_positions_on_grid(self):
+        t = htree(2, 4, spacing=1.0)
+        assert t.position(("leaf", 1, 3)).x == 3.0
+        assert t.position(("leaf", 1, 3)).y == 1.0
+
+    def test_rectangular_power_of_two(self):
+        t = htree(2, 8)
+        leaves = [n for n in t.nodes() if isinstance(n, tuple) and n[0] == "leaf"]
+        assert len(leaves) == 16
+        assert t.is_equidistant(leaves)
+
+    def test_single_point(self):
+        t = htree(1, 1)
+        assert ("leaf", 0, 0) in t
+
+    def test_binary(self):
+        t = htree(4, 4)
+        t.validate()
+        assert t.max_children == 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            htree(3, 4)
+
+    def test_spacing_scales_distances(self):
+        t1 = htree(4, 4, spacing=1.0)
+        t2 = htree(4, 4, spacing=2.0)
+        assert t2.longest_root_to_leaf() == pytest.approx(2 * t1.longest_root_to_leaf())
+
+    def test_grid_padding(self):
+        t = htree_for_grid(3, 5)
+        leaves = [n for n in t.nodes() if isinstance(n, tuple) and n[0] == "leaf"]
+        assert len(leaves) == 4 * 8
+
+
+class TestHtreeForArray:
+    def test_all_cells_attached_equidistant(self):
+        array = mesh(4, 4)
+        t = htree_for_array(array)
+        assert t.is_equidistant(array.comm.nodes())
+
+    def test_zero_d_metric_between_all_cells(self):
+        array = mesh(4, 4)
+        t = htree_for_array(array)
+        cells = array.comm.nodes()
+        assert all(t.path_difference(a, b) == 0 for a, b in array.communicating_pairs())
+        assert t.path_difference(cells[0], cells[-1]) == 0
+
+    def test_hex_array_supported(self):
+        array = hex_array(4, 4)
+        t = htree_for_array(array)
+        assert t.is_equidistant(array.comm.nodes())
+
+    def test_linear_array_supported(self):
+        array = linear_array(8)
+        t = htree_for_array(array)
+        assert t.is_equidistant(array.comm.nodes())
+
+    def test_non_power_of_two_array(self):
+        array = mesh(3, 5)
+        t = htree_for_array(array)
+        assert t.is_equidistant(array.comm.nodes())
+
+    def test_area_within_constant_factor(self):
+        # Lemma 1: clock tree wire area <= constant * layout area.
+        for n in (4, 8, 16):
+            array = mesh(n, n)
+            t = htree_for_array(array)
+            assert t.total_wire_length() <= 4.0 * array.layout.area
+
+    def test_off_grid_cell_rejected(self):
+        array = linear_array(4, spacing=0.7)
+        with pytest.raises(ValueError):
+            htree_for_array(array, spacing=1.0)
+
+
+class TestDissectionCounterexample:
+    def test_equidistant_for_power_of_two(self):
+        array = linear_array(16)
+        t = dissection_tree_for_linear(array)
+        assert t.is_equidistant(range(16))
+
+    def test_middle_neighbors_have_long_tree_path(self):
+        n = 64
+        array = linear_array(n)
+        t = dissection_tree_for_linear(array)
+        mid_s = t.path_length(n // 2 - 1, n // 2)
+        assert mid_s >= n / 2  # spans the array
+
+    def test_s_grows_linearly(self):
+        values = []
+        for n in (16, 32, 64, 128):
+            array = linear_array(n)
+            t = dissection_tree_for_linear(array)
+            values.append(
+                max(t.path_length(a, b) for a, b in array.communicating_pairs())
+            )
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        assert all(1.8 <= r <= 2.2 for r in ratios)
+
+    def test_d_metric_stays_zero(self):
+        # The scheme is fine under the difference model...
+        array = linear_array(32)
+        t = dissection_tree_for_linear(array)
+        assert all(
+            t.path_difference(a, b) == pytest.approx(0.0)
+            for a, b in array.communicating_pairs()
+        )
+
+    def test_single_cell(self):
+        array = linear_array(1)
+        t = dissection_tree_for_linear(array)
+        assert 0 in t

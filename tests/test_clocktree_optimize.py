@@ -1,0 +1,75 @@
+"""Tests for the greedy clock-tree adversary."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array, mesh
+from repro.clocktree.optimize import greedy_clock_tree, max_pair_path_length
+from repro.clocktree.spine import spine_clock
+from repro.core.lower_bound import prove_skew_lower_bound
+
+
+class TestGreedyTree:
+    def test_covers_all_cells_and_is_binary(self):
+        array = mesh(5, 5)
+        tree = greedy_clock_tree(array)
+        tree.validate()
+        assert all(c in tree for c in array.comm.nodes())
+        assert all(len(tree.children(n)) <= 2 for n in tree.nodes())
+
+    def test_cells_are_leaves(self):
+        array = mesh(3, 3)
+        tree = greedy_clock_tree(array)
+        for cell in array.comm.nodes():
+            assert tree.children(cell) == []
+
+    def test_single_cell(self):
+        array = linear_array(1)
+        tree = greedy_clock_tree(array)
+        assert 0 in tree
+
+    def test_deterministic(self):
+        array = mesh(4, 4)
+        a = max_pair_path_length(greedy_clock_tree(array), array)
+        b = max_pair_path_length(greedy_clock_tree(array), array)
+        assert a == b
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            greedy_clock_tree(mesh(2, 2), neighbor_candidates=0)
+
+
+class TestGreedyVsTheBound:
+    def test_mesh_max_s_grows_linearly(self):
+        """Even a search-based adversary obeys the Omega(n) law."""
+        values = []
+        for n in (4, 8, 16):
+            array = mesh(n, n)
+            values.append(max_pair_path_length(greedy_clock_tree(array), array))
+        assert values[1] >= 1.6 * values[0]
+        assert values[2] >= 1.6 * values[1]
+
+    def test_certificate_validates_on_greedy_tree(self):
+        array = mesh(8, 8)
+        cert = prove_skew_lower_bound(greedy_clock_tree(array), array, beta=0.1)
+        cert.check()
+
+    def test_loses_to_spine_on_linear(self):
+        """Locality-greedy merging builds a dissection-like tree: good
+        clustering is NOT good clocking for 1D arrays — the spine wins."""
+        array = linear_array(64)
+        greedy_s = max_pair_path_length(greedy_clock_tree(array), array)
+        spine_s = max_pair_path_length(spine_clock(array), array)
+        assert spine_s == pytest.approx(1.0)
+        assert greedy_s > 10 * spine_s
+
+    def test_competitive_with_fixed_schemes_on_mesh(self):
+        from repro.clocktree.builders import serpentine_clock
+        from repro.clocktree.htree import htree_for_array
+
+        array = mesh(8, 8)
+        greedy_s = max_pair_path_length(greedy_clock_tree(array), array)
+        fixed_best = min(
+            max_pair_path_length(htree_for_array(array), array),
+            max_pair_path_length(serpentine_clock(array), array),
+        )
+        assert greedy_s <= 1.5 * fixed_best

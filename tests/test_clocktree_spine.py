@@ -1,0 +1,144 @@
+"""Unit tests for spine/folded/comb clocking (Figs. 4-6, Theorem 3)."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array
+from repro.clocktree.spine import (
+    comb_linear_array,
+    folded_linear_array,
+    spine_clock,
+    tapped_trunk,
+)
+from repro.geometry.point import Point
+
+
+class TestSpineClock:
+    def test_neighbor_s_equals_spacing(self):
+        array = linear_array(32, spacing=1.5)
+        t = spine_clock(array)
+        assert all(
+            t.path_length(a, b) == pytest.approx(1.5)
+            for a, b in array.communicating_pairs()
+        )
+
+    def test_constant_in_size(self):
+        for n in (8, 64, 512):
+            array = linear_array(n)
+            t = spine_clock(array)
+            max_s = max(t.path_length(a, b) for a, b in array.communicating_pairs())
+            assert max_s == pytest.approx(1.0)
+
+    def test_far_cells_have_long_path(self):
+        array = linear_array(100)
+        t = spine_clock(array)
+        assert t.path_length(0, 99) == pytest.approx(99.0)
+
+    def test_custom_order(self):
+        array = linear_array(4)
+        t = spine_clock(array, order=[3, 2, 1, 0])
+        # Root is at cell 3's end now; neighbor s unchanged.
+        assert t.path_length(3, 2) == pytest.approx(1.0)
+        assert t.root_distance(3) <= t.root_distance(0)
+
+    def test_tap_length_adds_to_s(self):
+        array = linear_array(4)
+        t = spine_clock(array, tap_length=0.5)
+        assert t.path_length(0, 1) == pytest.approx(2.0)  # 1 + 2 taps of 0.5
+
+    def test_binary(self):
+        spine_clock(linear_array(16)).validate()
+
+    def test_rejects_empty(self):
+        array = linear_array(1)
+        array.comm  # exists
+        with pytest.raises(ValueError):
+            spine_clock(array, order=[])
+
+
+class TestTappedTrunk:
+    def test_two_taps_share_station(self):
+        trunk = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        taps = [("a", 1, Point(1, 1), 1.0), ("b", 1, Point(1, -1), 1.0)]
+        t = tapped_trunk(trunk, taps)
+        # a and b tap the same station: s = 1 + 1 = 2 (via zero-length bus).
+        assert t.path_length("a", "b") == pytest.approx(2.0)
+        t.validate()
+
+    def test_many_taps_one_station_stays_binary(self):
+        trunk = [Point(0, 0), Point(1, 0)]
+        taps = [(f"c{i}", 1, Point(1, float(i)), float(i)) for i in range(5)]
+        t = tapped_trunk(trunk, taps)
+        t.validate()
+        assert all(len(t.children(n)) <= 2 for n in t.nodes())
+
+    def test_zero_length_bus_does_not_change_s(self):
+        trunk = [Point(0, 0), Point(1, 0)]
+        taps = [(f"c{i}", 1, Point(1, 0), 0.0) for i in range(4)]
+        t = tapped_trunk(trunk, taps)
+        assert t.path_length("c0", "c3") == pytest.approx(0.0)
+
+    def test_rejects_empty_trunk(self):
+        with pytest.raises(ValueError):
+            tapped_trunk([], [])
+
+
+class TestFolded:
+    def test_host_near_both_ends(self):
+        array, t = folded_linear_array(16)
+        assert t.path_length("host", 0) <= 3.0
+        assert t.path_length("host", 15) <= 3.0
+
+    def test_all_communicating_pairs_bounded(self):
+        for n in (8, 32, 128):
+            array, t = folded_linear_array(n)
+            max_s = max(t.path_length(a, b) for a, b in array.communicating_pairs())
+            assert max_s <= 3.0, n
+
+    def test_fold_point_cells_share_column(self):
+        array, _t = folded_linear_array(10)
+        assert array.layout[4].x == array.layout[5].x
+
+    def test_host_in_comm_graph(self):
+        array, _t = folded_linear_array(8)
+        assert array.comm.has_edge("host", 0)
+        assert array.comm.has_edge(7, "host")
+
+    def test_odd_length(self):
+        array, t = folded_linear_array(9)
+        array.validate()
+        t.validate()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            folded_linear_array(1)
+
+
+class TestComb:
+    def test_aspect_ratio_controlled(self):
+        array_tall, _ = comb_linear_array(64, tooth_height=16)
+        array_flat, _ = comb_linear_array(64, tooth_height=2)
+        assert array_tall.layout.aspect_ratio < array_flat.layout.aspect_ratio
+
+    def test_neighbors_stay_adjacent(self):
+        array, _t = comb_linear_array(60, tooth_height=5)
+        assert array.max_communication_distance() == pytest.approx(1.0)
+
+    def test_clock_follows_data_constant_s(self):
+        array, t = comb_linear_array(60, tooth_height=5)
+        max_s = max(t.path_length(a, b) for a, b in array.communicating_pairs())
+        assert max_s == pytest.approx(1.0)
+
+    def test_well_spaced(self):
+        array, _t = comb_linear_array(48, tooth_height=4)
+        assert array.layout.is_well_spaced()
+
+    def test_partial_last_tooth(self):
+        array, t = comb_linear_array(30, tooth_height=4)
+        assert array.size == 30
+        t.validate()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            comb_linear_array(0, 2)
+        with pytest.raises(ValueError):
+            comb_linear_array(8, 0)

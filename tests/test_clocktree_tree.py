@@ -1,0 +1,162 @@
+"""Unit tests for the CLK tree structure and its d/s path metrics."""
+
+import pytest
+
+from repro.clocktree.tree import ClockTree
+from repro.geometry.point import Point
+
+
+def small_tree():
+    """Root with two subtrees of different depths and edge lengths.
+
+          root(0,0)
+          /        \\
+       a(2,0)      b(0,3)
+        /  \\         \\
+    c(3,0) d(2,2)    e(0,6)
+    """
+    t = ClockTree("root", Point(0, 0))
+    t.add_child("root", "a", Point(2, 0))
+    t.add_child("root", "b", Point(0, 3))
+    t.add_child("a", "c", Point(3, 0))
+    t.add_child("a", "d", Point(2, 2))
+    t.add_child("b", "e", Point(0, 6))
+    return t
+
+
+class TestConstruction:
+    def test_default_length_is_manhattan(self):
+        t = small_tree()
+        assert t.edge_length("a") == 2
+        assert t.edge_length("d") == 2
+
+    def test_explicit_length_overrides(self):
+        t = ClockTree("r", Point(0, 0))
+        t.add_child("r", "x", Point(1, 0), length=5.0)
+        assert t.edge_length("x") == 5.0
+
+    def test_zero_length_allowed(self):
+        t = ClockTree("r", Point(0, 0))
+        t.add_child("r", "x", Point(0, 0), length=0.0)
+        assert t.root_distance("x") == 0.0
+
+    def test_binary_arity_enforced(self):
+        t = small_tree()
+        with pytest.raises(ValueError):
+            t.add_child("a", "z", Point(9, 9))
+
+    def test_relaxed_arity(self):
+        t = ClockTree("r", Point(0, 0), max_children=3)
+        for i in range(3):
+            t.add_child("r", i, Point(i + 1, 0))
+        assert len(t.children("r")) == 3
+
+    def test_duplicate_node_rejected(self):
+        t = small_tree()
+        with pytest.raises(ValueError):
+            t.add_child("b", "a", Point(1, 1))
+
+    def test_unknown_parent_rejected(self):
+        t = small_tree()
+        with pytest.raises(KeyError):
+            t.add_child("nope", "x", Point(0, 0))
+
+    def test_negative_length_rejected(self):
+        t = small_tree()
+        with pytest.raises(ValueError):
+            t.add_child("e", "x", Point(0, 7), length=-1)
+
+    def test_root_has_no_parent_edge(self):
+        with pytest.raises(ValueError):
+            small_tree().edge_length("root")
+
+
+class TestStructureQueries:
+    def test_len_contains_iter(self):
+        t = small_tree()
+        assert len(t) == 6
+        assert "c" in t and "z" not in t
+        assert set(iter(t)) == {"root", "a", "b", "c", "d", "e"}
+
+    def test_leaves(self):
+        assert set(small_tree().leaves()) == {"c", "d", "e"}
+
+    def test_parent_children(self):
+        t = small_tree()
+        assert t.parent("c") == "a"
+        assert t.parent("root") is None
+        assert set(t.children("a")) == {"c", "d"}
+
+    def test_children_map_matches(self):
+        t = small_tree()
+        cmap = t.children_map()
+        assert set(cmap["root"]) == {"a", "b"}
+        assert cmap["e"] == []
+
+    def test_depth(self):
+        t = small_tree()
+        assert t.depth("root") == 0
+        assert t.depth("d") == 2
+
+    def test_subtree_nodes(self):
+        t = small_tree()
+        assert set(t.subtree_nodes("a")) == {"a", "c", "d"}
+
+    def test_validate_passes(self):
+        small_tree().validate()
+
+
+class TestPathMetrics:
+    def test_root_distance(self):
+        t = small_tree()
+        assert t.root_distance("root") == 0
+        assert t.root_distance("c") == 3  # 2 + 1
+        assert t.root_distance("e") == 6  # 3 + 3
+
+    def test_lca(self):
+        t = small_tree()
+        assert t.lca("c", "d") == "a"
+        assert t.lca("c", "e") == "root"
+        assert t.lca("a", "c") == "a"
+        assert t.lca("root", "e") == "root"
+
+    def test_path_length_sums_to_lca(self):
+        t = small_tree()
+        # c: 1 from a; d: 2 from a.
+        assert t.path_length("c", "d") == 3
+        # c: 3 from root; e: 6 from root.
+        assert t.path_length("c", "e") == 9
+
+    def test_path_length_to_self_is_zero(self):
+        t = small_tree()
+        assert t.path_length("d", "d") == 0
+
+    def test_path_length_ancestor(self):
+        t = small_tree()
+        assert t.path_length("root", "c") == 3
+
+    def test_path_difference(self):
+        t = small_tree()
+        assert t.path_difference("c", "e") == 3
+        assert t.path_difference("c", "d") == 1
+
+    def test_s_dominates_d(self):
+        t = small_tree()
+        nodes = t.nodes()
+        for a in nodes:
+            for b in nodes:
+                assert t.path_length(a, b) >= t.path_difference(a, b) - 1e-12
+
+    def test_longest_root_to_leaf(self):
+        assert small_tree().longest_root_to_leaf() == 6
+
+    def test_total_wire_length(self):
+        assert small_tree().total_wire_length() == 2 + 3 + 1 + 2 + 3
+
+    def test_is_equidistant(self):
+        t = ClockTree("r", Point(0, 0))
+        t.add_child("r", "a", Point(1, 0))
+        t.add_child("r", "b", Point(0, 1))
+        assert t.is_equidistant(["a", "b"])
+        assert not t.is_equidistant(["r", "a"])
+        assert t.is_equidistant([])

@@ -1,0 +1,96 @@
+"""Tests for delay tuning (the difference model's tunable-wire premise)."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array, mesh
+from repro.clocktree.builders import kdtree_clock, serpentine_clock
+from repro.clocktree.spine import spine_clock
+from repro.clocktree.tuning import tune_to_equidistant
+from repro.core.models import DifferenceModel, SummationModel, max_skew_bound
+
+
+class TestTuning:
+    def test_makes_any_tree_equidistant(self):
+        array = mesh(5, 5)
+        for builder in (kdtree_clock, serpentine_clock):
+            tree = builder(array)
+            tuned, _added = tune_to_equidistant(tree, array.comm.nodes())
+            assert tuned.is_equidistant(array.comm.nodes(), tolerance=1e-9)
+
+    def test_difference_model_sigma_drops_to_zero(self):
+        array = mesh(4, 4)
+        tree = serpentine_clock(array)
+        model = DifferenceModel(m=1.0)
+        before = max_skew_bound(tree, array.communicating_pairs(), model)
+        tuned, _ = tune_to_equidistant(tree, array.comm.nodes())
+        after = max_skew_bound(tuned, array.communicating_pairs(), model)
+        assert before > 0
+        assert after == pytest.approx(0.0)
+
+    def test_summation_sigma_does_not_improve(self):
+        """Tuning only lengthens wires: every s stays or grows."""
+        array = mesh(4, 4)
+        tree = kdtree_clock(array)
+        model = SummationModel(m=1.0, eps=0.1)
+        before = max_skew_bound(tree, array.communicating_pairs(), model)
+        tuned, _ = tune_to_equidistant(tree, array.comm.nodes())
+        after = max_skew_bound(tuned, array.communicating_pairs(), model)
+        assert after >= before - 1e-9
+
+    def test_pairwise_s_never_shrinks(self):
+        array = linear_array(16)
+        tree = spine_clock(array)
+        tuned, _ = tune_to_equidistant(tree, array.comm.nodes())
+        for a, b in array.communicating_pairs():
+            assert tuned.path_length(a, b) >= tree.path_length(a, b) - 1e-9
+
+    def test_added_wire_reported(self):
+        array = linear_array(8)
+        tree = spine_clock(array)
+        tuned, added = tune_to_equidistant(tree, array.comm.nodes())
+        assert added == pytest.approx(
+            sum(
+                max(tree.root_distance(c) for c in range(8)) - tree.root_distance(c)
+                for c in range(8)
+            )
+        )
+        assert tuned.total_wire_length() == pytest.approx(
+            tree.total_wire_length() + added
+        )
+
+    def test_custom_target(self):
+        array = linear_array(4)
+        tree = spine_clock(array)
+        tuned, _ = tune_to_equidistant(tree, array.comm.nodes(), target=100.0)
+        assert all(
+            tuned.root_distance(c) == pytest.approx(100.0) for c in range(4)
+        )
+
+    def test_target_below_farthest_rejected(self):
+        array = linear_array(4)
+        tree = spine_clock(array)
+        with pytest.raises(ValueError):
+            tune_to_equidistant(tree, array.comm.nodes(), target=0.5)
+
+    def test_structure_preserved(self):
+        array = mesh(3, 3)
+        tree = kdtree_clock(array)
+        tuned, _ = tune_to_equidistant(tree, array.comm.nodes())
+        assert set(tuned.nodes()) == set(tree.nodes())
+        for node in tree.nodes():
+            assert tuned.children(node) == tree.children(node)
+
+    def test_non_leaf_cell_rejected(self):
+        from repro.arrays.topologies import complete_binary_tree
+        from repro.clocktree.builders import comm_tree_clock
+
+        array = complete_binary_tree(2)
+        tree = comm_tree_clock(array)  # cells are internal nodes here
+        with pytest.raises(ValueError):
+            tune_to_equidistant(tree, array.comm.nodes())
+
+    def test_unknown_cell_rejected(self):
+        array = linear_array(4)
+        tree = spine_clock(array)
+        with pytest.raises(KeyError):
+            tune_to_equidistant(tree, ["nope"])

@@ -1,0 +1,69 @@
+"""Tests for the synchronization design advisor."""
+
+import pytest
+
+from repro.arrays.topologies import complete_binary_tree, linear_array, mesh, ring
+from repro.core.advisor import classify_structure, recommend
+from repro.core.models import DifferenceModel, SummationModel
+
+
+class TestClassification:
+    def test_linear_is_one_dimensional(self):
+        assert classify_structure(linear_array(16)) == "one-dimensional"
+
+    def test_ring_is_one_dimensional(self):
+        assert classify_structure(ring(8)) == "one-dimensional"
+
+    def test_tree_detected(self):
+        assert classify_structure(complete_binary_tree(3)) == "tree"
+
+    def test_mesh_is_two_dimensional(self):
+        assert classify_structure(mesh(4, 4)) == "two-dimensional"
+
+
+class TestRecommendations:
+    def test_linear_summation_gets_spine(self):
+        rec = recommend(linear_array(64), SummationModel(m=1.0, eps=0.1))
+        assert rec.scheme == "spine"
+        assert rec.scales_with_size
+        assert rec.sigma == pytest.approx(1.1)
+        assert any("Theorem 3" in r for r in rec.rationale)
+
+    def test_mesh_difference_gets_htree(self):
+        rec = recommend(mesh(8, 8), DifferenceModel(m=1.0))
+        assert rec.scheme == "htree"
+        assert rec.sigma == 0.0
+        assert rec.scales_with_size
+
+    def test_large_mesh_summation_gets_hybrid(self):
+        rec = recommend(
+            mesh(16, 16), SummationModel(m=1.0, eps=0.5), delta=0.2,
+            hybrid_threshold=2.0, element_size=2.0,
+        )
+        assert rec.scheme == "hybrid"
+        assert rec.hybrid_cycle is not None
+        assert any("Section VI" in r for r in rec.rationale)
+
+    def test_small_mesh_summation_keeps_clocked(self):
+        rec = recommend(mesh(4, 4), SummationModel(m=1.0, eps=0.1), delta=5.0)
+        assert rec.scheme != "hybrid"
+        assert not rec.scales_with_size  # warned about Omega(n)
+        assert any("Omega(n)" in r for r in rec.rationale)
+
+    def test_tree_gets_comm_tree_clock(self):
+        rec = recommend(complete_binary_tree(4), SummationModel(m=1.0, eps=0.1))
+        assert rec.scheme == "comm-tree"
+
+    def test_evaluations_sorted_best_first(self):
+        rec = recommend(linear_array(32), SummationModel())
+        sigmas = [e.sigma_bound for e in rec.evaluations]
+        assert sigmas == sorted(sigmas)
+
+    def test_period_includes_delta(self):
+        rec_small = recommend(linear_array(16), SummationModel(), delta=1.0)
+        rec_big = recommend(linear_array(16), SummationModel(), delta=5.0)
+        assert rec_big.period == pytest.approx(rec_small.period + 4.0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            recommend(linear_array(4), SummationModel(), delta=0)

@@ -1,0 +1,107 @@
+"""Tests for the clocking disciplines (A5's 'exact clocking method')."""
+
+import pytest
+
+from repro.core.disciplines import (
+    PulseModeDiscipline,
+    SinglePhaseDiscipline,
+    TwoPhaseDiscipline,
+)
+
+
+class TestSinglePhase:
+    def test_min_period_is_a5_plus_setup(self):
+        d = SinglePhaseDiscipline(t_setup=0.5)
+        assert d.min_period(sigma=1.0, delta=2.0, tau=3.0) == 6.5
+
+    def test_contamination_delay_requirement(self):
+        d = SinglePhaseDiscipline(t_hold=0.2)
+        assert d.min_contamination_delay(sigma=1.0) == 1.2
+
+    def test_evaluate_race_immunity(self):
+        d = SinglePhaseDiscipline(t_hold=0.1)
+        fast_path = d.evaluate(sigma=1.0, delta=1.0, tau=1.0, min_data_delay=0.5)
+        slow_path = d.evaluate(sigma=1.0, delta=1.0, tau=1.0, min_data_delay=1.5)
+        assert not fast_path.race_immune
+        assert slow_path.race_immune
+
+    def test_zero_skew_always_immune_with_positive_path(self):
+        d = SinglePhaseDiscipline()
+        assert d.evaluate(0.0, 1.0, 1.0, min_data_delay=0.01).race_immune
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SinglePhaseDiscipline(t_setup=-1)
+
+
+class TestTwoPhase:
+    def test_min_period_pays_two_gaps(self):
+        d = TwoPhaseDiscipline(nonoverlap=0.5)
+        single = SinglePhaseDiscipline()
+        assert d.min_period(1, 1, 1) == single.min_period(1, 1, 1) + 1.0
+
+    def test_race_immunity_by_gap(self):
+        d = TwoPhaseDiscipline(nonoverlap=1.5, t_hold=0.2)
+        assert d.race_immune(sigma=1.0)
+        assert not d.race_immune(sigma=1.5)
+
+    def test_required_nonoverlap(self):
+        d = TwoPhaseDiscipline(nonoverlap=0.0, t_hold=0.3)
+        assert d.required_nonoverlap(sigma=2.0) == 2.3
+
+    def test_gap_buys_immunity_that_single_phase_lacks(self):
+        """The classic trade: two-phase is race-immune at skew sigma with a
+        big enough gap, where single-phase would need data-path padding —
+        at the cost of a longer period."""
+        sigma = 2.0
+        two = TwoPhaseDiscipline(nonoverlap=2.0)
+        one = SinglePhaseDiscipline()
+        assert two.evaluate(sigma, 1.0, 1.0).race_immune
+        assert not one.evaluate(sigma, 1.0, 1.0, min_data_delay=0.0).race_immune
+        assert two.min_period(sigma, 1.0, 1.0) > one.min_period(sigma, 1.0, 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TwoPhaseDiscipline(nonoverlap=-0.1)
+
+
+class TestPulseMode:
+    def test_survival_against_distortion(self):
+        d = PulseModeDiscipline(pulse_width=2.0, min_latch_pulse=0.5)
+        assert d.pulse_survives(max_distortion=1.4)
+        assert not d.pulse_survives(max_distortion=1.6)
+
+    def test_absorbable_budget(self):
+        d = PulseModeDiscipline(pulse_width=3.0, min_latch_pulse=1.0)
+        assert d.max_absorbable_distortion() == 2.0
+
+    def test_min_period_separates_pulses(self):
+        d = PulseModeDiscipline(pulse_width=1.0)
+        assert d.min_period(1, 1, 1) == 4.0
+
+    def test_on_a_real_buffered_tree(self):
+        """One-shot regeneration: evaluate against the actual worst pulse
+        distortion of a biased buffered spine."""
+        from repro.arrays.topologies import linear_array
+        from repro.clocktree.buffered import BufferedClockTree
+        from repro.clocktree.spine import spine_clock
+        from repro.delay.buffer import InverterPairModel
+        from repro.delay.variation import NoVariation
+
+        array = linear_array(64)
+        buffered = BufferedClockTree(
+            spine_clock(array),
+            wire_variation=NoVariation(),
+            buffer_model=InverterPairModel(nominal=1.0, bias=0.02),
+        )
+        distortion = buffered.max_pulse_distortion()
+        wide = PulseModeDiscipline(pulse_width=distortion + 1.0, min_latch_pulse=0.5)
+        narrow = PulseModeDiscipline(pulse_width=distortion / 2, min_latch_pulse=0.1)
+        assert wide.evaluate(1.0, 1.0, 1.0, max_distortion=distortion).race_immune
+        assert not narrow.evaluate(1.0, 1.0, 1.0, max_distortion=distortion).race_immune
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            PulseModeDiscipline(pulse_width=0)
+        with pytest.raises(ValueError):
+            PulseModeDiscipline(pulse_width=1.0, min_latch_pulse=-1)

@@ -1,0 +1,102 @@
+"""Unit tests for the Section VI hybrid synchronization scheme."""
+
+import pytest
+
+from repro.arrays.topologies import hex_array, linear_array, mesh
+from repro.core.hybrid import build_hybrid, partition_into_elements
+
+
+class TestPartition:
+    def test_block_membership(self):
+        array = mesh(8, 8)
+        elements = partition_into_elements(array, 4.0)
+        assert len(elements) == 4
+        assert all(len(cells) == 16 for cells in elements.values())
+
+    def test_every_cell_assigned_once(self):
+        array = mesh(6, 6)
+        elements = partition_into_elements(array, 4.0)
+        assigned = [c for cells in elements.values() for c in cells]
+        assert sorted(assigned) == sorted(array.comm.nodes())
+
+    def test_element_diameter_bounded(self):
+        array = mesh(16, 16)
+        elements = partition_into_elements(array, 4.0)
+        for cells in elements.values():
+            xs = [array.layout[c].x for c in cells]
+            ys = [array.layout[c].y for c in cells]
+            assert max(xs) - min(xs) < 4.0
+            assert max(ys) - min(ys) < 4.0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            partition_into_elements(mesh(4, 4), 0)
+
+
+class TestBuildHybrid:
+    def test_element_graph_connects_neighbors(self):
+        scheme = build_hybrid(mesh(8, 8), element_size=4.0)
+        assert scheme.element_graph.node_count == 4
+        # 2x2 element grid: 4 adjacencies
+        assert len(scheme.element_graph.communicating_pairs()) == 4
+
+    def test_local_trees_cover_members(self):
+        scheme = build_hybrid(mesh(8, 8), element_size=4.0)
+        for eid, cells in scheme.elements.items():
+            tree = scheme.local_trees[eid]
+            assert all(c in tree for c in cells)
+
+    def test_controllers_inside_blocks(self):
+        scheme = build_hybrid(mesh(8, 8), element_size=4.0)
+        for eid, ctrl in scheme.controllers.items():
+            bx, by = eid
+            assert bx * 4.0 <= ctrl.x <= (bx + 1) * 4.0
+            assert by * 4.0 <= ctrl.y <= (by + 1) * 4.0
+
+    def test_works_on_hex(self):
+        scheme = build_hybrid(hex_array(8, 8), element_size=4.0)
+        assert scheme.element_count() == 4
+
+    def test_works_on_linear(self):
+        scheme = build_hybrid(linear_array(32), element_size=4.0)
+        assert scheme.element_count() == 8
+        # chain of elements
+        assert len(scheme.element_graph.communicating_pairs()) == 7
+
+
+class TestCycleTimeModel:
+    def test_constant_as_array_grows(self):
+        cycles = []
+        for n in (8, 16, 32):
+            scheme = build_hybrid(mesh(n, n), element_size=4.0)
+            cycles.append(scheme.cycle_time(delta=1.0))
+        assert max(cycles) == pytest.approx(min(cycles))
+
+    def test_grows_with_element_size(self):
+        small = build_hybrid(mesh(16, 16), element_size=2.0).cycle_time(delta=1.0)
+        large = build_hybrid(mesh(16, 16), element_size=8.0).cycle_time(delta=1.0)
+        assert large > small
+
+    def test_local_distribution_bounded_by_element(self):
+        scheme = build_hybrid(mesh(32, 32), element_size=4.0)
+        # serpentine local spine through 16 cells: <= ~16 + detours
+        assert scheme.max_local_distribution() <= 2 * 16 + 4
+
+    def test_controller_distance_bounded(self):
+        scheme = build_hybrid(mesh(32, 32), element_size=4.0)
+        assert scheme.max_controller_distance() <= 2 * 4.0
+
+    def test_single_element_has_no_handshake(self):
+        scheme = build_hybrid(mesh(4, 4), element_size=8.0)
+        assert scheme.max_controller_distance() == 0.0
+
+    def test_largest_element(self):
+        scheme = build_hybrid(mesh(8, 8), element_size=4.0)
+        assert scheme.largest_element() == 16
+
+    def test_rejects_bad_cycle_args(self):
+        scheme = build_hybrid(mesh(4, 4), element_size=2.0)
+        with pytest.raises(ValueError):
+            scheme.cycle_time(delta=-1)
+        with pytest.raises(ValueError):
+            scheme.cycle_time(delta=1, m=0)

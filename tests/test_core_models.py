@@ -1,0 +1,118 @@
+"""Unit tests for the skew models (Section III)."""
+
+import pytest
+
+from repro.clocktree.tree import ClockTree
+from repro.core.models import (
+    DifferenceModel,
+    PhysicalModel,
+    SummationModel,
+    max_skew_bound,
+    max_skew_lower_bound,
+)
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def vee():
+    """Root with two legs of lengths 2 and 5: d = 3, s = 7 between tips."""
+    t = ClockTree("r", Point(0, 0))
+    t.add_child("r", "a", Point(2, 0))  # length 2
+    t.add_child("r", "b", Point(0, 5))  # length 5
+    return t
+
+
+class TestDifferenceModel:
+    def test_linear_default(self, vee):
+        model = DifferenceModel(m=2.0)
+        assert model.skew_bound(vee, "a", "b") == pytest.approx(6.0)  # 2 * d
+
+    def test_custom_f(self, vee):
+        model = DifferenceModel(f=lambda d: d * d)
+        assert model.skew_bound(vee, "a", "b") == pytest.approx(9.0)
+
+    def test_equidistant_nodes_zero_skew(self):
+        t = ClockTree("r", Point(0, 0))
+        t.add_child("r", "a", Point(3, 0))
+        t.add_child("r", "b", Point(0, 3))
+        assert DifferenceModel().skew_bound(t, "a", "b") == 0.0
+
+    def test_no_lower_bound(self, vee):
+        assert DifferenceModel().skew_lower_bound(vee, "a", "b") == 0.0
+
+
+class TestSummationModel:
+    def test_default_bracket(self, vee):
+        model = SummationModel(m=1.0, eps=0.1)
+        assert model.skew_bound(vee, "a", "b") == pytest.approx(1.1 * 7)
+        assert model.skew_lower_bound(vee, "a", "b") == pytest.approx(0.1 * 7)
+
+    def test_custom_g(self, vee):
+        model = SummationModel(g=lambda s: 3 * s + 1)
+        assert model.skew_bound(vee, "a", "b") == pytest.approx(22.0)
+
+    def test_explicit_beta(self, vee):
+        model = SummationModel(beta=0.5, eps=0.1)
+        assert model.skew_lower_bound(vee, "a", "b") == pytest.approx(3.5)
+
+    def test_beta_defaults_to_eps(self):
+        assert SummationModel(eps=0.2).beta_value == 0.2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SummationModel(beta=-1)
+        with pytest.raises(ValueError):
+            SummationModel(eps=-0.1)
+
+
+class TestPhysicalModel:
+    def test_exact_formula(self, vee):
+        model = PhysicalModel(m=1.0, eps=0.1)
+        # sigma = m*d + eps*s = 3 + 0.7
+        assert model.skew_bound(vee, "a", "b") == pytest.approx(3.7)
+
+    def test_bracketing(self, vee):
+        """eps*s <= m*d + eps*s <= (m+eps)*s — the Section III inequality."""
+        model = PhysicalModel(m=1.0, eps=0.1)
+        sigma = model.skew_bound(vee, "a", "b")
+        s = vee.path_length("a", "b")
+        assert model.eps * s <= sigma <= (model.m + model.eps) * s
+
+    def test_as_difference_drops_eps(self, vee):
+        model = PhysicalModel(m=2.0, eps=0.1).as_difference()
+        assert model.skew_bound(vee, "a", "b") == pytest.approx(6.0)
+
+    def test_as_summation_preserves_bracket(self, vee):
+        phys = PhysicalModel(m=1.0, eps=0.2)
+        summ = phys.as_summation()
+        assert summ.skew_bound(vee, "a", "b") == pytest.approx(1.2 * 7)
+        assert summ.skew_lower_bound(vee, "a", "b") == pytest.approx(0.2 * 7)
+
+    def test_zero_eps_reduces_to_difference(self, vee):
+        phys = PhysicalModel(m=1.0, eps=0.0)
+        diff = DifferenceModel(m=1.0)
+        assert phys.skew_bound(vee, "a", "b") == diff.skew_bound(vee, "a", "b")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PhysicalModel(m=0)
+        with pytest.raises(ValueError):
+            PhysicalModel(m=1.0, eps=2.0)
+
+
+class TestMaxSkew:
+    def test_max_over_pairs(self, vee):
+        model = SummationModel(m=1.0, eps=0.0)
+        pairs = [("a", "b"), ("r", "a")]
+        assert max_skew_bound(vee, pairs, model) == pytest.approx(7.0)
+
+    def test_empty_pairs(self, vee):
+        assert max_skew_bound(vee, [], SummationModel()) == 0.0
+        assert max_skew_lower_bound(vee, [], SummationModel()) == 0.0
+
+    def test_lower_bound_below_upper(self, vee):
+        model = SummationModel(m=1.0, eps=0.1)
+        pairs = [("a", "b")]
+        assert max_skew_lower_bound(vee, pairs, model) <= max_skew_bound(
+            vee, pairs, model
+        )

@@ -1,0 +1,120 @@
+"""Tests for automatic hold-fix padding ("adding delay to circuits")."""
+
+import pytest
+
+from repro.arrays.systolic import build_fir_array, build_odd_even_sorter
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.core.padding import compute_hold_padding, plan_safe_clocking
+from repro.delay.variation import BoundedUniformVariation
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+
+
+def coflow_program_and_schedule(delta_irrelevant=True):
+    """FIR array with the clock running WITH the data: every edge races."""
+    program = build_fir_array([1.0, 2.0, -1.0], [3.0, 1.0, 4.0, 1.0, 5.0])
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=["src", 0, 1, 2, "snk"]),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=3),
+    )
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, 10.0, program.array.comm.nodes()
+    )
+    return program, schedule
+
+
+class TestComputePadding:
+    def test_zero_for_ideal_schedule(self):
+        program, _ = coflow_program_and_schedule()
+        ideal = ClockSchedule.ideal(program.array.comm.nodes(), 10.0)
+        padding = compute_hold_padding(program.array, ideal, delta=1.0)
+        assert all(v == 0.0 for v in padding.values())
+
+    def test_positive_on_racing_edges(self):
+        program, schedule = coflow_program_and_schedule()
+        padding = compute_hold_padding(program.array, schedule, delta=0.5)
+        racing = [e for e, v in padding.items() if v > 0]
+        assert racing  # clock leads data on every forward edge
+
+    def test_padding_matches_skew_minus_delta(self):
+        program, schedule = coflow_program_and_schedule()
+        padding = compute_hold_padding(program.array, schedule, delta=0.5)
+        for (u, v), pad in padding.items():
+            if pad > 0:
+                lead = schedule.offset(v) - schedule.offset(u)
+                assert pad == pytest.approx(lead - 0.5, abs=1e-6)
+
+    def test_margin_adds_guard_band(self):
+        program, schedule = coflow_program_and_schedule()
+        base = compute_hold_padding(program.array, schedule, delta=0.5)
+        guarded = compute_hold_padding(program.array, schedule, delta=0.5, margin=0.3)
+        for edge, pad in base.items():
+            if pad > 0:
+                assert guarded[edge] == pytest.approx(pad + 0.3, abs=1e-9)
+
+    def test_rejects_negative_args(self):
+        program, schedule = coflow_program_and_schedule()
+        with pytest.raises(ValueError):
+            compute_hold_padding(program.array, schedule, delta=-1)
+
+
+class TestPlanSafeClocking:
+    def test_plan_eliminates_hazards_and_runs_clean(self):
+        program, schedule = coflow_program_and_schedule()
+        plan = plan_safe_clocking(program.array, schedule, delta=0.5)
+        sim = ClockedArraySimulator(
+            program, schedule, delta=0.5, edge_padding=plan.padding
+        )
+        assert sim.hold_hazards() == []
+        assert sim.minimum_safe_period() <= plan.min_safe_period + 1e-9
+        result = sim.run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+    def test_without_plan_the_same_setup_fails(self):
+        program, schedule = coflow_program_and_schedule()
+        sim = ClockedArraySimulator(program, schedule, delta=0.5)
+        assert sim.hold_hazards() != []
+        assert not sim.run().clean
+
+    def test_plan_on_bidirectional_sorter(self):
+        program = build_odd_even_sorter([4.0, 1.0, 3.0, 2.0])
+        buffered = BufferedClockTree(
+            spine_clock(program.array),
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=5),
+        )
+        schedule = ClockSchedule.from_buffered_tree(
+            buffered, 30.0, program.array.comm.nodes()
+        )
+        plan = plan_safe_clocking(program.array, schedule, delta=0.5)
+        sim = ClockedArraySimulator(
+            program, schedule, delta=0.5, edge_padding=plan.padding
+        )
+        result = sim.run()
+        assert result.clean
+        assert result.result == [1.0, 2.0, 3.0, 4.0]
+
+    def test_plan_statistics(self):
+        program, schedule = coflow_program_and_schedule()
+        plan = plan_safe_clocking(program.array, schedule, delta=0.5)
+        assert plan.padded_edges > 0
+        assert plan.total_padding > 0
+        assert plan.min_safe_period > 0
+
+    def test_padding_raises_setup_requirement(self):
+        """The trade-off: fixing hold with delay makes setup harder."""
+        program, schedule = coflow_program_and_schedule()
+        plan = plan_safe_clocking(program.array, schedule, delta=0.5)
+        bare = ClockedArraySimulator(program, schedule, delta=0.5)
+        padded = ClockedArraySimulator(
+            program, schedule, delta=0.5, edge_padding=plan.padding
+        )
+        assert padded.minimum_safe_period() >= bare.minimum_safe_period()
+
+    def test_negative_padding_rejected_by_simulator(self):
+        program, schedule = coflow_program_and_schedule()
+        with pytest.raises(ValueError):
+            ClockedArraySimulator(
+                program, schedule, delta=0.5, edge_padding={("src", 0): -1.0}
+            )

@@ -1,0 +1,53 @@
+"""Unit tests for the clocking scheme registry."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array, mesh
+from repro.core.schemes import (
+    available_schemes,
+    build_scheme,
+    register_scheme,
+)
+
+
+class TestRegistry:
+    def test_builtin_schemes_present(self):
+        names = {s.name for s in available_schemes()}
+        assert {"htree", "spine", "serpentine", "kdtree", "star", "dissection-1d"} <= names
+
+    def test_build_by_name(self):
+        array = mesh(4, 4)
+        tree = build_scheme("htree", array)
+        assert all(c in tree for c in array.comm.nodes())
+
+    def test_spine_on_linear(self):
+        array = linear_array(8)
+        tree = build_scheme("spine", array)
+        assert tree.path_length(0, 1) == pytest.approx(1.0)
+
+    def test_unknown_scheme_raises_with_choices(self):
+        with pytest.raises(KeyError, match="htree"):
+            build_scheme("bogus", mesh(2, 2))
+
+    def test_register_and_use_custom(self):
+        from repro.clocktree.builders import star_clock
+
+        name = "test-custom-star"
+        try:
+            register_scheme(name, star_clock, "test scheme")
+            tree = build_scheme(name, mesh(3, 3))
+            assert all(tree.depth(c) == 1 for c in mesh(3, 3).comm.nodes())
+        finally:
+            # keep the global registry clean for other tests
+            from repro.core import schemes as schemes_module
+
+            schemes_module._REGISTRY.pop(name, None)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.clocktree.builders import star_clock
+
+        with pytest.raises(ValueError):
+            register_scheme("htree", star_clock, "dup")
+
+    def test_descriptions_nonempty(self):
+        assert all(s.description for s in available_schemes())

@@ -1,0 +1,54 @@
+"""Unit tests for the rectangle-to-square folding embedding (Theorem 2's
+aspect-ratio normalization)."""
+
+import pytest
+
+from repro.geometry.embedding import embed_rectangle_in_square
+
+
+class TestEmbedding:
+    def test_all_cells_placed_uniquely(self):
+        layout, _stats = embed_rectangle_in_square(3, 24)
+        assert len(layout) == 72
+        assert len({layout[c] for c in layout.cells()}) == 72
+
+    def test_bounded_aspect_ratio(self):
+        for rows, cols in [(1, 64), (2, 50), (4, 100), (3, 27)]:
+            _layout, stats = embed_rectangle_in_square(rows, cols)
+            assert stats["aspect_ratio"] <= 4.0, (rows, cols, stats)
+
+    def test_constant_area_factor(self):
+        for rows, cols in [(1, 64), (2, 128), (4, 256)]:
+            _layout, stats = embed_rectangle_in_square(rows, cols)
+            assert stats["area_factor"] <= 4.0
+
+    def test_one_dimensional_stretch_is_constant(self):
+        # rows = 1: folding a line gives stretch <= 2 regardless of length.
+        for cols in (16, 64, 256, 1024):
+            _layout, stats = embed_rectangle_in_square(1, cols)
+            assert stats["max_edge_stretch"] <= 2.0
+
+    def test_stretch_bounded_by_rows(self):
+        for rows, cols in [(2, 40), (3, 48), (4, 64)]:
+            _layout, stats = embed_rectangle_in_square(rows, cols)
+            assert stats["max_edge_stretch"] <= rows + 1
+
+    def test_transposed_input(self):
+        layout, stats = embed_rectangle_in_square(24, 3)
+        assert len(layout) == 72
+        assert stats["aspect_ratio"] <= 4.0
+        # keys keep original (r, c) orientation
+        assert (23, 2) in layout
+
+    def test_already_square_is_identityish(self):
+        layout, stats = embed_rectangle_in_square(4, 4)
+        assert stats["max_edge_stretch"] == 1.0
+        assert stats["aspect_ratio"] == 1.0
+
+    def test_well_spaced(self):
+        layout, _stats = embed_rectangle_in_square(2, 30)
+        assert layout.is_well_spaced()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            embed_rectangle_in_square(0, 5)

@@ -1,0 +1,131 @@
+"""Unit tests for points, bounding boxes, and circle helpers."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import (
+    ORIGIN,
+    BoundingBox,
+    Point,
+    circle_area,
+    circle_circumference,
+    points_within,
+    polyline_length,
+)
+
+
+class TestPoint:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_euclidean_distance(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_chebyshev_distance(self):
+        assert Point(0, 0).chebyshev(Point(3, 4)) == 4
+
+    def test_manhattan_dominates_euclidean(self):
+        a, b = Point(1.5, -2.0), Point(-3.25, 7.0)
+        assert a.manhattan(b) >= a.euclidean(b)
+
+    def test_distance_symmetry(self):
+        a, b = Point(2, 5), Point(-1, 3)
+        assert a.manhattan(b) == b.manhattan(a)
+        assert a.euclidean(b) == b.euclidean(a)
+
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scaled_and_translated(self):
+        assert Point(1, 2).scaled(2.0) == Point(2, 4)
+        assert Point(1, 2).translated(1, -1) == Point(2, 1)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_iteration_unpacks(self):
+        x, y = Point(5, 7)
+        assert (x, y) == (5, 7)
+
+    def test_origin(self):
+        assert ORIGIN == Point(0.0, 0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.width == 4
+        assert box.height == 2
+        assert box.area == 8
+        assert box.center == Point(2, 1)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            BoundingBox(2, 0, 1, 1)
+
+    def test_aspect_ratio_is_long_over_short(self):
+        assert BoundingBox(0, 0, 4, 2).aspect_ratio == 2.0
+        assert BoundingBox(0, 0, 2, 4).aspect_ratio == 2.0
+
+    def test_aspect_ratio_degenerate_strip(self):
+        assert BoundingBox(0, 0, 4, 0).aspect_ratio == math.inf
+
+    def test_aspect_ratio_point(self):
+        assert BoundingBox(1, 1, 1, 1).aspect_ratio == 1.0
+
+    def test_diameter_is_manhattan(self):
+        assert BoundingBox(0, 0, 3, 4).diameter == 7
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains(Point(1, 1))
+        assert box.contains(Point(0, 2))
+        assert not box.contains(Point(3, 1))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 2, 2).expanded(0.5)
+        assert box.min_x == -0.5 and box.max_y == 2.5
+
+    def test_expanded_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).expanded(-1)
+
+    def test_around(self):
+        box = BoundingBox.around([Point(1, 5), Point(-2, 3), Point(0, 0)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 0, 1, 5)
+
+    def test_around_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+
+class TestPolylineAndCircles:
+    def test_polyline_length(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 3)]
+        assert polyline_length(pts) == 5
+
+    def test_polyline_short(self):
+        assert polyline_length([Point(0, 0)]) == 0.0
+        assert polyline_length([]) == 0.0
+
+    def test_circle_area(self):
+        assert circle_area(2.0) == pytest.approx(math.pi * 4)
+
+    def test_circle_circumference(self):
+        assert circle_circumference(1.0) == pytest.approx(2 * math.pi)
+
+    def test_circle_negative_radius(self):
+        with pytest.raises(ValueError):
+            circle_area(-1)
+        with pytest.raises(ValueError):
+            circle_circumference(-1)
+
+    def test_points_within(self):
+        labelled = [("a", Point(0, 0)), ("b", Point(3, 0)), ("c", Point(0, 1))]
+        assert points_within(labelled, Point(0, 0), 1.5) == ["a", "c"]

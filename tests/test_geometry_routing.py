@@ -1,0 +1,70 @@
+"""Unit tests for rectilinear routing helpers and visit orders."""
+
+import pytest
+
+from repro.geometry.point import Point, polyline_length
+from repro.geometry.routing import l_route, manhattan_route_length, snake_order, spiral_order
+
+
+class TestLRoute:
+    def test_is_shortest(self):
+        a, b = Point(0, 0), Point(3, 2)
+        assert polyline_length(l_route(a, b)) == a.manhattan(b)
+
+    def test_corner_choice(self):
+        a, b = Point(0, 0), Point(3, 2)
+        assert l_route(a, b, horizontal_first=True)[1] == Point(3, 0)
+        assert l_route(a, b, horizontal_first=False)[1] == Point(0, 2)
+
+    def test_collinear_has_no_corner(self):
+        assert len(l_route(Point(0, 0), Point(5, 0))) == 2
+        assert len(l_route(Point(0, 0), Point(0, 5))) == 2
+
+    def test_same_point(self):
+        assert polyline_length(l_route(Point(1, 1), Point(1, 1))) == 0
+
+    def test_manhattan_route_length(self):
+        assert manhattan_route_length(Point(0, 0), Point(2, 5)) == 7
+
+
+class TestSnakeOrder:
+    def test_visits_every_cell_once(self):
+        order = snake_order(3, 4)
+        assert len(order) == 12
+        assert len(set(order)) == 12
+
+    def test_consecutive_cells_adjacent(self):
+        order = snake_order(5, 3)
+        for (r1, c1), (r2, c2) in zip(order, order[1:]):
+            assert abs(r1 - r2) + abs(c1 - c2) == 1
+
+    def test_alternating_direction(self):
+        order = snake_order(2, 3)
+        assert order == [(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            snake_order(0, 3)
+
+
+class TestSpiralOrder:
+    def test_visits_every_cell_once(self):
+        order = spiral_order(4, 5)
+        assert len(order) == 20
+        assert len(set(order)) == 20
+
+    def test_consecutive_cells_adjacent(self):
+        order = spiral_order(4, 4)
+        for (r1, c1), (r2, c2) in zip(order, order[1:]):
+            assert abs(r1 - r2) + abs(c1 - c2) == 1
+
+    def test_single_row_and_column(self):
+        assert spiral_order(1, 4) == [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert spiral_order(4, 1) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_starts_at_origin_going_right(self):
+        assert spiral_order(3, 3)[:3] == [(0, 0), (0, 1), (0, 2)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            spiral_order(3, 0)

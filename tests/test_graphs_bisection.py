@@ -1,0 +1,133 @@
+"""Unit tests for bisection width algorithms (Lemma 4 machinery)."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array, mesh
+from repro.graphs.bisection import (
+    bisection_width_exact,
+    bisection_width_kernighan_lin,
+    bisection_width_spectral,
+    bisection_width_upper_bound,
+    mesh_bisection_lower_bound,
+)
+from repro.graphs.comm import CommGraph
+
+
+def path_graph(n):
+    return CommGraph(edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n):
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+class TestExact:
+    def test_path_bisects_with_one_cut(self):
+        result = bisection_width_exact(path_graph(8))
+        assert result.cut_size == 1
+        assert result.balance == 0.5
+
+    def test_cycle_needs_two_cuts(self):
+        assert bisection_width_exact(cycle_graph(8)).cut_size == 2
+
+    def test_small_mesh(self):
+        # 3x3 mesh: optimal balanced cut is 3 (cut along a grid line with
+        # balance 2/3) — with max_fraction 2/3 the answer is 3.
+        g = mesh(3, 3).comm
+        result = bisection_width_exact(g, max_fraction=2 / 3)
+        assert result.cut_size == 3
+
+    def test_complete_graph(self):
+        g = CommGraph()
+        for i in range(6):
+            for j in range(i + 1, 6):
+                g.add_edge(i, j)
+        assert bisection_width_exact(g).cut_size == 9  # 3*3 crossing pairs
+
+    def test_partition_is_a_partition(self):
+        g = path_graph(9)
+        result = bisection_width_exact(g)
+        assert result.part_a | result.part_b == set(g.nodes())
+        assert not result.part_a & result.part_b
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(ValueError):
+            bisection_width_exact(path_graph(30))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            bisection_width_exact(CommGraph(nodes=[1]))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            bisection_width_exact(path_graph(4), max_fraction=0.3)
+
+
+class TestHeuristics:
+    def test_kl_matches_exact_on_path(self):
+        g = path_graph(12)
+        exact = bisection_width_exact(g).cut_size
+        kl = bisection_width_kernighan_lin(g, rounds=8, seed=1).cut_size
+        assert kl >= exact  # upper bound
+        assert kl <= exact + 1
+
+    def test_kl_on_cycle(self):
+        assert bisection_width_kernighan_lin(cycle_graph(12), seed=2).cut_size == 2
+
+    def test_spectral_on_path(self):
+        assert bisection_width_spectral(path_graph(16)).cut_size == 1
+
+    def test_spectral_on_mesh_near_grid_cut(self):
+        # The 4x4 grid's Fiedler eigenvalue is degenerate (x and y modes),
+        # so the spectral cut may be slightly above the optimal 4.
+        g = mesh(4, 4).comm
+        assert 4 <= bisection_width_spectral(g).cut_size <= 6
+
+    def test_spectral_plus_kl_finds_grid_cut(self):
+        g = mesh(4, 4).comm
+        seed_part = set(bisection_width_spectral(g).part_a)
+        refined = bisection_width_kernighan_lin(g, rounds=2, seed=0, initial=seed_part)
+        assert refined.cut_size == 4
+
+    def test_spectral_balance(self):
+        result = bisection_width_spectral(mesh(4, 4).comm)
+        assert result.balance == 0.5
+
+    def test_upper_bound_dispatches_exact_for_tiny(self):
+        g = path_graph(6)
+        assert bisection_width_upper_bound(g).cut_size == 1
+
+    def test_upper_bound_on_mesh(self):
+        g = mesh(5, 5).comm
+        result = bisection_width_upper_bound(g, seed=0)
+        assert result.cut_size <= 7  # true width ~5-6 at near-balance
+        assert result.cut_size >= 5
+
+    def test_kl_deterministic_given_seed(self):
+        g = mesh(4, 4).comm
+        a = bisection_width_kernighan_lin(g, rounds=3, seed=5).cut_size
+        b = bisection_width_kernighan_lin(g, rounds=3, seed=5).cut_size
+        assert a == b
+
+
+class TestMeshLowerBound:
+    def test_linear_in_n(self):
+        assert mesh_bisection_lower_bound(30) == pytest.approx(7.0)
+        assert mesh_bisection_lower_bound(60) == pytest.approx(14.0)
+
+    def test_tighter_balance_gives_bigger_bound(self):
+        assert mesh_bisection_lower_bound(30, 0.5) > mesh_bisection_lower_bound(30, 0.9)
+
+    def test_respected_by_exact_on_small_mesh(self):
+        n = 4
+        g = mesh(n, n).comm
+        exact = bisection_width_exact(g, max_fraction=23 / 30, size_limit=16).cut_size
+        assert exact >= mesh_bisection_lower_bound(n)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            mesh_bisection_lower_bound(1)
+        with pytest.raises(ValueError):
+            mesh_bisection_lower_bound(5, 0.2)

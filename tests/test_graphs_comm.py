@@ -1,0 +1,129 @@
+"""Unit tests for the COMM graph (assumption A1)."""
+
+import pytest
+
+from repro.graphs.comm import CommGraph
+
+
+def path_graph(n):
+    return CommGraph(edges=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        g = CommGraph(edges=[(0, 1), (1, 2)], nodes=[5])
+        assert g.node_count == 4
+        assert g.edge_count == 2
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            CommGraph(edges=[(1, 1)])
+
+    def test_add_bidirectional(self):
+        g = CommGraph()
+        g.add_bidirectional("a", "b")
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")
+        assert g.edge_count == 2
+
+    def test_duplicate_edge_idempotent(self):
+        g = CommGraph(edges=[(0, 1), (0, 1)])
+        assert g.edge_count == 1
+
+    def test_contains_and_iter(self):
+        g = path_graph(3)
+        assert 1 in g and 9 not in g
+        assert set(iter(g)) == {0, 1, 2}
+        assert len(g) == 3
+
+
+class TestNeighborhoods:
+    def test_successors_predecessors(self):
+        g = CommGraph(edges=[(0, 1), (2, 1)])
+        assert g.successors(0) == {1}
+        assert g.predecessors(1) == {0, 2}
+        assert g.neighbors(1) == {0, 2}
+
+    def test_degree_is_undirected(self):
+        g = CommGraph()
+        g.add_bidirectional(0, 1)
+        g.add_edge(2, 0)
+        assert g.degree(0) == 2
+        assert g.max_degree() == 2
+
+    def test_neighbors_returns_copy(self):
+        g = path_graph(3)
+        g.neighbors(1).add(99)
+        assert 99 not in g.neighbors(1)
+
+
+class TestCommunicatingPairs:
+    def test_bidirectional_counted_once(self):
+        g = CommGraph()
+        g.add_bidirectional(0, 1)
+        assert g.communicating_pairs() == [(0, 1)]
+
+    def test_pair_count_for_path(self):
+        assert len(path_graph(10).communicating_pairs()) == 9
+
+    def test_pairs_cover_all_edges(self):
+        g = CommGraph(edges=[(0, 1), (2, 1), (2, 0)])
+        covered = {frozenset(p) for p in g.communicating_pairs()}
+        assert covered == {frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})}
+
+
+class TestStructure:
+    def test_connectivity(self):
+        assert path_graph(5).is_connected()
+        g = CommGraph(edges=[(0, 1)], nodes=[7])
+        assert not g.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert CommGraph().is_connected()
+
+    def test_components(self):
+        g = CommGraph(edges=[(0, 1), (2, 3)])
+        comps = sorted(g.undirected_components(), key=len)
+        assert {frozenset(c) for c in comps} == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_acyclicity(self):
+        assert path_graph(4).is_acyclic()
+        g = CommGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert not g.is_acyclic()
+
+    def test_bidirectional_is_cyclic(self):
+        g = CommGraph()
+        g.add_bidirectional(0, 1)
+        assert not g.is_acyclic()
+
+    def test_undirected_distance(self):
+        g = path_graph(6)
+        assert g.undirected_distance(0, 5) == 5
+        assert g.undirected_distance(2, 2) == 0
+
+    def test_undirected_distance_disconnected(self):
+        g = CommGraph(edges=[(0, 1)], nodes=["x"])
+        assert g.undirected_distance(0, "x") == -1
+
+    def test_distance_ignores_direction(self):
+        g = CommGraph(edges=[(0, 1), (2, 1)])
+        assert g.undirected_distance(0, 2) == 2
+
+
+class TestCutsAndSubgraphs:
+    def test_crossing_edges(self):
+        g = path_graph(6)
+        crossing = g.crossing_edges({0, 1, 2}, {3, 4, 5})
+        assert [frozenset(e) for e in crossing] == [frozenset({2, 3})]
+
+    def test_crossing_ignores_internal(self):
+        g = path_graph(4)
+        assert g.crossing_edges({0, 1, 2, 3}, set()) == []
+
+    def test_subgraph(self):
+        g = path_graph(5)
+        sub = g.subgraph({1, 2, 3})
+        assert sub.node_count == 3
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(0, 1)

@@ -1,0 +1,153 @@
+"""End-to-end integration tests: the paper's storyline on real pipelines.
+
+Each test strings several subsystems together the way the benchmarks (and a
+downstream user) would.
+"""
+
+import pytest
+
+from repro import (
+    BufferedClockTree,
+    ClockSchedule,
+    ClockedArraySimulator,
+    DifferenceModel,
+    SummationModel,
+    build_fir_array,
+    build_hybrid,
+    build_mesh_matmul,
+    equipotential_tau,
+    htree_for_array,
+    linear_array,
+    mesh,
+    prove_skew_lower_bound,
+    serpentine_clock,
+    simulate_hybrid,
+    spine_clock,
+    max_skew_bound,
+)
+from repro.analysis.scaling import classify_growth
+from repro.delay.variation import BoundedUniformVariation
+
+
+class TestStoryLinearArraysScale:
+    """Theorem 3 end-to-end: a 1D systolic computation stays correct at a
+    fixed clock period as the array grows."""
+
+    @pytest.mark.parametrize("taps", [4, 16, 48])
+    def test_fir_correct_at_fixed_period_any_size(self, taps):
+        weights = [((-1.0) ** j) * (j + 1) for j in range(taps)]
+        xs = [float((i * 7) % 5 - 2) for i in range(taps + 10)]
+        program = build_fir_array(weights, xs)
+        order = ["snk"] + list(range(taps - 1, -1, -1)) + ["src"]
+        buffered = BufferedClockTree(
+            spine_clock(program.array, order=order),
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=taps),
+        )
+        fixed_period = 6.0  # independent of taps
+        sched = ClockSchedule.from_buffered_tree(
+            buffered, fixed_period, program.array.comm.nodes()
+        )
+        sim = ClockedArraySimulator(program, sched, delta=1.0)
+        assert sim.minimum_safe_period() <= fixed_period
+        result = sim.run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+
+class TestStoryTwoDimensionalWall:
+    """Section V-B end-to-end: every scheme's sigma grows on meshes, the
+    certificate proof validates, and the hybrid scheme rescues scaling."""
+
+    def test_mesh_sigma_grows_under_every_scheme(self):
+        from repro.clocktree.builders import kdtree_clock
+
+        for builder in (htree_for_array, serpentine_clock, kdtree_clock):
+            sizes, sigmas = [], []
+            for n in (4, 8, 16):
+                array = mesh(n, n)
+                tree = builder(array)
+                sigma = max(
+                    0.1 * tree.path_length(a, b)
+                    for a, b in array.communicating_pairs()
+                )
+                sizes.append(n)
+                sigmas.append(sigma)
+            assert sigmas[-1] > 1.5 * sigmas[0], builder.__name__
+
+    def test_certificates_validate_across_sizes(self):
+        for n in (4, 8, 12):
+            array = mesh(n, n)
+            cert = prove_skew_lower_bound(serpentine_clock(array), array, beta=0.1)
+            cert.check()
+
+    def test_hybrid_restores_constant_cycle(self):
+        cycles = []
+        taus = []
+        for n in (8, 16, 32):
+            array = mesh(n, n)
+            cycles.append(
+                simulate_hybrid(
+                    build_hybrid(array, element_size=4.0), steps=25, delta=1.0
+                ).cycle_time
+            )
+            taus.append(equipotential_tau(serpentine_clock(array)))
+        assert max(cycles) == pytest.approx(min(cycles))
+        assert taus[-1] > 3 * taus[0]
+
+
+class TestStoryDifferenceVsSummation:
+    """Section IV vs V: the H-tree wins under the difference model and
+    loses to the spine under the summation model on 1D arrays."""
+
+    def test_model_determines_the_winner(self):
+        array = linear_array(64)
+        from repro.clocktree.htree import dissection_tree_for_linear
+
+        htree_like = dissection_tree_for_linear(array)
+        spine = spine_clock(array)
+        pairs = array.communicating_pairs()
+
+        diff = DifferenceModel(m=1.0)
+        summ = SummationModel(m=1.0, eps=0.1)
+        # Difference model: dissection (equidistant) beats or ties spine.
+        assert max_skew_bound(htree_like, pairs, diff) <= max_skew_bound(
+            spine, pairs, diff
+        )
+        # Summation model: spine wins by a growing margin.
+        assert max_skew_bound(spine, pairs, summ) < 0.1 * max_skew_bound(
+            htree_like, pairs, summ
+        )
+
+
+class TestStoryMeshComputationUnderSkew:
+    def test_matmul_on_htree_clocked_mesh(self):
+        """A 2D computation under an H-tree clock with zero variation:
+        equidistant arrivals reproduce lockstep exactly."""
+        a = [[1.0, 2.0, 0.0], [0.5, -1.0, 3.0], [2.0, 2.0, 2.0]]
+        b = [[1.0, 0.0, 1.0], [0.0, 1.0, -1.0], [1.0, 1.0, 0.0]]
+        program = build_mesh_matmul(a, b)
+        sched = ClockSchedule.ideal(program.array.comm.nodes(), period=5.0)
+        sim = ClockedArraySimulator(program, sched, delta=1.0)
+        result = sim.run()
+        assert result.clean
+        import numpy as np
+
+        assert np.allclose(result.result, program.run_lockstep())
+
+
+class TestGrowthLawsAcrossTheBoard:
+    def test_spine_sigma_constant_dissection_linear(self):
+        sizes = [8, 16, 32, 64, 128]
+        spine_sigma, dissection_sigma = [], []
+        summ = SummationModel(m=1.0, eps=0.1)
+        from repro.clocktree.htree import dissection_tree_for_linear
+
+        for n in sizes:
+            array = linear_array(n)
+            pairs = array.communicating_pairs()
+            spine_sigma.append(max_skew_bound(spine_clock(array), pairs, summ))
+            dissection_sigma.append(
+                max_skew_bound(dissection_tree_for_linear(array), pairs, summ)
+            )
+        assert classify_growth(sizes, spine_sigma).law == "constant"
+        assert classify_growth(sizes, dissection_sigma).law == "linear"

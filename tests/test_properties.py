@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The invariants under test are the ones the paper's reasoning leans on:
+
+* metric identities of the clock tree (s >= d >= 0, symmetry, the
+  h1/h2 decomposition of Section III);
+* the physical skew model's bracketing inequality;
+* lockstep executor determinism;
+* sorter correctness over arbitrary inputs;
+* separator balance over random trees;
+* random-walk statistics of inverter strings.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.systolic import build_fir_array, build_odd_even_sorter
+from repro.clocktree.tree import ClockTree
+from repro.core.models import PhysicalModel
+from repro.delay.buffer import InverterPairModel
+from repro.geometry.point import Point
+from repro.graphs.separators import tree_edge_separator
+from repro.sim.inverter import InverterString
+
+
+# ----------------------------------------------------------------------
+# random tree strategy
+# ----------------------------------------------------------------------
+@st.composite
+def random_clock_trees(draw):
+    """A random binary tree with random positive edge lengths."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    tree = ClockTree(0, Point(0, 0))
+    open_slots = [0, 0]  # each node may appear twice (binary)
+    for node in range(1, n):
+        parent = rng.choice(open_slots)
+        open_slots.remove(parent)
+        length = rng.uniform(0.0, 5.0)
+        tree.add_child(parent, node, Point(rng.uniform(-9, 9), rng.uniform(-9, 9)), length=length)
+        open_slots.extend([node, node])
+    return tree
+
+
+@given(random_clock_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_tree_metric_identities(tree, data):
+    nodes = tree.nodes()
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    s = tree.path_length(a, b)
+    d = tree.path_difference(a, b)
+    # s >= d >= 0 (the Section III inequality chain)
+    assert s >= d - 1e-9
+    assert d >= 0
+    # symmetry
+    assert tree.path_length(b, a) == s
+    assert tree.path_difference(b, a) == d
+    # h1/h2 decomposition: s = h1 + h2, d = |h1 - h2|
+    lca = tree.lca(a, b)
+    h1 = tree.root_distance(a) - tree.root_distance(lca)
+    h2 = tree.root_distance(b) - tree.root_distance(lca)
+    assert s == (h1 + h2) or abs(s - (h1 + h2)) < 1e-9
+    assert abs(d - abs(h1 - h2)) < 1e-9
+
+
+@given(random_clock_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_lca_is_common_ancestor(tree, data):
+    nodes = tree.nodes()
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    lca = tree.lca(a, b)
+
+    def ancestors(node):
+        out = []
+        while node is not None:
+            out.append(node)
+            node = tree.parent(node)
+        return out
+
+    assert lca in ancestors(a)
+    assert lca in ancestors(b)
+    # deepest common: its children can't both be ancestors
+    common = set(ancestors(a)) & set(ancestors(b))
+    assert tree.depth(lca) == max(tree.depth(c) for c in common)
+
+
+@given(
+    random_clock_trees(),
+    st.floats(min_value=0.1, max_value=3.0),
+    st.floats(min_value=0.0, max_value=0.09),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_physical_model_bracketing(tree, m, eps, data):
+    """eps*s <= m*d + eps*s <= (m+eps)*s for every node pair."""
+    model = PhysicalModel(m=m, eps=eps)
+    nodes = tree.nodes()
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    sigma = model.skew_bound(tree, a, b)
+    s = tree.path_length(a, b)
+    assert eps * s - 1e-9 <= sigma <= (m + eps) * s + 1e-9
+
+
+@given(random_clock_trees(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_separator_balance_on_random_trees(tree, data):
+    nodes = tree.nodes()
+    if len(nodes) < 3:
+        return
+    k = data.draw(st.integers(min_value=2, max_value=len(nodes)))
+    marked = set(data.draw(st.permutations(nodes))[:k])
+    result = tree_edge_separator(tree.children_map(), tree.root, marked)
+    # Lemma 5's bound plus the internal-marked-node slack (see module doc).
+    assert result.worst_fraction <= 0.75 + 1e-9
+    assert result.below | result.above == marked
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=24))
+@settings(max_examples=50, deadline=None)
+def test_sorter_sorts_anything(values):
+    got = build_odd_even_sorter(values).run_lockstep()
+    assert got == sorted(values)
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=6),
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=10),
+)
+@settings(max_examples=30, deadline=None)
+def test_fir_linearity_in_impulses(weights, xs):
+    """FIR output equals the direct convolution sum for arbitrary input."""
+    got = build_fir_array(weights, xs).run_lockstep()
+    k, n = len(weights), len(xs)
+    expected = [
+        sum(weights[j] * (xs[t - j] if 0 <= t - j < n else 0.0) for j in range(k))
+        for t in range(n + k - 1)
+    ]
+    assert len(got) == len(expected)
+    assert all(abs(a - b) <= 1e-6 * max(1.0, abs(b)) for a, b in zip(got, expected))
+
+
+@given(st.integers(min_value=1, max_value=300), st.integers(min_value=0, max_value=2**20))
+@settings(max_examples=40, deadline=None)
+def test_inverter_string_invariants(n, seed):
+    chip = InverterString(n, InverterPairModel(nominal=1.0, bias=0.01, variance=1e-4, seed=seed))
+    # equipotential covers both traversals, so it dominates 2n * min stage.
+    assert chip.equipotential_cycle() >= 2 * n * min(
+        min(s.delay_rise, s.delay_fall) for s in chip.stages
+    ) - 1e-9
+    # the endpoint of the walk never exceeds the worst prefix.
+    assert chip.total_discrepancy() <= chip.max_prefix_discrepancy() + 1e-12
+    # pipelined period at least twice the slowest stage.
+    assert chip.pipelined_cycle() >= 2 * chip.max_stage_delay() - 1e-9
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_lockstep_determinism(n, seed):
+    rng = random.Random(seed)
+    values = [rng.uniform(-10, 10) for _ in range(n)]
+    a = build_odd_even_sorter(values).run_lockstep()
+    b = build_odd_even_sorter(values).run_lockstep()
+    assert a == b

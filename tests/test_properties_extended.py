@@ -1,0 +1,170 @@
+"""More property-based tests: the engineering layer's invariants.
+
+* Any schedule, any program: the padding plan + its period run clean.
+* Jitter below the timing margin never corrupts a run.
+* The priority queue agrees with a binary heap on arbitrary op sequences.
+* Spatial-gradient variation keeps the physical-model bracket valid with a
+  position-aware epsilon.
+* Folding and comb transforms preserve the constant-neighbor-skew property
+  for arbitrary sizes.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.priority_queue import build_priority_queue, reference_priority_queue
+from repro.arrays.systolic import build_fir_array
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import comb_linear_array, folded_linear_array, spine_clock
+from repro.core.padding import plan_safe_clocking
+from repro.delay.variation import BoundedUniformVariation
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+from repro.sim.faults import JitteredSchedule
+
+
+@st.composite
+def fir_setups(draw):
+    taps = draw(st.integers(min_value=2, max_value=6))
+    xs = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=2, max_size=8
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=-5, max_value=5), min_size=taps, max_size=taps
+        )
+    )
+    seed = draw(st.integers(0, 10_000))
+    coflow = draw(st.booleans())
+    return weights, xs, seed, coflow
+
+
+@given(fir_setups())
+@settings(max_examples=25, deadline=None)
+def test_padding_plan_always_runs_clean(setup):
+    weights, xs, seed, coflow = setup
+    program = build_fir_array(weights, xs)
+    k = len(weights)
+    order = (
+        ["src", *range(k), "snk"] if coflow else ["snk", *range(k - 1, -1, -1), "src"]
+    )
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=order),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=seed),
+    )
+    probe = ClockSchedule.from_buffered_tree(buffered, 1.0, program.array.comm.nodes())
+    plan = plan_safe_clocking(program.array, probe, delta=0.5)
+    period = max(plan.min_safe_period * 1.01, 1e-6)
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, period, program.array.comm.nodes()
+    )
+    sim = ClockedArraySimulator(
+        program, schedule, delta=0.5, edge_padding=plan.padding
+    )
+    result = sim.run()
+    assert result.clean
+    assert result.result == program.run_lockstep()
+
+
+@given(
+    st.integers(min_value=0, max_value=5000),
+    st.floats(min_value=0.0, max_value=0.4),
+)
+@settings(max_examples=25, deadline=None)
+def test_jitter_below_margin_never_corrupts(seed, amplitude):
+    program = build_fir_array([1.0, -2.0, 0.5], [1.0, 2.0, 3.0, 4.0])
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=["snk", 2, 1, 0, "src"]),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.1, seed=seed),
+    )
+    # Period with ample margin: skew + delta + 2*max jitter + slack.
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, 12.0, program.array.comm.nodes()
+    )
+    jittered = JitteredSchedule(schedule, amplitude=amplitude, seed=seed)
+    result = ClockedArraySimulator(program, jittered, delta=1.0).run()
+    assert result.clean
+    assert result.result == program.run_lockstep()
+
+
+@st.composite
+def op_sequences(draw):
+    length = draw(st.integers(min_value=1, max_value=30))
+    ops = []
+    live = 0
+    for _ in range(length):
+        if live > 0 and draw(st.booleans()):
+            ops.append(("ext", None))
+            live -= 1
+        else:
+            ops.append(("ins", float(draw(st.integers(0, 99)))))
+            live += 1
+    drain = draw(st.integers(0, live))
+    ops.extend([("ext", None)] * drain)
+    return ops
+
+
+@given(op_sequences())
+@settings(max_examples=30, deadline=None)
+def test_priority_queue_matches_heap(ops):
+    got = build_priority_queue(ops).run_lockstep()
+    assert got == reference_priority_queue(ops)
+
+
+@given(
+    st.integers(min_value=2, max_value=200),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_folded_array_constant_pair_skew(n, seed):
+    array, tree = folded_linear_array(n)
+    worst = max(tree.path_length(a, b) for a, b in array.communicating_pairs())
+    assert worst <= 3.0 + 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_comb_array_constant_pair_skew(n, tooth):
+    array, tree = comb_linear_array(n, tooth_height=tooth)
+    pairs = array.communicating_pairs()
+    if not pairs:
+        return
+    worst = max(tree.path_length(a, b) for a, b in pairs)
+    assert worst <= 1.0 + 1e-9
+    assert array.max_communication_distance() <= 1.0 + 1e-9
+
+
+@given(
+    st.floats(min_value=-0.02, max_value=0.02),
+    st.floats(min_value=-0.02, max_value=0.02),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_spatial_gradient_skew_bracket(gx, gy, seed):
+    """With |gradient| * |coordinate| <= eps_eff, measured skew stays within
+    the summation bracket (m_eff + eps_eff) * s."""
+    from repro.arrays.topologies import mesh
+    from repro.clocktree.htree import htree_for_array
+    from repro.delay.buffer import InverterPairModel
+    from repro.delay.variation import SpatialGradientVariation
+
+    array = mesh(4, 4)
+    tree = htree_for_array(array)
+    buffered = BufferedClockTree(
+        tree,
+        buffer_spacing=1e9,
+        wire_variation=SpatialGradientVariation(m=1.0, gx=gx, gy=gy, seed=seed),
+        buffer_model=InverterPairModel(nominal=1e-12),
+    )
+    max_coord = 4.0
+    eps_eff = (abs(gx) + abs(gy)) * max_coord
+    for a, b in array.communicating_pairs():
+        s = tree.path_length(a, b)
+        assert buffered.skew(a, b) <= (1.0 + eps_eff) * s + 1e-6

@@ -1,0 +1,58 @@
+"""Unit tests for clock tick schedules."""
+
+import pytest
+
+from repro.arrays.topologies import linear_array
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.delay.variation import BoundedUniformVariation
+from repro.sim.clock_distribution import ClockSchedule
+
+
+class TestClockSchedule:
+    def test_tick_times_arithmetic(self):
+        sched = ClockSchedule({"a": 0.5, "b": 1.5}, period=10.0)
+        assert sched.tick_time("a", 0) == 0.5
+        assert sched.tick_time("a", 3) == 30.5
+        assert sched.tick_time("b", 1) == 11.5
+
+    def test_skew_is_offset_difference(self):
+        sched = ClockSchedule({"a": 0.5, "b": 2.0}, period=5.0)
+        assert sched.skew("a", "b") == 1.5
+        assert sched.max_skew([("a", "b")]) == 1.5
+
+    def test_ideal_schedule_zero_skew(self):
+        sched = ClockSchedule.ideal(["a", "b", "c"], period=2.0)
+        assert sched.max_skew([("a", "b"), ("b", "c")]) == 0.0
+
+    def test_from_buffered_tree(self):
+        array = linear_array(8)
+        buffered = BufferedClockTree(
+            spine_clock(array),
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.1, seed=2),
+        )
+        sched = ClockSchedule.from_buffered_tree(buffered, 5.0, array.comm.nodes())
+        for cell in range(8):
+            assert sched.offset(cell) == buffered.arrival(cell)
+        assert sched.max_skew(array.communicating_pairs()) == pytest.approx(
+            buffered.max_skew(array.communicating_pairs())
+        )
+
+    def test_offsets_monotone_along_spine(self):
+        array = linear_array(8)
+        buffered = BufferedClockTree(spine_clock(array))
+        sched = ClockSchedule.from_buffered_tree(buffered, 5.0, array.comm.nodes())
+        offsets = [sched.offset(i) for i in range(8)]
+        assert offsets == sorted(offsets)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ClockSchedule({"a": 0.0}, period=0.0)
+        with pytest.raises(ValueError):
+            ClockSchedule({"a": -1.0}, period=1.0)
+        with pytest.raises(ValueError):
+            ClockSchedule({"a": 0.0}, period=1.0).tick_time("a", -1)
+
+    def test_cells_iterable(self):
+        sched = ClockSchedule({"a": 0.0, "b": 1.0}, period=1.0)
+        assert set(sched.cells()) == {"a", "b"}

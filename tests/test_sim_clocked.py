@@ -1,0 +1,157 @@
+"""Integration tests: systolic programs under skewed clocks.
+
+The functional heart of the reproduction: a clocked array matches the ideal
+lockstep semantics exactly when A5's period bound (and the hold condition)
+are respected, and fails detectably when they are not.
+"""
+
+import pytest
+
+from repro.arrays.systolic import (
+    build_fir_array,
+    build_matvec_array,
+    build_odd_even_sorter,
+)
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.delay.variation import BoundedUniformVariation
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator, TimingViolation
+
+
+def fir_program():
+    return build_fir_array([1.0, 2.0, -1.0], [3.0, 1.0, 4.0, 1.0, 5.0])
+
+
+def schedule_for(program, order, period, eps=0.2, seed=3):
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=order),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=eps, seed=seed),
+    )
+    return ClockSchedule.from_buffered_tree(
+        buffered, period, program.array.comm.nodes()
+    )
+
+
+class TestCleanExecution:
+    def test_ideal_schedule_matches_lockstep(self):
+        program = fir_program()
+        sched = ClockSchedule.ideal(program.array.comm.nodes(), period=10.0)
+        sim = ClockedArraySimulator(program, sched, delta=1.0)
+        result = sim.run()
+        assert result.clean
+        assert result.result == program.run_lockstep()
+
+    def test_counterflow_clock_is_clean_at_safe_period(self):
+        # Clock running against the data direction: classic safe regime.
+        program = fir_program()
+        sched = schedule_for(program, ["snk", 2, 1, 0, "src"], period=10.0)
+        sim = ClockedArraySimulator(program, sched, delta=1.0)
+        assert sim.hold_hazards() == []
+        result = sim.run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+    def test_coflow_clock_needs_delta_above_skew(self):
+        # Clock with the data: race-through unless delta exceeds the
+        # neighbor skew ("adding delay to circuits", Section I).
+        program = fir_program()
+        sched = schedule_for(program, ["src", 0, 1, 2, "snk"], period=10.0)
+        risky = ClockedArraySimulator(program, sched, delta=1.0)
+        assert risky.hold_hazards() != []
+        padded = ClockedArraySimulator(program, sched, delta=3.0)
+        assert padded.hold_hazards() == []
+        result = padded.run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+    def test_sorter_under_skewed_clock(self):
+        program = build_odd_even_sorter([5.0, 1.0, 4.0, 2.0, 3.0])
+        buffered = BufferedClockTree(
+            spine_clock(program.array),
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.1, seed=1),
+        )
+        sched = ClockSchedule.from_buffered_tree(
+            buffered, 50.0, program.array.comm.nodes()
+        )
+        # Bidirectional data: one direction co-flows with the clock, so
+        # delta must exceed the neighbor skew; period covers the other side.
+        sim = ClockedArraySimulator(program, sched, delta=4.0)
+        assert sim.hold_hazards() == []
+        result = sim.run()
+        assert result.clean
+        assert result.result == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_matvec_under_skewed_clock(self):
+        program = build_matvec_array([[1, 2], [3, 4]], [1, 1])
+        sched = schedule_for(
+            program, ["snk", 1, ("a", 1), 0, ("a", 0), "ysrc"], period=20.0
+        )
+        sim = ClockedArraySimulator(program, sched, delta=1.0)
+        result = sim.run()
+        assert result.clean
+        assert result.result == pytest.approx([3.0, 7.0])
+
+
+class TestViolations:
+    def test_short_period_causes_stale_reads(self):
+        program = fir_program()
+        sched = schedule_for(program, ["snk", 2, 1, 0, "src"], period=1.5)
+        sim = ClockedArraySimulator(program, sched, delta=1.0)
+        assert sim.minimum_safe_period() > 1.5
+        result = sim.run()
+        assert not result.clean
+        assert all(v.kind == "stale" for v in result.violations)
+
+    def test_race_through_detected(self):
+        program = fir_program()
+        sched = schedule_for(program, ["src", 0, 1, 2, "snk"], period=10.0)
+        sim = ClockedArraySimulator(program, sched, delta=0.1)
+        result = sim.run()
+        assert any(v.kind == "race" for v in result.violations)
+
+    def test_wrong_results_accompany_violations(self):
+        program = fir_program()
+        sched = schedule_for(program, ["snk", 2, 1, 0, "src"], period=1.2)
+        result = ClockedArraySimulator(program, sched, delta=1.0).run()
+        assert result.result != program.run_lockstep()
+
+    def test_minimum_safe_period_is_tight(self):
+        program = fir_program()
+        order = ["snk", 2, 1, 0, "src"]
+        sched_probe = schedule_for(program, order, period=100.0)
+        safe = ClockedArraySimulator(program, sched_probe, delta=1.0).minimum_safe_period()
+        above = ClockedArraySimulator(
+            program, schedule_for(program, order, period=safe * 1.05), delta=1.0
+        ).run()
+        below = ClockedArraySimulator(
+            program, schedule_for(program, order, period=safe * 0.8), delta=1.0
+        ).run()
+        assert above.clean
+        assert not below.clean
+
+    def test_violation_metadata(self):
+        v = TimingViolation(("a", "b"), receiver_tick=3, expected_sender_tick=2, actual_sender_tick=3)
+        assert v.kind == "race"
+        v2 = TimingViolation(("a", "b"), 3, 2, 1)
+        assert v2.kind == "stale"
+
+
+class TestConstructionErrors:
+    def test_missing_clock_for_cell(self):
+        program = fir_program()
+        sched = ClockSchedule({"src": 0.0}, period=1.0)
+        with pytest.raises(ValueError, match="no clock schedule"):
+            ClockedArraySimulator(program, sched)
+
+    def test_rejects_negative_delta(self):
+        program = fir_program()
+        sched = ClockSchedule.ideal(program.array.comm.nodes(), period=1.0)
+        with pytest.raises(ValueError):
+            ClockedArraySimulator(program, sched, delta=-1)
+
+    def test_rejects_zero_ticks(self):
+        program = fir_program()
+        sched = ClockSchedule.ideal(program.array.comm.nodes(), period=1.0)
+        with pytest.raises(ValueError):
+            ClockedArraySimulator(program, sched).run(ticks=0)

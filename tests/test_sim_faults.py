@@ -1,0 +1,149 @@
+"""Tests for fault injection — breaking assumption A8 and watching
+pipelined clocking fail (Section VI's opening premise)."""
+
+import pytest
+
+from repro.arrays.systolic import build_fir_array
+from repro.arrays.topologies import mesh
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.spine import spine_clock
+from repro.delay.variation import NoVariation
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+from repro.sim.faults import (
+    JitteredSchedule,
+    slow_subtree,
+    summarize_violations,
+)
+
+
+def clean_program_and_schedule(period=10.0):
+    program = build_fir_array([1.0, 2.0, -1.0], [3.0, 1.0, 4.0, 1.0, 5.0])
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=["snk", 2, 1, 0, "src"]),
+        wire_variation=NoVariation(),
+    )
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, period, program.array.comm.nodes()
+    )
+    return program, schedule
+
+
+class TestJitteredSchedule:
+    def test_stays_within_amplitude(self):
+        _p, base = clean_program_and_schedule()
+        jittered = JitteredSchedule(base, amplitude=0.5, seed=1)
+        for cell in base.cells():
+            for k in range(5):
+                assert abs(jittered.tick_time(cell, k) - base.tick_time(cell, k)) <= 0.5
+
+    def test_deterministic(self):
+        _p, base = clean_program_and_schedule()
+        a = JitteredSchedule(base, 0.5, seed=1)
+        b = JitteredSchedule(base, 0.5, seed=1)
+        cell = next(iter(base.cells()))
+        assert a.tick_time(cell, 3) == b.tick_time(cell, 3)
+
+    def test_seed_changes_jitter(self):
+        _p, base = clean_program_and_schedule()
+        a = JitteredSchedule(base, 0.5, seed=1)
+        b = JitteredSchedule(base, 0.5, seed=2)
+        cells = list(base.cells())
+        assert any(
+            a.tick_time(c, k) != b.tick_time(c, k) for c in cells for k in range(4)
+        )
+
+    def test_tick_times_monotone(self):
+        _p, base = clean_program_and_schedule()
+        jittered = JitteredSchedule(base, amplitude=2.0, seed=3)
+        cell = next(iter(base.cells()))
+        times = [jittered.tick_time(cell, k) for k in range(20)]
+        assert times == sorted(times)
+
+    def test_rejects_excessive_amplitude(self):
+        _p, base = clean_program_and_schedule(period=4.0)
+        with pytest.raises(ValueError):
+            JitteredSchedule(base, amplitude=2.0)
+
+    def test_small_jitter_absorbed_by_margin(self):
+        program, base = clean_program_and_schedule(period=12.0)
+        jittered = JitteredSchedule(base, amplitude=0.3, seed=4)
+        sim = ClockedArraySimulator(program, jittered, delta=1.0)
+        result = sim.run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+    def test_large_jitter_breaks_pipelined_clocking(self):
+        """A8 broken beyond the margins: the run is no longer clean — the
+        Section VI premise for switching to hybrid synchronization."""
+        program, base = clean_program_and_schedule(period=4.0)
+        sim_clean = ClockedArraySimulator(program, base, delta=1.0)
+        assert sim_clean.run().clean
+        jittered = JitteredSchedule(base, amplitude=1.9, seed=7)
+        result = ClockedArraySimulator(program, jittered, delta=1.0).run()
+        assert not result.clean
+
+
+class TestSlowSubtree:
+    def test_shifts_only_affected_cells(self):
+        array = mesh(4, 4)
+        buffered = BufferedClockTree(htree_for_array(array), wire_variation=NoVariation())
+        cells = array.comm.nodes()
+        # Slow the subtree hanging off one child of the root.
+        victim = buffered.tree.children(buffered.tree.root)[0]
+        schedule = slow_subtree(buffered, victim, extra_delay=2.0, cells=cells, period=10.0)
+        affected = set(buffered.tree.subtree_nodes(victim))
+        for cell in cells:
+            expected = buffered.arrival(cell) + (2.0 if cell in affected else 0.0)
+            assert schedule.offset(cell) == pytest.approx(expected)
+
+    def test_creates_skew_on_perfect_htree(self):
+        array = mesh(4, 4)
+        buffered = BufferedClockTree(htree_for_array(array), wire_variation=NoVariation())
+        assert buffered.max_skew(array.communicating_pairs()) == pytest.approx(0.0)
+        victim = buffered.tree.children(buffered.tree.root)[0]
+        schedule = slow_subtree(buffered, victim, 2.0, array.comm.nodes(), 10.0)
+        assert schedule.max_skew(array.communicating_pairs()) == pytest.approx(2.0)
+
+    def test_rejects_unknown_node(self):
+        array = mesh(2, 2)
+        buffered = BufferedClockTree(htree_for_array(array))
+        with pytest.raises(KeyError):
+            slow_subtree(buffered, "bogus", 1.0, array.comm.nodes(), 5.0)
+
+    def test_rejects_negative_delay(self):
+        array = mesh(2, 2)
+        buffered = BufferedClockTree(htree_for_array(array))
+        with pytest.raises(ValueError):
+            slow_subtree(buffered, buffered.tree.root, -1.0, array.comm.nodes(), 5.0)
+
+
+class TestViolationSummary:
+    def test_empty_is_clean(self):
+        summary = summarize_violations([])
+        assert summary.clean
+        assert summary.first_failure_tick == -1
+
+    def test_aggregates_by_edge_and_kind(self):
+        from repro.sim.clocked import TimingViolation
+
+        violations = [
+            TimingViolation(("a", "b"), 2, 1, 0),   # stale
+            TimingViolation(("a", "b"), 3, 2, 1),   # stale
+            TimingViolation(("c", "d"), 5, 4, 5),   # race
+        ]
+        summary = summarize_violations(violations)
+        assert summary.total == 3
+        assert summary.stale == 2
+        assert summary.race == 1
+        assert summary.edges_affected == 2
+        assert summary.first_failure_tick == 2
+        assert summary.worst_edge == (("a", "b"), 2)
+
+    def test_integrates_with_simulator(self):
+        program, base = clean_program_and_schedule(period=1.5)
+        result = ClockedArraySimulator(program, base, delta=1.0).run()
+        summary = summarize_violations(result.violations)
+        assert not summary.clean
+        assert summary.stale > 0

@@ -1,0 +1,60 @@
+"""Tests for the signal-level 2D handshake wavefront mesh."""
+
+import pytest
+
+from repro.sim.handshake import run_handshake_wavefront
+from repro.sim.selftimed import two_point_sampler
+
+
+class TestWavefrontProtocol:
+    def test_all_waves_complete(self):
+        result = run_handshake_wavefront(3, 3, 10, lambda rng: 1.0)
+        assert result.items == 10
+        assert len(result.arrival_times) == 10
+
+    def test_waves_arrive_in_order(self):
+        result = run_handshake_wavefront(4, 3, 12, lambda rng: 1.0)
+        assert result.arrival_times == sorted(result.arrival_times)
+
+    def test_deterministic_cycle_law(self):
+        """Same law as 1D: cycle = compute + 2 * wire."""
+        for wire in (0.0, 0.25):
+            result = run_handshake_wavefront(4, 4, 16, lambda rng: 1.0, wire_delay=wire)
+            assert result.steady_cycle_time == pytest.approx(1.0 + 2 * wire, rel=0.05)
+
+    def test_cycle_independent_of_mesh_size(self):
+        small = run_handshake_wavefront(2, 2, 16, lambda rng: 1.0, wire_delay=0.2)
+        large = run_handshake_wavefront(8, 8, 16, lambda rng: 1.0, wire_delay=0.2)
+        assert large.steady_cycle_time == pytest.approx(
+            small.steady_cycle_time, rel=0.05
+        )
+
+    def test_first_wave_latency_crosses_the_diagonal(self):
+        result = run_handshake_wavefront(5, 7, 1, lambda rng: 1.0, wire_delay=0.0)
+        # 5 + 7 - 1 cells on the critical path, one compute each.
+        assert result.completion_time >= 11.0 - 1e-9
+
+    def test_random_services_slow_the_mesh(self):
+        uniform = run_handshake_wavefront(4, 4, 40, lambda rng: 1.0, seed=2)
+        bursty = run_handshake_wavefront(
+            4, 4, 40, two_point_sampler(1.0, 3.0, 0.2), seed=2
+        )
+        assert bursty.steady_cycle_time > uniform.steady_cycle_time
+
+    def test_single_cell_mesh(self):
+        result = run_handshake_wavefront(1, 1, 5, lambda rng: 1.0, wire_delay=0.1)
+        assert len(result.arrival_times) == 5
+
+    def test_reproducible(self):
+        sampler = two_point_sampler(1.0, 2.0, 0.3)
+        a = run_handshake_wavefront(3, 4, 15, sampler, seed=8)
+        b = run_handshake_wavefront(3, 4, 15, sampler, seed=8)
+        assert a.arrival_times == b.arrival_times
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_handshake_wavefront(0, 3, 5, lambda rng: 1.0)
+        with pytest.raises(ValueError):
+            run_handshake_wavefront(3, 3, 0, lambda rng: 1.0)
+        with pytest.raises(ValueError):
+            run_handshake_wavefront(3, 3, 5, lambda rng: 1.0, wire_delay=-0.1)

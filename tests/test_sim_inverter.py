@@ -1,0 +1,151 @@
+"""Tests for the Section VII inverter-string experiment."""
+
+import math
+
+import pytest
+
+from repro.analysis.montecarlo import run_trials
+from repro.delay.buffer import InverterPairModel
+from repro.sim.inverter import (
+    PAPER_EQUIPOTENTIAL_CYCLE,
+    PAPER_PIPELINED_CYCLE,
+    PAPER_SPEEDUP,
+    PAPER_STRING_LENGTH,
+    InverterString,
+    fixed_yield_cycle_time,
+    paper_calibrated_model,
+    _normal_quantile,
+)
+
+
+class TestPaperCalibration:
+    def test_equipotential_cycle_matches_paper(self):
+        chip = InverterString(PAPER_STRING_LENGTH, paper_calibrated_model(seed=0))
+        assert chip.equipotential_cycle() == pytest.approx(
+            PAPER_EQUIPOTENTIAL_CYCLE, rel=0.02
+        )
+
+    def test_pipelined_cycle_matches_paper(self):
+        chip = InverterString(PAPER_STRING_LENGTH, paper_calibrated_model(seed=0))
+        assert chip.pipelined_cycle() == pytest.approx(PAPER_PIPELINED_CYCLE, rel=0.05)
+
+    def test_speedup_68x(self):
+        chip = InverterString(PAPER_STRING_LENGTH, paper_calibrated_model(seed=0))
+        assert chip.result().speedup == pytest.approx(PAPER_SPEEDUP, rel=0.05)
+
+    def test_five_chips_same_speedup(self):
+        """The paper observed the same 68x on five separate chips — design
+        bias dominates random noise."""
+        speedups = [
+            InverterString(PAPER_STRING_LENGTH, paper_calibrated_model(seed)).result().speedup
+            for seed in range(5)
+        ]
+        assert max(speedups) - min(speedups) < 1.0
+        assert all(abs(s - PAPER_SPEEDUP) < 2.0 for s in speedups)
+
+    def test_speedup_scale_invariant_with_bias(self):
+        """'a similar inverter string of any length could be clocked 68
+        times faster' — constant-bias discrepancy scales like total delay."""
+        speedups = []
+        for n in (1024, 4096, 16384):
+            chip = InverterString(n, paper_calibrated_model(seed=1))
+            speedups.append(chip.result().speedup)
+        assert max(speedups) / min(speedups) < 1.1
+
+
+class TestMechanics:
+    def test_equipotential_is_rise_plus_fall(self):
+        chip = InverterString(4, InverterPairModel(nominal=2.0))
+        assert chip.equipotential_cycle() == pytest.approx(16.0)
+
+    def test_prefix_discrepancy_with_constant_bias(self):
+        chip = InverterString(10, InverterPairModel(nominal=1.0, bias=0.1))
+        assert chip.max_prefix_discrepancy() == pytest.approx(1.0)
+
+    def test_pipelined_cycle_formula(self):
+        chip = InverterString(10, InverterPairModel(nominal=1.0, bias=0.1))
+        expected = 2.0 * (chip.max_stage_delay() + 1.0)
+        assert chip.pipelined_cycle() == pytest.approx(expected)
+
+    def test_no_bias_no_noise_pipelined_is_per_stage(self):
+        chip = InverterString(100, InverterPairModel(nominal=1.0))
+        assert chip.pipelined_cycle() == pytest.approx(2.0)
+
+    def test_edges_arrive_in_order_at_pipelined_period(self):
+        chip = InverterString(64, InverterPairModel(nominal=1.0, bias=0.05, seed=2))
+        period = chip.pipelined_cycle()
+        launches = [i * period / 2 for i in range(10)]
+        arrivals = chip.propagate_edges(launches)
+        assert arrivals == sorted(arrivals)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(g > 0 for g in gaps)
+
+    def test_edges_collide_below_pipelined_period(self):
+        chip = InverterString(200, InverterPairModel(nominal=1.0, bias=0.05, seed=2))
+        tight = chip.max_prefix_discrepancy() * 0.5
+        launches = [0.0, tight]
+        arrivals = chip.propagate_edges(launches)
+        assert arrivals[1] <= arrivals[0]  # the pulse has collapsed
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(ValueError):
+            InverterString(0, InverterPairModel())
+
+
+class TestSqrtScaling:
+    def test_fixed_yield_cycle_grows_as_sqrt_n(self):
+        variance = 1e-4
+        t = {n: fixed_yield_cycle_time(n, variance, stage_delay=0.0) for n in (100, 400, 1600)}
+        assert t[400] / t[100] == pytest.approx(2.0, rel=0.01)
+        assert t[1600] / t[400] == pytest.approx(2.0, rel=0.01)
+
+    def test_higher_yield_needs_longer_cycle(self):
+        a = fixed_yield_cycle_time(1000, 1e-4, 1.0, yield_fraction=0.5)
+        b = fixed_yield_cycle_time(1000, 1e-4, 1.0, yield_fraction=0.99)
+        assert b > a
+
+    def test_monte_carlo_endpoint_yield_matches_analytic(self):
+        """The paper's analysis is about the endpoint discrepancy sum
+        (~ N(0, n*V)): chips with |sum| under the z-quantile budget should
+        appear with the yield fraction's frequency."""
+        import math
+
+        n, variance, y = 256, 1e-4, 0.9
+        budget = _normal_quantile(0.5 + y / 2.0) * math.sqrt(n * variance)
+
+        def trial(seed):
+            chip = InverterString(n, InverterPairModel(nominal=1.0, variance=variance, seed=seed))
+            return 1.0 if chip.total_discrepancy() <= budget else 0.0
+
+        summary = run_trials(trial, n_trials=300, base_seed=0)
+        assert summary.mean == pytest.approx(y, abs=0.06)
+
+    def test_monte_carlo_prefix_yield_bounded_by_reflection(self):
+        """The worst *prefix* of the walk exceeds the endpoint, so the
+        realized yield at the endpoint budget drops — but never below the
+        reflection-principle floor ``2y - 1``."""
+        n, variance, y = 256, 1e-4, 0.9
+        budget = fixed_yield_cycle_time(n, variance, stage_delay=1.0, yield_fraction=y)
+
+        def trial(seed):
+            chip = InverterString(n, InverterPairModel(nominal=1.0, variance=variance, seed=seed))
+            return 1.0 if chip.pipelined_cycle() <= budget else 0.0
+
+        summary = run_trials(trial, n_trials=200, base_seed=0)
+        assert 2 * y - 1 - 0.05 <= summary.mean <= y + 0.05
+
+    def test_zero_variance_reduces_to_stage_delay(self):
+        assert fixed_yield_cycle_time(100, 0.0, 2.0) == pytest.approx(4.0)
+
+    def test_normal_quantile_sanity(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_quantile(0.975) == pytest.approx(1.96, abs=0.01)
+        assert _normal_quantile(0.025) == pytest.approx(-1.96, abs=0.01)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            fixed_yield_cycle_time(0, 1e-4, 1.0)
+        with pytest.raises(ValueError):
+            fixed_yield_cycle_time(10, -1, 1.0)
+        with pytest.raises(ValueError):
+            fixed_yield_cycle_time(10, 1e-4, 1.0, yield_fraction=1.5)

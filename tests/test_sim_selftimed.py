@@ -1,0 +1,116 @@
+"""Tests for the self-timed array analysis (Section I's 1 - p^k argument)."""
+
+import pytest
+
+from repro.sim.selftimed import (
+    simulate_selftimed_line,
+    two_point_sampler,
+    worst_case_path_probability,
+)
+
+
+class TestFormula:
+    def test_values(self):
+        assert worst_case_path_probability(0.9, 1) == pytest.approx(0.1)
+        assert worst_case_path_probability(0.9, 2) == pytest.approx(0.19)
+
+    def test_approaches_one(self):
+        assert worst_case_path_probability(0.99, 1000) > 0.9999
+
+    def test_certain_worst_case(self):
+        assert worst_case_path_probability(0.0, 5) == 1.0
+
+    def test_never_worst_case(self):
+        assert worst_case_path_probability(1.0, 5) == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            worst_case_path_probability(1.5, 3)
+        with pytest.raises(ValueError):
+            worst_case_path_probability(0.5, 0)
+
+
+class TestSampler:
+    def test_two_point_values(self):
+        import random
+
+        sampler = two_point_sampler(1.0, 2.0, 0.5)
+        rng = random.Random(0)
+        values = {sampler(rng) for _ in range(100)}
+        assert values == {1.0, 2.0}
+
+    def test_probability_respected(self):
+        import random
+
+        sampler = two_point_sampler(1.0, 2.0, 0.25)
+        rng = random.Random(1)
+        n = 4000
+        worst = sum(1 for _ in range(n) if sampler(rng) == 2.0)
+        assert worst / n == pytest.approx(0.25, abs=0.02)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            two_point_sampler(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            two_point_sampler(2.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            two_point_sampler(1.0, 2.0, 1.5)
+
+
+class TestSimulation:
+    def test_deterministic_services_give_exact_cycle(self):
+        result = simulate_selftimed_line(8, 50, lambda rng: 1.0)
+        assert result.mean_cycle_time == pytest.approx(1.0)
+        assert result.worst_case_cycle == 1.0
+
+    def test_worst_case_fraction_matches_formula(self):
+        p_worst = 0.05
+        sampler = two_point_sampler(1.0, 2.0, p_worst)
+        for k in (4, 16, 64):
+            result = simulate_selftimed_line(
+                k, 600, sampler, seed=7, worst_time=2.0
+            )
+            predicted = worst_case_path_probability(1 - p_worst, k)
+            assert result.worst_case_fraction == pytest.approx(predicted, abs=0.08)
+
+    def test_blocking_slower_than_fifo(self):
+        sampler = two_point_sampler(1.0, 2.0, 0.1)
+        blocking = simulate_selftimed_line(64, 300, sampler, seed=5, blocking=True)
+        fifo = simulate_selftimed_line(64, 300, sampler, seed=5, blocking=False)
+        assert blocking.mean_cycle_time > fifo.mean_cycle_time
+
+    def test_cycle_time_grows_with_array_length(self):
+        """Larger arrays lose more of the self-timing advantage."""
+        sampler = two_point_sampler(1.0, 2.0, 0.05)
+        short = simulate_selftimed_line(4, 400, sampler, seed=9)
+        long = simulate_selftimed_line(128, 400, sampler, seed=9)
+        assert long.mean_cycle_time > short.mean_cycle_time
+
+    def test_cycle_between_best_and_worst(self):
+        sampler = two_point_sampler(1.0, 3.0, 0.2)
+        result = simulate_selftimed_line(32, 300, sampler, seed=2)
+        assert result.best_case_cycle <= result.mean_cycle_time <= result.worst_case_cycle
+
+    def test_slowdown_metric(self):
+        sampler = two_point_sampler(1.0, 2.0, 0.3)
+        result = simulate_selftimed_line(64, 300, sampler, seed=3)
+        assert result.slowdown_vs_best > 1.2
+
+    def test_wire_delay_adds_to_cycle(self):
+        base = simulate_selftimed_line(16, 200, lambda rng: 1.0)
+        wired = simulate_selftimed_line(16, 200, lambda rng: 1.0, wire_delay=0.5)
+        assert wired.completion_time > base.completion_time
+
+    def test_reproducible(self):
+        sampler = two_point_sampler(1.0, 2.0, 0.1)
+        a = simulate_selftimed_line(16, 100, sampler, seed=4)
+        b = simulate_selftimed_line(16, 100, sampler, seed=4)
+        assert a.completion_time == b.completion_time
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            simulate_selftimed_line(0, 10, lambda rng: 1.0)
+        with pytest.raises(ValueError):
+            simulate_selftimed_line(4, 1, lambda rng: 1.0)
+        with pytest.raises(ValueError):
+            simulate_selftimed_line(4, 10, lambda rng: 1.0, wire_delay=-1)

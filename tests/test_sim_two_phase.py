@@ -1,0 +1,118 @@
+"""Tests for two-phase (master-slave) execution."""
+
+import pytest
+
+from repro.arrays.systolic import build_fir_array
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.spine import spine_clock
+from repro.core.disciplines import TwoPhaseDiscipline
+from repro.delay.variation import BoundedUniformVariation
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+from repro.sim.two_phase import (
+    min_two_phase_period,
+    phase_separation,
+    two_phase_simulator,
+)
+
+
+def coflow_setup(period):
+    """FIR with the clock running WITH the data — races under single-phase."""
+    program = build_fir_array([1.0, 2.0, -1.0], [3.0, 1.0, 4.0, 1.0, 5.0])
+    buffered = BufferedClockTree(
+        spine_clock(program.array, order=["src", 0, 1, 2, "snk"]),
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=3),
+    )
+    schedule = ClockSchedule.from_buffered_tree(
+        buffered, period, program.array.comm.nodes()
+    )
+    return program, schedule
+
+
+class TestPhaseSeparation:
+    def test_half_period_plus_gap(self):
+        d = TwoPhaseDiscipline(nonoverlap=0.5)
+        assert phase_separation(10.0, d) == 5.5
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            phase_separation(0.0, TwoPhaseDiscipline(nonoverlap=0.1))
+
+
+class TestRaceImmunityByDiscipline:
+    def test_single_phase_races_two_phase_does_not(self):
+        program, schedule = coflow_setup(period=10.0)
+        single = ClockedArraySimulator(program, schedule, delta=0.5)
+        assert single.hold_hazards() != []
+        discipline = TwoPhaseDiscipline(nonoverlap=0.5)
+        two = two_phase_simulator(program, schedule, discipline, delta=0.5)
+        assert two.hold_hazards() == []
+
+    def test_two_phase_run_matches_lockstep(self):
+        program, schedule = coflow_setup(period=10.0)
+        discipline = TwoPhaseDiscipline(nonoverlap=0.5)
+        result = two_phase_simulator(program, schedule, discipline, delta=0.5).run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+    def test_immunity_requires_enough_separation(self):
+        """With a *tiny* period the separation shrinks below the skew and
+        even two-phase races — matching the discipline's analytic check."""
+        program, schedule = coflow_setup(period=1.0)
+        discipline = TwoPhaseDiscipline(nonoverlap=0.0)
+        sim = two_phase_simulator(program, schedule, discipline, delta=0.0)
+        skew = schedule.max_skew(program.array.communicating_pairs())
+        assert phase_separation(1.0, discipline) < skew
+        assert sim.hold_hazards() != []
+
+
+class TestPeriodPrice:
+    def test_counterflow_setup_bound_doubles_plus_gap(self):
+        """Against the data flow, setup governs: exactly twice the
+        single-phase minimum plus the gaps."""
+        program = build_fir_array([1.0, 2.0, -1.0], [3.0, 1.0, 4.0, 1.0, 5.0])
+        buffered = BufferedClockTree(
+            spine_clock(program.array, order=["snk", 2, 1, 0, "src"]),
+            wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.2, seed=3),
+        )
+        schedule = ClockSchedule.from_buffered_tree(
+            buffered, 10.0, program.array.comm.nodes()
+        )
+        discipline = TwoPhaseDiscipline(nonoverlap=0.5)
+        base = ClockedArraySimulator(program, schedule, delta=0.5).minimum_safe_period()
+        two_phase = min_two_phase_period(program, schedule, discipline, delta=0.5)
+        assert two_phase == pytest.approx(2.0 * (base + 0.5))
+
+    def test_coflow_hold_bound_governs(self):
+        """With the data flow, the hold side sets the floor: the separation
+        must grow to cover the skew lead."""
+        program, schedule = coflow_setup(period=10.0)
+        discipline = TwoPhaseDiscipline(nonoverlap=0.0)
+        needed = min_two_phase_period(program, schedule, discipline, delta=0.0)
+        max_lead = max(
+            schedule.offset(v) - schedule.offset(u)
+            for u, v in program.array.comm.edges()
+        )
+        assert needed == pytest.approx(2.0 * max_lead, rel=0.01)
+
+    def test_running_at_min_period_is_clean(self):
+        program, probe = coflow_setup(period=10.0)
+        discipline = TwoPhaseDiscipline(nonoverlap=0.5)
+        needed = min_two_phase_period(program, probe, discipline, delta=0.5)
+        # Rebuild the schedule at the computed period (same offsets).
+        schedule = ClockSchedule(
+            {c: probe.offset(c) for c in probe.cells()}, needed * 1.02
+        )
+        result = two_phase_simulator(program, schedule, discipline, delta=0.5).run()
+        assert result.clean
+        assert result.result == pytest.approx(program.run_lockstep())
+
+    def test_below_min_period_fails(self):
+        program, probe = coflow_setup(period=10.0)
+        discipline = TwoPhaseDiscipline(nonoverlap=0.5)
+        needed = min_two_phase_period(program, probe, discipline, delta=0.5)
+        schedule = ClockSchedule(
+            {c: probe.offset(c) for c in probe.cells()}, needed * 0.7
+        )
+        result = two_phase_simulator(program, schedule, discipline, delta=0.5).run()
+        assert not result.clean

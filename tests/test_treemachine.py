@@ -1,0 +1,150 @@
+"""Tests for Section VIII: H-tree layouts, pipeline registers, and the
+searching tree machine."""
+
+import math
+
+import pytest
+
+from repro.treemachine.layout import htree_tree_layout, level_edge_lengths
+from repro.treemachine.machine import SearchTreeMachine
+from repro.treemachine.pipeline import pipeline_tree
+
+
+class TestHtreeTreeLayout:
+    def test_linear_area(self):
+        """O(N) area: area / N bounded across depths (Mead & Rem)."""
+        ratios = []
+        for depth in (2, 4, 6, 8):
+            array = htree_tree_layout(depth)
+            ratios.append(array.layout.area / array.size)
+        assert max(ratios) <= 3.0
+
+    def test_bounding_box_side_is_sqrt_n(self):
+        array = htree_tree_layout(8)  # 511 nodes, 256 leaves on 16x16
+        box = array.layout.bounding_box()
+        assert box.width == pytest.approx(16.0, abs=1.5)
+
+    def test_per_level_edges_uniform(self):
+        depth = 6
+        array = htree_tree_layout(depth)
+        for level in range(1, depth + 1):
+            lengths = set()
+            for index in range(2**level):
+                child = (level, index)
+                parent = (level - 1, index // 2)
+                lengths.add(round(array.layout.distance(parent, child), 9))
+            assert len(lengths) == 1, level
+
+    def test_edge_lengths_halve_every_two_levels(self):
+        array = htree_tree_layout(8)
+        lengths = level_edge_lengths(array, 8)
+        assert lengths[1] / lengths[3] == pytest.approx(2.0)
+        assert lengths[3] / lengths[5] == pytest.approx(2.0)
+
+    def test_root_edge_is_longest(self):
+        lengths = level_edge_lengths(htree_tree_layout(6), 6)
+        assert lengths[1] == max(lengths.values())
+
+    def test_all_nodes_distinct_positions(self):
+        array = htree_tree_layout(5)
+        positions = {array.layout[c] for c in array.comm.nodes()}
+        assert len(positions) == array.size
+
+    def test_depth_zero(self):
+        assert htree_tree_layout(0).size == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            htree_tree_layout(-1)
+
+
+class TestPipelineTree:
+    def test_segments_bounded(self):
+        array = htree_tree_layout(8)
+        pt = pipeline_tree(array, 8, segment_limit=1.0)
+        assert pt.max_segment_length <= 1.0 + 1e-9
+
+    def test_no_registers_needed_when_edges_short(self):
+        array = htree_tree_layout(4)
+        pt = pipeline_tree(array, 4, segment_limit=2.0)
+        assert pt.total_registers == 0
+
+    def test_register_count_per_level_uniform(self):
+        array = htree_tree_layout(8)
+        pt = pipeline_tree(array, 8, segment_limit=1.0)
+        # Top levels (long edges) carry registers; bottom levels none.
+        assert pt.registers_per_level[1] > 0
+        assert pt.registers_per_level[8] == 0
+
+    def test_latency_is_theta_sqrt_n(self):
+        lat = {}
+        for depth in (4, 6, 8):
+            array = htree_tree_layout(depth)
+            lat[depth] = pipeline_tree(array, depth, segment_limit=1.0).root_to_leaf_latency()
+        # latency ~ c * sqrt(2^depth): doubling depth by 2 doubles latency.
+        assert lat[6] / lat[4] == pytest.approx(2.0, rel=0.35)
+        assert lat[8] / lat[6] == pytest.approx(2.0, rel=0.35)
+
+    def test_register_area_constant_factor(self):
+        array = htree_tree_layout(8)
+        pt = pipeline_tree(array, 8, segment_limit=1.0)
+        assert pt.register_area() <= 4.0 * array.size
+
+    def test_register_pes_are_two_port(self):
+        array = htree_tree_layout(6)
+        pt = pipeline_tree(array, 6, segment_limit=1.0)
+        pes = pt.register_pes()
+        assert len(pes) == pt.total_registers
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            pipeline_tree(htree_tree_layout(3), 3, segment_limit=0)
+
+
+class TestSearchTreeMachine:
+    def test_membership_queries(self):
+        machine = SearchTreeMachine(3)
+        result = machine.run(
+            [("ins", 4), ("ins", 11), ("q", 4), ("q", 5), ("q", 11)]
+        )
+        assert result.results == [True, False, True]
+
+    def test_pipelined_machine_same_answers(self):
+        depth = 4
+        pt = pipeline_tree(htree_tree_layout(depth), depth, segment_limit=1.0)
+        plain = SearchTreeMachine(depth)
+        piped = SearchTreeMachine(depth, pipelined=pt)
+        commands = [("ins", k) for k in (3, 7, 20, 21)] + [
+            ("q", k) for k in (3, 4, 7, 19, 20, 21, 100)
+        ]
+        assert plain.run(commands).results == piped.run(commands).results
+
+    def test_one_command_per_tick_throughput(self):
+        machine = SearchTreeMachine(3)
+        commands = [("ins", i) for i in range(8)] + [("q", i) for i in range(16)]
+        result = machine.run(commands)
+        assert result.interval_ticks == 1
+        assert len(result.results) == 16
+
+    def test_latency_grows_with_depth_only(self):
+        shallow = SearchTreeMachine(2).run([("q", 1)])
+        deep = SearchTreeMachine(5).run([("q", 1)])
+        assert deep.latency_ticks > shallow.latency_ticks
+
+    def test_pipelined_latency_reflects_registers(self):
+        depth = 6
+        pt = pipeline_tree(htree_tree_layout(depth), depth, segment_limit=0.5)
+        piped = SearchTreeMachine(depth, pipelined=pt)
+        plain = SearchTreeMachine(depth)
+        r_p = piped.run([("q", 1)])
+        r_0 = plain.run([("q", 1)])
+        assert r_p.latency_ticks > r_0.latency_ticks
+
+    def test_duplicate_inserts_idempotent(self):
+        machine = SearchTreeMachine(2)
+        result = machine.run([("ins", 9), ("ins", 9), ("q", 9)])
+        assert result.results == [True]
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            SearchTreeMachine(0)

@@ -1,0 +1,120 @@
+"""Tests for ASCII and SVG rendering."""
+
+import pytest
+
+from repro.arrays.topologies import hex_array, linear_array, mesh
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.spine import spine_clock
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+from repro.viz.ascii_art import render_array, render_clock_tree, render_layout
+from repro.viz.svg import figure_to_svg, save_svg
+
+
+class TestRenderLayout:
+    def test_marks_every_cell(self):
+        art = render_layout(mesh(3, 4).layout)
+        assert art.count("#") == 12
+
+    def test_row_shape(self):
+        art = render_layout(linear_array(5).layout)
+        assert art == "#####"
+
+    def test_labels(self):
+        layout = Layout({"a": Point(0, 0), "b": Point(2, 0)})
+        art = render_layout(layout, labels={"a": "A", "b": "B"})
+        assert art == "A B"
+
+    def test_scale(self):
+        art = render_layout(linear_array(3).layout, scale=2.0)
+        assert art == "# # #"
+
+    def test_empty(self):
+        assert render_layout(Layout()) == ""
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            render_layout(linear_array(2).layout, scale=0)
+
+
+class TestRenderArray:
+    def test_mesh_edges(self):
+        art = render_array(mesh(2, 2))
+        lines = art.splitlines()
+        assert lines[0] == "#-#"
+        assert lines[1] == "| |"
+        assert lines[2] == "#-#"
+
+    def test_hex_diagonals(self):
+        art = render_array(hex_array(2, 2))
+        assert "\\" in art
+
+    def test_linear(self):
+        assert render_array(linear_array(3)) == "#-#-#"
+
+
+class TestRenderClockTree:
+    def test_contains_root_and_metrics(self):
+        array = linear_array(4)
+        text = render_clock_tree(spine_clock(array))
+        assert "(root)" in text
+        assert "from root" in text
+
+    def test_depth_limit_reports_hidden(self):
+        array = mesh(4, 4)
+        text = render_clock_tree(htree_for_array(array), max_depth=1)
+        assert "more nodes below depth 1" in text
+
+    def test_positions_flag(self):
+        array = linear_array(3)
+        text = render_clock_tree(spine_clock(array), show_positions=True)
+        assert "@ (" in text
+
+    def test_full_tree_lists_all_nodes(self):
+        array = linear_array(4)
+        tree = spine_clock(array)
+        text = render_clock_tree(tree)
+        assert len(text.splitlines()) == len(tree)
+
+
+class TestSvg:
+    def test_document_structure(self):
+        array = mesh(3, 3)
+        svg = figure_to_svg(array, htree_for_array(array), title="fig3b")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<title>fig3b</title>" in svg
+
+    def test_counts_cells_and_edges(self):
+        array = mesh(3, 3)
+        svg = figure_to_svg(array)
+        assert svg.count('class="cell"') == 9
+        assert svg.count('class="comm"') == len(array.communicating_pairs())
+        assert 'class="clock"' not in svg
+
+    def test_clock_edges_present_with_tree(self):
+        array = mesh(2, 2)
+        tree = htree_for_array(array)
+        svg = figure_to_svg(array, tree)
+        assert svg.count('class="clock"') == len(tree) - 1
+
+    def test_deterministic(self):
+        array = linear_array(5)
+        assert figure_to_svg(array) == figure_to_svg(array)
+
+    def test_title_escaped(self):
+        svg = figure_to_svg(linear_array(2), title="<b>&")
+        assert "&lt;b&gt;&amp;" in svg
+
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "out.svg"
+        save_svg(str(path), figure_to_svg(linear_array(3)))
+        assert path.read_text().startswith("<svg")
+
+    def test_save_rejects_non_svg(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_svg(str(tmp_path / "x.svg"), "hello")
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            figure_to_svg(linear_array(2), unit=0)
