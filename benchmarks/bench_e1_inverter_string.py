@@ -44,16 +44,21 @@ def run_length_sweep():
     return rows
 
 
-def test_e1_five_chips(benchmark):
-    rows = benchmark.pedantic(run_chips, rounds=1, iterations=1)
-    emit_table(
+def emit_chips_table(rows, benchmark=None):
+    return emit_table(
         "e1_inverter_chips",
         "E1: five simulated 2048-inverter chips "
         f"(paper: {PAPER_EQUIPOTENTIAL_CYCLE*1e6:.0f} us equipotential, "
         f"{PAPER_PIPELINED_CYCLE*1e9:.0f} ns pipelined, {PAPER_SPEEDUP:.0f}x)",
         ["chip", "equipotential (us)", "pipelined (ns)", "speedup"],
         rows,
+        benchmark=benchmark,
     )
+
+
+def test_e1_five_chips(benchmark):
+    rows = benchmark.pedantic(run_chips, rounds=1, iterations=1)
+    emit_chips_table(rows, benchmark=benchmark)
     for _chip, eq_us, pipe_ns, speedup in rows:
         assert abs(eq_us - 34.0) < 1.0
         assert abs(pipe_ns - 500.0) < 25.0
@@ -72,6 +77,7 @@ def test_e1_speedup_scale_invariant(benchmark):
         "inverter string of any length...')",
         ["n", "equipotential (us)", "pipelined (ns)", "speedup"],
         rows,
+        benchmark=benchmark,
     )
     speedups = [r[3] for r in rows if r[0] >= 2048]
     assert max(speedups) / min(speedups) < 1.05

@@ -2,39 +2,84 @@
 
 Every bench regenerates one of the paper's figures/claims as a table of
 rows.  ``emit_table`` renders the table, prints it (visible with ``-s``),
-and writes it to ``benchmarks/results/<name>.txt`` so a plain
-``pytest benchmarks/ --benchmark-only`` run leaves artifacts behind.
+and writes two artifacts under ``benchmarks/results/``:
+
+* ``<name>.txt`` — the human-readable table (unchanged format);
+* ``<name>.json`` — the same rows machine-readable, plus timing metadata
+  (emission timestamp, repro version, and — when the pytest-benchmark
+  fixture is passed in — the measured round statistics).  These files are
+  the repo's perf trajectory; their shape is pinned by
+  ``repro.obs.schema.BENCHMARK_RESULT_SCHEMA`` and checked by the
+  ``obs``-marked schema tests.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+import time
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from repro import __version__
+from repro.tables import format_value_sci, render_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def emit_table(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
-    rows = [[_fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
-        for i in range(len(headers))
-    ]
-    lines: List[str] = [title, "-" * len(title)]
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    for row in rows:
-        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
-    text = "\n".join(lines) + "\n"
+def _benchmark_timing(benchmark) -> Optional[dict]:
+    """Best-effort extraction of pytest-benchmark round stats; the JSON
+    stays valid (timing simply absent) if the plugin's internals move."""
+    if benchmark is None:
+        return None
+    try:
+        stats = benchmark.stats.stats
+        return {
+            "rounds": stats.rounds,
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "max_s": stats.max,
+        }
+    except AttributeError:
+        return None
+
+
+def emit_table(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    timing: Optional[Mapping] = None,
+    benchmark=None,
+) -> str:
+    raw_rows: List[List] = [list(row) for row in rows]
+    text = render_table(headers, raw_rows, title=title, fmt=format_value_sci) + "\n"
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text)
+
+    meta: dict = {"emitted_at": time.time(), "repro_version": __version__}
+    measured = _benchmark_timing(benchmark)
+    if measured is not None:
+        meta["timing"] = measured
+    if timing is not None:
+        meta.setdefault("timing", {}).update(timing)
+    payload = {
+        "name": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_json_cell(v) for v in row] for row in raw_rows],
+        "meta": meta,
+    }
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+
     print("\n" + text)
     return text
 
 
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
-            return f"{value:.3g}"
-        return f"{value:.4g}"
+def _json_cell(value):
+    """Rows must be JSON scalars; anything exotic degrades to ``str``."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
     return str(value)

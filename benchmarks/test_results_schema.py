@@ -1,0 +1,43 @@
+"""Schema checks for the machine-readable benchmark artifacts.
+
+Marked ``obs`` so CI can run just the observability validation step:
+``pytest benchmarks/ -m obs``.  The first test regenerates the E1 JSON
+artifact (no pytest-benchmark fixture needed), the second validates every
+JSON file present under ``benchmarks/results/`` — a malformed artifact
+would silently poison the perf trajectory later PRs read.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.obs.schema import validate_benchmark_result
+
+pytestmark = pytest.mark.obs
+
+
+def test_e1_emits_schema_valid_json():
+    from bench_e1_inverter_string import emit_chips_table, run_chips
+
+    emit_chips_table(run_chips())
+    path = os.path.join(RESULTS_DIR, "e1_inverter_chips.json")
+    with open(path) as fh:
+        obj = json.load(fh)
+    assert validate_benchmark_result(obj) == []
+    assert obj["name"] == "e1_inverter_chips"
+    assert len(obj["rows"]) == 5
+    assert all(len(row) == len(obj["headers"]) for row in obj["rows"])
+
+
+def test_all_result_json_well_formed():
+    paths = sorted(glob.glob(os.path.join(RESULTS_DIR, "*.json")))
+    if not paths:
+        pytest.skip("no JSON artifacts emitted yet — run a benchmark first")
+    for path in paths:
+        with open(path) as fh:
+            obj = json.load(fh)
+        errors = validate_benchmark_result(obj)
+        assert not errors, f"{os.path.basename(path)}: {errors}"

@@ -8,10 +8,15 @@ base seed so every benchmark run is reproducible.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import statistics
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
+
+from repro.obs.profile import Profiler
+from repro.obs.trace import NULL_TRACER, Tracer
 
 Trial = Callable[[int], float]
 
@@ -44,17 +49,41 @@ def run_trials(
     n_trials: int,
     base_seed: int = 0,
     z: float = 1.96,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[Profiler] = None,
 ) -> MonteCarloSummary:
     """Run ``trial(seed)`` for seeds ``base_seed .. base_seed + n - 1``.
 
     ``z`` is the normal quantile for the CI (1.96 ~ 95%).
+
+    With a ``tracer``, each trial emits a ``montecarlo/trial`` progress
+    event (``t`` is the trial index; the payload carries the seed, the
+    trial value, and its wall-clock cost) followed by a final
+    ``montecarlo/summary``.  A ``profiler`` accumulates the whole loop
+    under a ``montecarlo`` phase.  Both default to off.
     """
     if n_trials < 2:
         raise ValueError("need at least two trials")
-    values: List[float] = [trial(base_seed + i) for i in range(n_trials)]
+    tracer = tracer if tracer is not None else NULL_TRACER
+    values: List[float] = []
+    with (profiler.profiled("montecarlo") if profiler is not None
+          else contextlib.nullcontext()):
+        for i in range(n_trials):
+            if tracer.enabled:
+                t0 = time.perf_counter()
+                value = trial(base_seed + i)
+                tracer.event(
+                    float(i), "montecarlo", "trial",
+                    seed=base_seed + i, value=value,
+                    wall_s=time.perf_counter() - t0,
+                    completed=i + 1, total=n_trials,
+                )
+            else:
+                value = trial(base_seed + i)
+            values.append(value)
     mean = statistics.fmean(values)
     stdev = statistics.stdev(values)
-    return MonteCarloSummary(
+    summary = MonteCarloSummary(
         trials=n_trials,
         mean=mean,
         stdev=stdev,
@@ -62,6 +91,13 @@ def run_trials(
         maximum=max(values),
         ci_half_width=z * stdev / math.sqrt(n_trials),
     )
+    if tracer.enabled:
+        tracer.event(
+            float(n_trials), "montecarlo", "summary",
+            trials=n_trials, mean=mean, stdev=stdev,
+            ci_low=summary.ci_low, ci_high=summary.ci_high,
+        )
+    return summary
 
 
 def summarize(values: Sequence[float], z: float = 1.96) -> MonteCarloSummary:

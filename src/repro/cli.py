@@ -7,14 +7,21 @@ Run ``python -m repro <command> --help``.  Commands:
 * ``sweep``        — sigma/period across sizes, with a growth-law verdict;
 * ``lower-bound``  — execute the Section V-B proof on a mesh;
 * ``inverter``     — the Section VII inverter-string experiment;
-* ``hybrid``       — hybrid cycle time vs the global equipotential clock.
+* ``hybrid``       — hybrid cycle time vs the global equipotential clock;
+* ``trace``        — replay and summarise a recorded JSONL trace.
 
-Every command prints a small table; nothing is written to disk.
+Every command prints a small table; nothing is written to disk unless
+observability is asked for: ``--trace FILE`` streams structured events to
+a JSONL file (replay with ``repro trace FILE``) and ``--metrics`` prints
+collected counters/gauges/histograms plus wall-clock phase timings after
+the command.  Without those flags, output is byte-identical to the
+uninstrumented CLI.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -29,8 +36,13 @@ from repro.core.lower_bound import lower_bound_value, prove_skew_lower_bound
 from repro.core.models import DifferenceModel, PhysicalModel, SkewModel, SummationModel
 from repro.core.parameters import equipotential_tau
 from repro.core.schemes import available_schemes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.replay import summarize_trace
+from repro.obs.trace import NULL_TRACER, JsonlTracer, load_trace
 from repro.sim.hybrid_sim import simulate_hybrid
 from repro.sim.inverter import InverterString, paper_calibrated_model
+from repro.tables import render_table
 
 TOPOLOGIES: Dict[str, Callable[[int], ProcessorArray]] = {
     "linear": linear_array,
@@ -59,21 +71,12 @@ def _model(name: str, m: float, eps: float) -> SkewModel:
     raise ValueError(f"unknown model {name!r}")
 
 
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    return render_table(headers, rows)
+
+
 def _print_table(headers: Sequence[str], rows: Sequence[Sequence]) -> None:
-    text_rows = [[_fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(headers[i]), max((len(r[i]) for r in text_rows), default=0))
-        for i in range(len(headers))
-    ]
-    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    for row in text_rows:
-        print("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
+    print(_render_table(headers, rows))
 
 
 # ----------------------------------------------------------------------
@@ -118,11 +121,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     model = _model(args.model, args.m, args.eps)
+    tracer = args.tracer
     rows = []
     sigmas = []
-    for n in sizes:
-        array = TOPOLOGIES[args.topology](n)
-        ev = evaluate_scheme(array, args.scheme, model, m=args.m, eps=args.eps)
+    for i, n in enumerate(sizes):
+        with _maybe_profiled(args, f"n={n}"):
+            array = TOPOLOGIES[args.topology](n)
+            ev = evaluate_scheme(array, args.scheme, model, m=args.m, eps=args.eps)
+        if tracer.enabled:
+            tracer.event(
+                float(i), "sweep", "size",
+                n=n, sigma=ev.sigma_bound, period=ev.period(args.delta),
+            )
         rows.append((n, ev.sigma_bound, ev.period(args.delta)))
         sigmas.append(ev.sigma_bound)
     print(f"{args.scheme} on {args.topology} arrays, {args.model} model:")
@@ -156,9 +166,22 @@ def cmd_lower_bound(args: argparse.Namespace) -> int:
 
 def cmd_inverter(args: argparse.Namespace) -> int:
     print(f"inverter string, n={args.stages}, {args.chips} chips:")
+    tracer = args.tracer
+    metrics = args.metrics_registry
     rows = []
     for seed in range(args.chips):
-        r = InverterString(args.stages, paper_calibrated_model(seed)).result()
+        with _maybe_profiled(args, f"chip={seed}"):
+            r = InverterString(args.stages, paper_calibrated_model(seed)).result()
+        if tracer.enabled:
+            tracer.event(
+                float(seed), "inverter", "chip",
+                seed=seed,
+                equipotential_cycle=r.equipotential_cycle,
+                pipelined_cycle=r.pipelined_cycle,
+                speedup=r.speedup,
+            )
+        if metrics is not None:
+            metrics.gauge("inverter.speedup").set(r.speedup)
         rows.append(
             (seed, r.equipotential_cycle * 1e6, r.pipelined_cycle * 1e9, r.speedup)
         )
@@ -169,7 +192,13 @@ def cmd_inverter(args: argparse.Namespace) -> int:
 def cmd_hybrid(args: argparse.Namespace) -> int:
     array = mesh(args.size, args.size)
     scheme = build_hybrid(array, element_size=args.element)
-    result = simulate_hybrid(scheme, steps=args.steps, delta=args.delta)
+    result = simulate_hybrid(
+        scheme,
+        steps=args.steps,
+        delta=args.delta,
+        tracer=args.tracer,
+        metrics=args.metrics_registry,
+    )
     tau = equipotential_tau(serpentine_clock(array))
     print(f"hybrid scheme on {array.name} (element size {args.element}):")
     _print_table(
@@ -216,6 +245,78 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay a JSONL trace: counts, skew histogram, violation timeline."""
+    events = load_trace(args.file)
+    summary = summarize_trace(events, skew_buckets=args.buckets)
+    print(
+        f"trace {args.file}: {summary.events} events, "
+        f"t in [{summary.t_min:.4g}, {summary.t_max:.4g}]"
+    )
+    print()
+    print("events by category:")
+    _print_table(
+        ["category", "kind", "count", "first t", "last t"],
+        summary.category_rows,
+    )
+    print()
+    print(
+        f"skew histogram ({summary.skew_samples} tick groups, "
+        f"max skew {summary.max_skew:.4g}):"
+    )
+    if summary.skew_histogram:
+        _print_table(["skew", "count"], summary.skew_histogram)
+    else:
+        print("  (no firing events — nothing to measure skew over)")
+    print()
+    print(f"violation timeline ({summary.total_violations} violations):")
+    if summary.violation_timeline:
+        _print_table(["tick", "stale", "race"], summary.violation_timeline)
+    else:
+        print("  (no violation events — the run was clean)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# observability plumbing
+# ----------------------------------------------------------------------
+def _attach_observability(args: argparse.Namespace) -> None:
+    """Resolve the ``--trace`` / ``--metrics`` flags into live objects on
+    the namespace.  Defaults are the no-op instruments, so commands can
+    use ``args.tracer`` unconditionally."""
+    trace_path = getattr(args, "trace", None)
+    args.tracer = JsonlTracer(trace_path) if trace_path else NULL_TRACER
+    want_metrics = getattr(args, "metrics", False)
+    args.metrics_registry = MetricsRegistry() if want_metrics else None
+    args.profiler = Profiler() if want_metrics else None
+
+
+def _maybe_profiled(args: argparse.Namespace, name: str):
+    profiler = getattr(args, "profiler", None)
+    if profiler is None:
+        return contextlib.nullcontext()
+    return profiler.profiled(name)
+
+
+def _print_observability(args: argparse.Namespace) -> None:
+    """After a ``--metrics`` run: the collected registry and phase table."""
+    metrics = args.metrics_registry
+    if metrics is None:
+        return
+    rows = metrics.render_rows()
+    print()
+    print("metrics:")
+    if rows:
+        _print_table(["name", "type", "summary"], rows)
+    else:
+        print("  (no instruments touched by this command)")
+    prof_rows = args.profiler.render_rows()
+    if prof_rows:
+        print()
+        print("phases:")
+        _print_table(["phase", "calls", "total s", "mean s"], prof_rows)
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -225,6 +326,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Fisher & Kung (1983) 'Synchronizing Large VLSI Processor Arrays' — reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Observability flags shared by every command.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="stream structured events to a JSONL file (replay with 'repro trace FILE')",
+    )
+    obs_flags.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/gauges/histograms and print them after the command",
+    )
+
+    def add_command(name, **kwargs):
+        return sub.add_parser(name, parents=[obs_flags], **kwargs)
 
     def common(p, scheme_default=None):
         p.add_argument("--topology", choices=sorted(TOPOLOGIES), default="linear")
@@ -236,42 +354,49 @@ def build_parser() -> argparse.ArgumentParser:
         if scheme_default is not None:
             p.add_argument("--scheme", default=scheme_default)
 
-    p = sub.add_parser("report", help="evaluate one scheme on one array")
+    p = add_command("report", help="evaluate one scheme on one array")
     common(p, scheme_default="spine")
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("compare", help="rank schemes on one array")
+    p = add_command("compare", help="rank schemes on one array")
     common(p)
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("sweep", help="sigma/period across sizes + growth law")
+    p = add_command("sweep", help="sigma/period across sizes + growth law")
     common(p, scheme_default="spine")
     p.add_argument("--sizes", default="8,16,32,64,128")
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("lower-bound", help="run the Section V-B proof on a mesh")
+    p = add_command("lower-bound", help="run the Section V-B proof on a mesh")
     p.add_argument("--size", type=int, default=16)
     p.add_argument("--beta", type=float, default=0.1)
     p.set_defaults(func=cmd_lower_bound)
 
-    p = sub.add_parser("inverter", help="Section VII inverter-string experiment")
+    p = add_command("inverter", help="Section VII inverter-string experiment")
     p.add_argument("--stages", type=int, default=2048)
     p.add_argument("--chips", type=int, default=5)
     p.set_defaults(func=cmd_inverter)
 
-    p = sub.add_parser("hybrid", help="hybrid scheme vs global clock on a mesh")
+    p = add_command("hybrid", help="hybrid scheme vs global clock on a mesh")
     p.add_argument("--size", type=int, default=16)
     p.add_argument("--element", type=float, default=4.0)
     p.add_argument("--steps", type=int, default=25)
     p.add_argument("--delta", type=float, default=1.0)
     p.set_defaults(func=cmd_hybrid)
 
-    p = sub.add_parser("advise", help="recommend a synchronization design")
+    p = add_command("advise", help="recommend a synchronization design")
     common(p)
     p.set_defaults(func=cmd_advise)
 
-    p = sub.add_parser("schemes", help="list registered clocking schemes")
+    p = add_command("schemes", help="list registered clocking schemes")
     p.set_defaults(func=cmd_schemes)
+
+    p = sub.add_parser("trace", help="replay and summarise a JSONL trace file")
+    p.add_argument("file", help="trace file written by a --trace run")
+    p.add_argument(
+        "--buckets", type=int, default=8, help="skew histogram bucket count"
+    )
+    p.set_defaults(func=cmd_trace, trace=None, metrics=False)
 
     return parser
 
@@ -280,10 +405,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
-    except (ValueError, KeyError) as exc:
+        _attach_observability(args)
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        if args.tracer.enabled:
+            args.tracer.event(0.0, "cli", "command", command=args.command)
+        with _maybe_profiled(args, args.command):
+            code = args.func(args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        args.tracer.close()
+    if code == 0:
+        _print_observability(args)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,70 @@
+"""Observability: tracing, metrics, and profiling for the simulators.
+
+Three independent instruments, all zero-overhead when left at their
+defaults (every instrumented surface takes ``tracer=None`` /
+``metrics=None`` and default runs stay byte-identical):
+
+* :mod:`repro.obs.trace` — structured event recording
+  (:class:`NullTracer`, :class:`RecordingTracer`, :class:`JsonlTracer`);
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  behind a :class:`MetricsRegistry`;
+* :mod:`repro.obs.profile` — nested wall-clock phase timers
+  (:class:`Profiler` / :func:`profiled`).
+
+Plus the consumers: :mod:`repro.obs.replay` summarises a recorded trace
+(the ``python -m repro trace`` command) and :mod:`repro.obs.schema`
+validates the JSON artifacts the layer emits.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    load_trace,
+    read_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import PhaseStat, Profiler, profiled
+from repro.obs.replay import TraceSummary, summarize_trace
+from repro.obs.schema import (
+    BENCHMARK_RESULT_SCHEMA,
+    TRACE_EVENT_SCHEMA,
+    validate,
+    validate_benchmark_result,
+    validate_trace_event,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "TraceEvent",
+    "read_trace",
+    "load_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "Profiler",
+    "PhaseStat",
+    "profiled",
+    "TraceSummary",
+    "summarize_trace",
+    "validate",
+    "validate_trace_event",
+    "validate_benchmark_result",
+    "TRACE_EVENT_SCHEMA",
+    "BENCHMARK_RESULT_SCHEMA",
+]

@@ -1,0 +1,192 @@
+"""Counters, gauges, and fixed-bucket histograms for simulator runs.
+
+A :class:`MetricsRegistry` is the single handle instrumented code takes
+(``metrics=None`` everywhere by default — the ``None`` check is the
+zero-overhead switch).  Registered instruments:
+
+* :class:`Counter` — monotone event counts (events dispatched, runaway
+  guards tripped, violations seen);
+* :class:`Gauge` — a last-value-plus-extremes sample (queue depth, cycle
+  time);
+* :class:`Histogram` — fixed-bucket distribution (skew per tick, service
+  times, handshake stall times).  Buckets are inclusive upper edges: a
+  value ``v`` lands in the first bucket whose edge satisfies ``v <=
+  edge``; values beyond the last edge land in the overflow bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Geometric default edges spanning the time scales the simulators emit
+#: (sub-millisecond handshake wires up to 1e4-unit makespans).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last set value, with the min/max envelope seen so far."""
+
+    __slots__ = ("name", "value", "minimum", "maximum", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with an overflow bucket.
+
+    ``edges`` are sorted inclusive upper bounds.  ``counts`` has
+    ``len(edges) + 1`` entries; the last is the overflow count for values
+    strictly above the final edge.
+    """
+
+    __slots__ = ("name", "edges", "counts", "total", "sum")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        ordered = list(edges)
+        if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.edges: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def bucket_labels(self) -> List[str]:
+        labels = []
+        lo = None
+        for edge in self.edges:
+            labels.append(f"<= {edge:g}" if lo is None else f"({lo:g}, {edge:g}]")
+            lo = edge
+        labels.append(f"> {self.edges[-1]:g}")
+        return labels
+
+    def nonzero_buckets(self) -> List[Tuple[str, int]]:
+        return [
+            (label, count)
+            for label, count in zip(self.bucket_labels(), self.counts)
+            if count
+        ]
+
+
+class MetricsRegistry:
+    """Create-or-get registry for the three instrument kinds.
+
+    Names are namespaced by convention (``"engine.queue_depth"``,
+    ``"handshake.stall_time"``); re-requesting a name returns the same
+    instrument, so producers never need to coordinate setup.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, edges)
+        return self._histograms[name]
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    def to_dict(self) -> Dict[str, Dict]:
+        """A JSON-serialisable snapshot of everything registered."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {
+                    "value": g.value,
+                    "min": g.minimum,
+                    "max": g.maximum,
+                    "samples": g.samples,
+                }
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: {
+                    "edges": h.edges,
+                    "counts": h.counts,
+                    "total": h.total,
+                    "mean": h.mean,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render_rows(self) -> List[Tuple[str, str, str]]:
+        """``(name, type, summary)`` rows for a plain-text metrics table."""
+        rows: List[Tuple[str, str, str]] = []
+        for name, c in sorted(self._counters.items()):
+            rows.append((name, "counter", str(c.value)))
+        for name, g in sorted(self._gauges.items()):
+            rows.append(
+                (
+                    name,
+                    "gauge",
+                    f"last={g.value:g} min={g.minimum:g} max={g.maximum:g}"
+                    if g.samples
+                    else "no samples",
+                )
+            )
+        for name, h in sorted(self._histograms.items()):
+            rows.append(
+                (name, "histogram", f"n={h.total} mean={h.mean:.4g}")
+            )
+        return rows

@@ -1,0 +1,88 @@
+"""Lightweight wall-clock phase profiling for analysis pipelines.
+
+A :class:`Profiler` accumulates time per *phase path*: nested
+``profiled()`` blocks produce slash-joined paths (``"sweep"``,
+``"sweep/evaluate"``), so a report reads like a call tree without any
+interpreter-level tracing.  Monte-Carlo loops, parameter sweeps, and the
+CLI wrap their stages in ``profiled()`` and print the report when asked.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall-clock time for one phase path."""
+
+    path: str
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class Profiler:
+    """Accumulates nested wall-clock phase timings."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, PhaseStat] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def profiled(self, name: str):
+        """Time a phase; nesting joins names into a path with ``/``."""
+        if "/" in name:
+            raise ValueError("phase names must not contain '/'")
+        path = "/".join(self._stack + [name])
+        self._stack.append(name)
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._stack.pop()
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = self._stats[path] = PhaseStat(path=path)
+            stat.calls += 1
+            stat.total_s += elapsed
+
+    @property
+    def current_path(self) -> str:
+        return "/".join(self._stack)
+
+    def report(self) -> List[PhaseStat]:
+        """Phase stats sorted by path — parents sort before children."""
+        return [self._stats[p] for p in sorted(self._stats)]
+
+    def total_s(self, path: str) -> float:
+        return self._stats[path].total_s
+
+    def render_rows(self) -> List[Tuple[str, int, float, float]]:
+        """``(phase, calls, total s, mean s)`` rows for a text table."""
+        return [(s.path, s.calls, s.total_s, s.mean_s) for s in self.report()]
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            s.path: {"calls": s.calls, "total_s": s.total_s, "mean_s": s.mean_s}
+            for s in self.report()
+        }
+
+
+@contextmanager
+def profiled(name: str, profiler: "Profiler" = None):
+    """Convenience wrapper: ``profiled(name, p)`` is ``p.profiled(name)``;
+    with ``profiler=None`` it times nothing (the disabled path, mirroring
+    ``NullTracer``)."""
+    if profiler is None:
+        yield None
+        return
+    with profiler.profiled(name):
+        yield profiler

@@ -1,0 +1,117 @@
+"""Replay and summarise recorded traces.
+
+``python -m repro trace FILE`` funnels through :func:`summarize_trace`:
+given the events of one run it produces
+
+* per-``(cat, kind)`` counts with first/last event times;
+* a **skew histogram** — for every tick (clocked runs: ``tick/fire``
+  events) or global step (hybrid runs: ``hybrid/step`` events) the spread
+  between the earliest and latest firing across cells, bucketed;
+* a **violation timeline** — stale/race counts per receiver tick, the
+  time-resolved view of an A8-breakage experiment that the flat
+  violation list hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.obs.trace import TraceEvent
+
+
+@dataclass
+class TraceSummary:
+    """Everything the trace replay command prints."""
+
+    events: int
+    t_min: float
+    t_max: float
+    #: (cat, kind, count, first t, last t), sorted by cat then kind.
+    category_rows: List[Tuple[str, str, int, float, float]] = field(default_factory=list)
+    #: (bucket label, count) over per-tick firing spreads.
+    skew_histogram: List[Tuple[str, int]] = field(default_factory=list)
+    skew_samples: int = 0
+    max_skew: float = 0.0
+    #: (tick, stale, race) rows, sorted by tick.
+    violation_timeline: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(s + r for _t, s, r in self.violation_timeline)
+
+
+def _firing_groups(events: Iterable[TraceEvent]) -> Dict[Tuple[str, int], List[float]]:
+    """Group firing times by tick/step so per-group spread is the skew."""
+    groups: Dict[Tuple[str, int], List[float]] = {}
+    for e in events:
+        if e.cat == "tick" and e.kind == "fire":
+            key = ("tick", int(e.data["tick"]))
+            groups.setdefault(key, []).append(e.t)
+        elif e.cat == "hybrid" and e.kind == "step":
+            key = ("step", int(e.data["step"]))
+            groups.setdefault(key, []).append(float(e.data["start"]))
+    return groups
+
+
+def summarize_trace(events: List[TraceEvent], skew_buckets: int = 8) -> TraceSummary:
+    """Collapse one run's events into the replay report."""
+    if skew_buckets < 1:
+        raise ValueError("need at least one skew bucket")
+    counts: Dict[Tuple[str, str], List] = {}
+    for e in events:
+        row = counts.get((e.cat, e.kind))
+        if row is None:
+            counts[(e.cat, e.kind)] = [1, e.t, e.t]
+        else:
+            row[0] += 1
+            row[1] = min(row[1], e.t)
+            row[2] = max(row[2], e.t)
+    category_rows = [
+        (cat, kind, n, first, last)
+        for (cat, kind), (n, first, last) in sorted(counts.items())
+    ]
+
+    # Skew distribution: spread of firing times within each tick/step.
+    spreads = [
+        max(times) - min(times)
+        for times in _firing_groups(events).values()
+        if len(times) >= 2
+    ]
+    skew_rows: List[Tuple[str, int]] = []
+    max_skew = max(spreads) if spreads else 0.0
+    if spreads:
+        # Linear display buckets sized to the data (the metrics layer's
+        # fixed buckets target live collection; replay knows the range).
+        top = max_skew if max_skew > 0 else 1.0
+        edges = [top * (i + 1) / skew_buckets for i in range(skew_buckets)]
+        hist = Histogram("trace.skew", edges)
+        hist.observe_many(spreads)
+        skew_rows = list(zip(hist.bucket_labels(), hist.counts))
+
+    # Violation timeline: stale/race per receiver tick.
+    timeline: Dict[int, List[int]] = {}
+    for e in events:
+        if e.cat != "violation":
+            continue
+        tick = int(e.data.get("receiver_tick", e.data.get("tick", -1)))
+        row = timeline.setdefault(tick, [0, 0])
+        if e.kind == "race":
+            row[1] += 1
+        else:
+            row[0] += 1
+    violation_rows = [
+        (tick, stale, race) for tick, (stale, race) in sorted(timeline.items())
+    ]
+
+    return TraceSummary(
+        events=len(events),
+        t_min=min((e.t for e in events), default=0.0),
+        t_max=max((e.t for e in events), default=0.0),
+        category_rows=category_rows,
+        skew_histogram=skew_rows,
+        skew_samples=len(spreads),
+        max_skew=max_skew,
+        violation_timeline=violation_rows,
+    )

@@ -1,0 +1,111 @@
+"""A small stdlib-only JSON validator plus the schemas the repo emits.
+
+Two machine-readable artifact families need to stay well-formed for the
+perf-trajectory tooling of later PRs:
+
+* ``benchmarks/results/<name>.json`` — benchmark tables with timing
+  metadata (:data:`BENCHMARK_RESULT_SCHEMA`);
+* JSONL trace lines from :class:`~repro.obs.trace.JsonlTracer`
+  (:data:`TRACE_EVENT_SCHEMA`).
+
+The validator speaks a deliberately tiny dialect of JSON Schema —
+``type`` (string or list of strings), ``properties`` + ``required`` for
+objects, ``items`` for arrays — enough to pin the shapes down without a
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(obj: Any, schema: Dict[str, Any], path: str = "$") -> List[str]:
+    """Validate ``obj`` against the mini-schema; returns error strings
+    (empty list means valid)."""
+    errors: List[str] = []
+    types = schema.get("type")
+    if types is not None:
+        allowed = [types] if isinstance(types, str) else list(types)
+        for t in allowed:
+            if t not in _TYPE_CHECKS:
+                raise ValueError(f"unsupported schema type {t!r}")
+        if not any(_TYPE_CHECKS[t](obj) for t in allowed):
+            errors.append(
+                f"{path}: expected {'/'.join(allowed)}, got {type(obj).__name__}"
+            )
+            return errors
+    if isinstance(obj, dict):
+        for key in schema.get("required", []):
+            if key not in obj:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in obj:
+                errors.extend(validate(obj[key], subschema, f"{path}.{key}"))
+    if isinstance(obj, list) and "items" in schema:
+        for i, item in enumerate(obj):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+_SCALAR = {"type": ["string", "number", "boolean", "null"]}
+
+#: Shape of one JSONL trace line (a serialised TraceEvent).
+TRACE_EVENT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["t", "cat", "kind", "cell", "data"],
+    "properties": {
+        "t": {"type": "number"},
+        "cat": {"type": "string"},
+        "kind": {"type": "string"},
+        "data": {"type": "object"},
+    },
+}
+
+#: Shape of ``benchmarks/results/<name>.json``.
+BENCHMARK_RESULT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "title", "headers", "rows", "meta"],
+    "properties": {
+        "name": {"type": "string"},
+        "title": {"type": "string"},
+        "headers": {"type": "array", "items": {"type": "string"}},
+        "rows": {"type": "array", "items": {"type": "array", "items": _SCALAR}},
+        "meta": {
+            "type": "object",
+            "required": ["emitted_at", "repro_version"],
+            "properties": {
+                "emitted_at": {"type": "number"},
+                "repro_version": {"type": "string"},
+                "timing": {"type": "object"},
+            },
+        },
+    },
+}
+
+
+def validate_trace_event(obj: Any) -> List[str]:
+    return validate(obj, TRACE_EVENT_SCHEMA)
+
+
+def validate_benchmark_result(obj: Any) -> List[str]:
+    """Schema check plus the cross-field invariant a mini-schema can't
+    express: every row is as wide as the header."""
+    errors = validate(obj, BENCHMARK_RESULT_SCHEMA)
+    if not errors:
+        width = len(obj["headers"])
+        for i, row in enumerate(obj["rows"]):
+            if len(row) != width:
+                errors.append(
+                    f"$.rows[{i}]: has {len(row)} cells, expected {width}"
+                )
+    return errors

@@ -1,0 +1,211 @@
+"""Structured tracing for simulator runs and analysis pipelines.
+
+A tracer receives :class:`TraceEvent` records — (time, category, kind,
+cell, payload) — from instrumented code.  Three implementations:
+
+* :class:`NullTracer` — the default everywhere; ``enabled`` is False so
+  hot loops skip event construction entirely (zero overhead, and default
+  runs stay byte-identical to uninstrumented ones);
+* :class:`RecordingTracer` — keeps events in memory for tests and
+  programmatic analysis;
+* :class:`JsonlTracer` — streams one JSON object per line to a file,
+  which ``python -m repro trace`` replays and summarises.
+
+The event schema is deliberately flat so every producer (clocked arrays,
+the event engine, the hybrid network, Monte-Carlo loops) shares it:
+
+``t``
+    event time — simulated time for simulator events, a step or trial
+    index for analysis pipelines (the producer documents which);
+``cat`` / ``kind``
+    coarse category (``"tick"``, ``"violation"``, ``"engine"``, …) and
+    the specific event within it (``"fire"``, ``"stale"``, ``"dispatch"``);
+``cell``
+    the cell / node / element the event concerns, or ``None``;
+``data``
+    a small JSON-serialisable payload.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observation from an instrumented run."""
+
+    t: float
+    cat: str
+    kind: str
+    cell: Any = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {
+            "t": self.t,
+            "cat": self.cat,
+            "kind": self.kind,
+            "cell": _jsonable(self.cell),
+            "data": {k: _jsonable(v) for k, v in self.data.items()},
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            t=float(obj["t"]),
+            cat=obj["cat"],
+            kind=obj["kind"],
+            cell=_dejsonable(obj.get("cell")),
+            data=obj.get("data", {}),
+        )
+
+
+def _jsonable(value: Any):
+    """Make cell ids / payload values JSON-serialisable (tuples become
+    lists; everything unknown falls back to ``repr``)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _dejsonable(value: Any):
+    """Round-trip helper: JSON arrays come back as tuples so cell ids
+    like ``(r, c)`` stay hashable."""
+    if isinstance(value, list):
+        return tuple(_dejsonable(v) for v in value)
+    return value
+
+
+class Tracer:
+    """Base tracer: records events; subclasses choose the sink.
+
+    ``enabled`` is the zero-overhead switch — instrumented hot loops guard
+    on it before building payloads, so a :class:`NullTracer` costs one
+    attribute read per loop, nothing more.
+    """
+
+    enabled: bool = True
+
+    def event(
+        self,
+        t: float,
+        cat: str,
+        kind: str,
+        cell: Any = None,
+        **data: Any,
+    ) -> None:
+        self.record(TraceEvent(t=t, cat=cat, kind=kind, cell=cell, data=data))
+
+    def record(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @contextmanager
+    def span(self, cat: str, kind: str, cell: Any = None, t: float = 0.0, **data: Any):
+        """Measure a wall-clock span; one event is recorded on exit with
+        the elapsed seconds in ``data["wall_s"]``."""
+        if not self.enabled:
+            yield self
+            return
+        t0 = _time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.event(t, cat, kind, cell=cell, wall_s=_time.perf_counter() - t0, **data)
+
+    def close(self) -> None:
+        """Release any underlying resources (a no-op for most tracers)."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """Discards everything; ``enabled`` is False so callers skip payload
+    construction.  The default tracer on every instrumented surface."""
+
+    enabled = False
+
+    def event(self, t, cat, kind, cell=None, **data) -> None:
+        pass
+
+    def record(self, event: TraceEvent) -> None:
+        pass
+
+
+#: Shared no-op tracer; instrumented code defaults to this instance.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in memory — for tests and in-process analysis."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def by_category(self, cat: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.cat == cat]
+
+    def by_kind(self, cat: str, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.cat == cat and e.kind == kind]
+
+    def counts(self) -> Dict[tuple, int]:
+        """``(cat, kind) -> count`` over everything recorded."""
+        out: Dict[tuple, int] = {}
+        for e in self.events:
+            key = (e.cat, e.kind)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a JSON-lines file as they happen.
+
+    The file is line-buffered JSON — one ``TraceEvent.to_json_obj`` per
+    line — so a crashed run still leaves a readable prefix behind.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w")
+        self.events_written = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"tracer for {self.path!r} is closed")
+        self._fh.write(json.dumps(event.to_json_obj()) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_trace(path: str) -> Iterator[TraceEvent]:
+    """Iterate the events of a JSONL trace file (blank lines skipped)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            yield TraceEvent.from_json_obj(json.loads(line))
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    """Read a whole JSONL trace into memory."""
+    return list(read_trace(path))

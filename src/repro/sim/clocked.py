@@ -30,6 +30,8 @@ from repro.arrays.cells import PE
 from repro.arrays.systolic import SystolicProgram
 from repro.delay.wire import LinearWireModel, WireDelayModel
 from repro.graphs.comm import CommGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.clock_distribution import ClockSchedule
 
 CellId = Hashable
@@ -86,9 +88,13 @@ class ClockedArraySimulator:
         delta: float = 0.0,
         data_wire_model: Optional[WireDelayModel] = None,
         edge_padding: Optional[Mapping[EdgeKey, float]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if delta < 0:
             raise ValueError("delta must be non-negative")
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics
         self._program = program
         self._comm: CommGraph = program.array.comm
         self._schedule = schedule
@@ -154,23 +160,42 @@ class ClockedArraySimulator:
         history: Dict[EdgeKey, Dict[int, Any]] = {e: {} for e in self._edge_delay}
         violations: List[TimingViolation] = []
         makespan = 0.0
+        tracer = self._tracer
+        metrics = self._metrics
+        violation_counter = (
+            metrics.counter("clocked.violations") if metrics is not None else None
+        )
 
         for t_fire, k, _i, cell in events:
             makespan = max(makespan, t_fire)
             inputs: Dict[CellId, Any] = {}
+            if tracer.enabled:
+                tracer.event(t_fire, "tick", "fire", cell=cell, tick=k)
             for src in self._comm.predecessors(cell):
                 edge = (src, cell)
                 latched = self._latched_sender_tick(edge, k)
                 expected = k - 1
                 if latched != expected and (latched >= 0 or expected >= 0):
-                    violations.append(
-                        TimingViolation(
+                    violation = TimingViolation(
+                        edge=edge,
+                        receiver_tick=k,
+                        expected_sender_tick=expected,
+                        actual_sender_tick=latched,
+                    )
+                    violations.append(violation)
+                    if tracer.enabled:
+                        tracer.event(
+                            t_fire,
+                            "violation",
+                            violation.kind,
+                            cell=cell,
                             edge=edge,
                             receiver_tick=k,
                             expected_sender_tick=expected,
                             actual_sender_tick=latched,
                         )
-                    )
+                    if violation_counter is not None:
+                        violation_counter.inc()
                 inputs[src] = history[edge].get(latched) if latched >= 0 else None
             outputs = pes[cell].fire(inputs)
             for dst in self._comm.successors(cell):
@@ -178,6 +203,27 @@ class ClockedArraySimulator:
                 history[(cell, dst)][k] = value
 
         result = self._program.read_result(_ExecutorFacade(pes))
+        if tracer.enabled:
+            tracer.event(
+                makespan,
+                "clocked",
+                "run",
+                ticks=n_ticks,
+                violations=len(violations),
+                makespan=makespan,
+                cells=len(cells),
+            )
+        if metrics is not None:
+            per_tick = metrics.histogram("clocked.violations_per_tick")
+            by_tick: Dict[int, int] = {}
+            for v in violations:
+                by_tick[v.receiver_tick] = by_tick.get(v.receiver_tick, 0) + 1
+            for k in range(n_ticks):
+                per_tick.observe(float(by_tick.get(k, 0)))
+            skew_hist = metrics.histogram("clocked.tick_skew")
+            for k in range(n_ticks):
+                times = [self._schedule.tick_time(c, k) for c in cells]
+                skew_hist.observe(max(times) - min(times))
         return ClockedRunResult(
             result=result,
             violations=violations,

@@ -4,13 +4,24 @@ A thin driver over :class:`~repro.sim.events.EventQueue`: payloads are
 zero-argument callables executed at their scheduled time; callbacks may
 schedule further events.  Time never runs backwards (scheduling in the past
 raises), and the run is fully deterministic for deterministic callbacks.
+
+Optionally observable: pass a :class:`~repro.obs.trace.Tracer` to record a
+span per dispatched event (with the wall-clock cost of the callback and
+the queue depth after it), and a
+:class:`~repro.obs.metrics.MetricsRegistry` to collect an event counter
+and a queue-depth gauge.  Tripping the ``max_events`` runaway guard emits
+an ``engine/runaway_guard`` warning event.  Both default to off and cost
+nothing when disabled.
 """
 
 from __future__ import annotations
 
 import math
+import time as _time
 from typing import Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.events import EventQueue
 
 Action = Callable[[], None]
@@ -19,10 +30,16 @@ Action = Callable[[], None]
 class Simulator:
     """Run scheduled actions in time order."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._queue = EventQueue()
         self.now = 0.0
         self.events_processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     def schedule(self, delay: float, action: Action) -> None:
         """Schedule ``action`` at ``now + delay`` (delay >= 0)."""
@@ -45,17 +62,48 @@ class Simulator:
         passes ``until``, or ``max_events`` are processed (a runaway guard).
         Returns the number of events processed in this call."""
         processed = 0
+        tracer = self.tracer
+        metrics = self.metrics
+        if metrics is not None:
+            event_counter = metrics.counter("engine.events")
+            depth_gauge = metrics.gauge("engine.queue_depth")
         while self._queue:
             next_time = self._queue.peek_time()
             assert next_time is not None
             if next_time > until:
                 break
             if max_events is not None and processed >= max_events:
+                # The guard fired with work still queued — a likely runaway
+                # (a deadlocked protocol or a self-rescheduling loop).
+                if tracer.enabled:
+                    tracer.event(
+                        self.now,
+                        "engine",
+                        "runaway_guard",
+                        limit=max_events,
+                        pending=len(self._queue),
+                    )
+                if metrics is not None:
+                    metrics.counter("engine.runaway_guards").inc()
                 break
             time, action = self._queue.pop()
             self.now = time
-            action()
+            if tracer.enabled:
+                t0 = _time.perf_counter()
+                action()
+                tracer.event(
+                    time,
+                    "engine",
+                    "dispatch",
+                    wall_s=_time.perf_counter() - t0,
+                    queue_depth=len(self._queue),
+                )
+            else:
+                action()
             processed += 1
+            if metrics is not None:
+                event_counter.inc()
+                depth_gauge.set(len(self._queue))
         self.events_processed += processed
         return processed
 

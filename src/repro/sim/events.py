@@ -26,16 +26,25 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, time: float, payload: Any) -> None:
+        """Add ``payload`` at ``time``.  Equal-time events are guaranteed
+        to pop in push order (FIFO): the monotone sequence number is the
+        heap tie-breaker, so insertion order is total, not best-effort.
+        Trace diffing relies on this — two runs of the same deterministic
+        model must produce identical event orders."""
         if time < 0:
             raise ValueError("event time must be non-negative")
         heapq.heappush(self._heap, (time, self._seq, payload))
         self._seq += 1
 
     def pop(self) -> Tuple[float, Any]:
-        """Remove and return the earliest ``(time, payload)``."""
+        """Remove and return the earliest ``(time, payload)``; among
+        equal-time events, strictly the least-recently pushed (FIFO)."""
         if not self._heap:
             raise IndexError("pop from empty event queue")
-        time, _seq, payload = heapq.heappop(self._heap)
+        time, seq, payload = heapq.heappop(self._heap)
+        # FIFO invariant: any equal-time event still queued must carry a
+        # later sequence number than the one just popped.
+        assert not self._heap or self._heap[0][:2] > (time, seq)
         return time, payload
 
     def peek_time(self) -> Optional[float]:

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from repro.clocktree.buffered import BufferedClockTree
 from repro.sim.clock_distribution import ClockSchedule
@@ -102,10 +102,34 @@ class ViolationSummary:
     edges_affected: int
     first_failure_tick: int
     worst_edge: Tuple[EdgeKey, int]  # (edge, violation count)
+    last_failure_tick: int = -1
+    per_cell: Mapping[CellId, int] = field(default_factory=dict)  # receiver -> count
 
     @property
     def clean(self) -> bool:
         return self.total == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-exportable form sharing the trace layer's conventions
+        (edges and cells serialised as their trace representations)."""
+        from repro.obs.trace import _jsonable
+
+        worst_edge, worst_count = self.worst_edge
+        return {
+            "total": self.total,
+            "stale": self.stale,
+            "race": self.race,
+            "edges_affected": self.edges_affected,
+            "first_failure_tick": self.first_failure_tick,
+            "last_failure_tick": self.last_failure_tick,
+            "worst_edge": _jsonable(worst_edge),
+            "worst_edge_count": worst_count,
+            "per_cell": {
+                str(cell): count for cell, count in sorted(
+                    self.per_cell.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        }
 
 
 def summarize_violations(violations: List[TimingViolation]) -> ViolationSummary:
@@ -120,10 +144,14 @@ def summarize_violations(violations: List[TimingViolation]) -> ViolationSummary:
             worst_edge=((None, None), 0),
         )
     per_edge: Dict[EdgeKey, int] = {}
+    per_cell: Dict[CellId, int] = {}
     stale = race = 0
     first = min(v.receiver_tick for v in violations)
+    last = max(v.receiver_tick for v in violations)
     for v in violations:
         per_edge[v.edge] = per_edge.get(v.edge, 0) + 1
+        receiver = v.edge[1]
+        per_cell[receiver] = per_cell.get(receiver, 0) + 1
         if v.kind == "stale":
             stale += 1
         else:
@@ -136,4 +164,6 @@ def summarize_violations(violations: List[TimingViolation]) -> ViolationSummary:
         edges_affected=len(per_edge),
         first_failure_tick=first,
         worst_edge=worst,
+        last_failure_tick=last,
+        per_cell=per_cell,
     )

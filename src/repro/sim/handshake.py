@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sim.engine import Simulator
 
 ComputeSampler = Callable[[random.Random], float]
@@ -61,9 +63,17 @@ class _Stage:
     __slots__ = (
         "index", "compute", "computing", "holding",
         "pending", "downstream", "upstream", "sim", "wire",
+        "metrics", "pending_since",
     )
 
-    def __init__(self, index: int, compute: Callable[[], float], sim: Simulator, wire: float) -> None:
+    def __init__(
+        self,
+        index: int,
+        compute: Callable[[], float],
+        sim: Simulator,
+        wire: float,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.index = index
         self.compute = compute
         self.computing = False
@@ -73,6 +83,8 @@ class _Stage:
         self.upstream: Optional["_Stage"] = None
         self.sim = sim
         self.wire = wire
+        self.metrics = metrics
+        self.pending_since = 0.0
 
     # -- incoming request -------------------------------------------------
     def on_req(self, data: Any) -> None:
@@ -83,14 +95,22 @@ class _Stage:
                     f"arrived before the first was latched"
                 )
             self.pending = data
+            self.pending_since = self.sim.now
             return
+        self._observe_stall(0.0)
         self._latch(data)
+
+    def _observe_stall(self, stall: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram("handshake.stall_time").observe(stall)
 
     def _latch(self, data: Any) -> None:
         self.computing = True
         if self.upstream is not None:
             self.sim.schedule(self.wire, self.upstream.on_ack)
         duration = self.compute()
+        if self.metrics is not None:
+            self.metrics.histogram("handshake.service_time").observe(duration)
         self.sim.schedule(duration, lambda: self._compute_done(data))
 
     def _compute_done(self, data: Any) -> None:
@@ -104,6 +124,8 @@ class _Stage:
         self.holding = False
         if self.pending is not None and not self.computing:
             data, self.pending = self.pending, None
+            # The request waited for this stage to free up — stall time.
+            self._observe_stall(self.sim.now - self.pending_since)
             self._latch(data)
 
 
@@ -156,9 +178,17 @@ class _JoinStage:
     __slots__ = (
         "key", "compute", "computing", "holding", "pending", "acks_missing",
         "downstream", "upstream_count", "upstream_acks", "sim", "wire",
+        "metrics", "first_req_time",
     )
 
-    def __init__(self, key: Any, compute: Callable[[], float], sim: Simulator, wire: float) -> None:
+    def __init__(
+        self,
+        key: Any,
+        compute: Callable[[], float],
+        sim: Simulator,
+        wire: float,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.key = key
         self.compute = compute
         self.computing = False
@@ -170,12 +200,16 @@ class _JoinStage:
         self.upstream_count = 0
         self.sim = sim
         self.wire = wire
+        self.metrics = metrics
+        self.first_req_time: Optional[float] = None
 
     def on_req(self, port: Any, data: Any) -> None:
         if port in self.pending:
             raise AssertionError(
                 f"stage {self.key}: second request on port {port!r} before latch"
             )
+        if not self.pending:
+            self.first_req_time = self.sim.now
         self.pending[port] = data
         self._try_latch()
 
@@ -190,6 +224,15 @@ class _JoinStage:
         for ack in self.upstream_acks:
             self.sim.schedule(self.wire, ack)
         duration = self.compute()
+        if self.metrics is not None:
+            # Join stall: from the first port's request to all ports ready
+            # and the stage free — the wait one slow neighbor inflicts.
+            if self.first_req_time is not None:
+                self.metrics.histogram("handshake.stall_time").observe(
+                    self.sim.now - self.first_req_time
+                )
+            self.metrics.histogram("handshake.service_time").observe(duration)
+        self.first_req_time = None
         self.sim.schedule(duration, lambda: self._compute_done(inputs))
 
     def _compute_done(self, inputs: dict) -> None:
@@ -220,6 +263,8 @@ def run_handshake_wavefront(
     compute_sampler: ComputeSampler,
     wire_delay: float = 0.1,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> HandshakeResult:
     """A self-timed 2D wavefront mesh at the signal level.
 
@@ -235,13 +280,13 @@ def run_handshake_wavefront(
     if wire_delay < 0:
         raise ValueError("wire delay must be non-negative")
     rng = random.Random(seed)
-    sim = Simulator()
+    sim = Simulator(tracer=tracer, metrics=metrics)
 
     cells: dict = {}
     for r in range(rows):
         for c in range(cols):
             cells[(r, c)] = _JoinStage(
-                (r, c), lambda: compute_sampler(rng), sim, wire_delay
+                (r, c), lambda: compute_sampler(rng), sim, wire_delay, metrics
             )
     # Corner sink records completions and acks immediately.
     arrivals: List[Tuple[float, Any]] = []
@@ -309,18 +354,26 @@ def run_handshake_pipeline(
     compute_sampler: ComputeSampler,
     wire_delay: float = 0.1,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> HandshakeResult:
-    """Push ``items`` tokens through ``n_stages`` self-timed stages."""
+    """Push ``items`` tokens through ``n_stages`` self-timed stages.
+
+    With ``metrics``, per-latch compute durations land in the
+    ``handshake.service_time`` histogram and per-request blocking waits in
+    ``handshake.stall_time``; a ``tracer`` additionally records the
+    engine's per-event dispatch spans.
+    """
     if n_stages < 1 or items < 1:
         raise ValueError("need at least one stage and one item")
     if wire_delay < 0:
         raise ValueError("wire delay must be non-negative")
     rng = random.Random(seed)
-    sim = Simulator()
+    sim = Simulator(tracer=tracer, metrics=metrics)
 
     source = _Source(list(range(items)), sim, wire_delay)
     stages = [
-        _Stage(i, lambda: compute_sampler(rng), sim, wire_delay)
+        _Stage(i, lambda: compute_sampler(rng), sim, wire_delay, metrics)
         for i in range(n_stages)
     ]
     sink = _Sink(sim, wire_delay)

@@ -22,6 +22,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 Sampler = Callable[[random.Random], float]
 
 
@@ -83,6 +85,7 @@ def simulate_selftimed_line(
     seed: int = 0,
     worst_time: Optional[float] = None,
     blocking: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SelfTimedResult:
     """Run ``waves`` computation waves through ``n_cells`` self-timed cells.
 
@@ -103,6 +106,13 @@ def simulate_selftimed_line(
     transient).  ``worst_time`` (default: the largest sampled service time)
     defines which waves "hit a worst-case cell" for the ``1 - p^k``
     comparison.
+
+    With a ``metrics`` registry, every (cell, wave) sample lands in the
+    ``selftimed.service_time`` histogram and every backpressure wait (the
+    extra delay a cell's start suffers because its successor still holds
+    the previous token — only possible when ``blocking``) lands in
+    ``selftimed.stall_time``: the distributions behind the paper's
+    worst-case-speed argument.
     """
     if n_cells < 1 or waves < 2:
         raise ValueError("need at least one cell and two waves")
@@ -127,6 +137,11 @@ def simulate_selftimed_line(
     if threshold is None:
         threshold = samples_max
 
+    service_hist = stall_hist = None
+    if metrics is not None:
+        service_hist = metrics.histogram("selftimed.service_time")
+        stall_hist = metrics.histogram("selftimed.stall_time")
+
     for w in range(waves):
         upstream_finish = 0.0
         hit = False
@@ -139,8 +154,12 @@ def simulate_selftimed_line(
                 finish_prev_wave[i],
                 upstream_finish + (wire_delay if i > 0 else 0.0),
             )
+            data_ready = start
             if blocking and i + 1 < n_cells:
                 start = max(start, start_prev_wave[i + 1])
+            if service_hist is not None:
+                service_hist.observe(service)
+                stall_hist.observe(start - data_ready)
             starts[i] = start
             finish = start + service
             finish_prev_wave[i] = finish
@@ -173,6 +192,7 @@ def simulate_selftimed_wavefront(
     sampler: Sampler,
     seed: int = 0,
     worst_time: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SelfTimedResult:
     """A two-dimensional self-timed *wavefront array* (meshes are the 2D
     case the paper's Section V-B is about).
@@ -215,6 +235,10 @@ def simulate_selftimed_wavefront(
     path_cells = {(0, c) for c in range(cols)} | {
         (r, cols - 1) for r in range(1, rows)
     }
+    service_hist = stall_hist = None
+    if metrics is not None:
+        service_hist = metrics.histogram("selftimed.service_time")
+        stall_hist = metrics.histogram("selftimed.stall_time")
     for w in range(waves):
         finish = [[0.0] * cols for _ in range(rows)]
         hit = False
@@ -228,6 +252,11 @@ def simulate_selftimed_wavefront(
                     start = max(start, finish[r - 1][c])
                 if c > 0:
                     start = max(start, finish[r][c - 1])
+                if service_hist is not None:
+                    service_hist.observe(service)
+                    # Join wait: idle time between finishing wave w-1 and
+                    # the north/west inputs for wave w arriving.
+                    stall_hist.observe(start - finish_prev[r][c])
                 finish[r][c] = start + service
         finish_prev = finish
         wave_finish.append(finish[rows - 1][cols - 1])

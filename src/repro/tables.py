@@ -1,0 +1,57 @@
+"""Plain-text table rendering shared by the CLI, the benchmark harness,
+and the trace replay command.
+
+One renderer, two float formatters: :func:`format_value` is the CLI's
+fixed ``%.4g`` style (CLI output is golden — byte-stable across runs);
+:func:`format_value_sci` switches to ``%.3g`` for very small or very
+large magnitudes, which the benchmark tables prefer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+
+def format_value(value) -> str:
+    """CLI-style cell formatting: floats as ``%.4g``, all else ``str``."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_value_sci(value) -> str:
+    """Benchmark-style cell formatting: extreme magnitudes tighten to
+    ``%.3g`` so columns stay narrow."""
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    fmt: Callable[[object], str] = format_value,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Headers are left-justified, cells right-justified (numeric tables read
+    best that way).  With ``title`` the table gains a heading and an
+    underline, matching the benchmark artifact layout.  Returns the text
+    without a trailing newline.
+    """
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in text_rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title is not None:
+        lines.append(title)
+        lines.append("-" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in text_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -127,3 +127,106 @@ class TestHybridAndSchemes:
         )
         assert code == 0
         assert "htree" in out
+
+
+class TestObservabilityFlags:
+    def test_default_run_prints_no_metrics(self, capsys):
+        code, out, _ = run_cli(capsys, "hybrid", "--size", "8")
+        assert code == 0
+        assert "metrics:" not in out
+        assert "phases:" not in out
+
+    def test_metrics_flag_appends_metrics_and_phases(self, capsys):
+        code, out, _ = run_cli(capsys, "hybrid", "--size", "8", "--metrics")
+        assert code == 0
+        assert "metrics:" in out
+        assert "hybrid.cycle_time" in out
+        assert "hybrid.step_skew" in out
+        assert "phases:" in out
+
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        code, out, _ = run_cli(capsys, "hybrid", "--size", "8", "--trace", path)
+        assert code == 0
+        from repro.obs.trace import load_trace
+
+        events = load_trace(path)
+        assert any(e.cat == "hybrid" and e.kind == "step" for e in events)
+        assert events[0].cat == "cli" and events[0].data["command"] == "hybrid"
+
+    def test_trace_output_identical_to_untraced(self, capsys, tmp_path):
+        code, plain, _ = run_cli(capsys, "hybrid", "--size", "8")
+        assert code == 0
+        path = str(tmp_path / "run.jsonl")
+        code, traced, _ = run_cli(capsys, "hybrid", "--size", "8", "--trace", path)
+        assert code == 0
+        assert traced == plain
+
+    def test_inverter_trace_records_chips(self, capsys, tmp_path):
+        path = str(tmp_path / "inv.jsonl")
+        code, _out, _ = run_cli(
+            capsys, "inverter", "--chips", "2", "--trace", path
+        )
+        assert code == 0
+        from repro.obs.trace import load_trace
+
+        chips = [e for e in load_trace(path) if e.kind == "chip"]
+        assert len(chips) == 2
+        assert all("speedup" in e.data for e in chips)
+
+
+class TestTraceCommand:
+    def test_replays_hybrid_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        code, _out, _ = run_cli(capsys, "hybrid", "--size", "8", "--trace", path)
+        assert code == 0
+        code, out, _ = run_cli(capsys, "trace", path)
+        assert code == 0
+        assert "events by category:" in out
+        assert "hybrid" in out
+        assert "skew histogram" in out
+        assert "violation timeline" in out
+        assert "the run was clean" in out
+
+    def test_violation_timeline_from_clocked_trace(self, capsys, tmp_path):
+        from repro.clocktree.buffered import BufferedClockTree
+        from repro.clocktree.spine import spine_clock
+        from repro.arrays.systolic import build_fir_array
+        from repro.delay.variation import NoVariation
+        from repro.obs.trace import JsonlTracer
+        from repro.sim.clock_distribution import ClockSchedule
+        from repro.sim.clocked import ClockedArraySimulator
+        from repro.sim.faults import JitteredSchedule
+
+        program = build_fir_array([1.0, 2.0, -1.0], [3.0, 1.0, 4.0, 1.0, 5.0])
+        buffered = BufferedClockTree(
+            spine_clock(program.array, order=["snk", 2, 1, 0, "src"]),
+            wire_variation=NoVariation(),
+        )
+        base = ClockSchedule.from_buffered_tree(
+            buffered, 4.0, program.array.comm.nodes()
+        )
+        path = str(tmp_path / "a8.jsonl")
+        with JsonlTracer(path) as tracer:
+            result = ClockedArraySimulator(
+                program, JitteredSchedule(base, 1.9, seed=7), delta=1.0,
+                tracer=tracer,
+            ).run()
+        assert not result.clean
+        code, out, _ = run_cli(capsys, "trace", path)
+        assert code == 0
+        assert "violation timeline" in out
+        assert "stale" in out
+        assert "the run was clean" not in out
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        code, _out, err = run_cli(capsys, "trace", str(tmp_path / "absent.jsonl"))
+        assert code == 2
+        assert "error" in err
+
+    def test_unwritable_trace_path_errors(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "hybrid", "--size", "8", "--trace", "/nonexistent-dir/x.jsonl"
+        )
+        assert code == 2
+        assert "error" in err

@@ -42,6 +42,25 @@ class TestEventQueue:
         q.push(0.0, "x")
         assert q
 
+    def test_fifo_order_for_equal_times(self):
+        """Regression: equal-time events must pop in push order (FIFO) —
+        trace diffing relies on runs being event-for-event identical."""
+        q = EventQueue()
+        for i in range(50):
+            q.push(1.0, i)
+        assert [q.pop()[1] for _ in range(50)] == list(range(50))
+
+    def test_fifo_survives_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(1.0, "b")
+        assert q.pop()[1] == "a"
+        q.push(1.0, "c")  # pushed after b, must pop after b
+        q.push(0.5, "early")
+        assert q.pop()[1] == "early"
+        assert q.pop()[1] == "b"
+        assert q.pop()[1] == "c"
+
 
 class TestSimulator:
     def test_runs_in_time_order(self):
@@ -101,3 +120,16 @@ class TestSimulator:
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert sim.events_processed == 2
+
+    def test_simultaneous_actions_run_in_schedule_order(self):
+        """The engine inherits the queue's FIFO tie-break: actions at the
+        same instant execute in the order they were scheduled, including
+        ones scheduled from a callback at the current time."""
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: (log.append("second"),
+                                   sim.schedule(0.0, lambda: log.append("nested"))))
+        sim.schedule(1.0, lambda: log.append("third"))
+        sim.run()
+        assert log == ["first", "second", "third", "nested"]

@@ -139,7 +139,24 @@ class TestViolationSummary:
         assert summary.race == 1
         assert summary.edges_affected == 2
         assert summary.first_failure_tick == 2
+        assert summary.last_failure_tick == 5
         assert summary.worst_edge == (("a", "b"), 2)
+        assert summary.per_cell == {"b": 2, "d": 1}
+
+    def test_to_dict_is_json_exportable(self):
+        import json
+
+        from repro.sim.clocked import TimingViolation
+
+        violations = [
+            TimingViolation(("a", "b"), 2, 1, 0),
+            TimingViolation(("c", "d"), 5, 4, 5),
+        ]
+        exported = json.loads(json.dumps(summarize_violations(violations).to_dict()))
+        assert exported["total"] == 2
+        assert exported["first_failure_tick"] == 2
+        assert exported["last_failure_tick"] == 5
+        assert exported["per_cell"] == {"b": 1, "d": 1}
 
     def test_integrates_with_simulator(self):
         program, base = clean_program_and_schedule(period=1.5)
