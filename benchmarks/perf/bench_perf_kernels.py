@@ -1,0 +1,72 @@
+"""Perf-regression suite for the batched/parallel hot kernels.
+
+Runs :func:`repro.analysis.perf.run_perf_suite` across mesh sizes and
+enforces the PR's acceptance bar:
+
+* scalar and batched results agree to within 1e-9 (they are in fact
+  bit-identical — same arithmetic on the same float64 values);
+* at >= 4096 cells the warm batched ``max_skew_bound`` and
+  ``BufferedClockTree.max_skew`` beat the scalar path by >= 5x;
+* the parallel Monte-Carlo backend returns bit-identical summaries.
+
+The suite writes the repo-root ``BENCH_perf.json`` perf-trajectory
+artifact (schema-validated before writing) exactly like
+``python -m repro bench`` does.
+
+Environment knobs for CI / quick local runs:
+
+* ``REPRO_PERF_SIDES`` — comma-separated mesh sides
+  (default ``16,32,64``; the >= 5x assertions only apply to sides with
+  >= 4096 cells, so a small-sides run still checks equivalence);
+* ``REPRO_PERF_OUT`` — artifact path (default: repo-root
+  ``BENCH_perf.json``; empty string skips writing).
+"""
+
+import os
+import time
+
+from repro.analysis.perf import run_perf_suite, speedup_by_kernel, write_bench_results
+from repro.obs.schema import validate_benchmark_result
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+# Warm kernels the >= 5x acceptance bar applies to at >= 4096 cells.
+ACCEPTANCE_KERNELS = ("max_skew_bound", "buffered_max_skew")
+ACCEPTANCE_CELLS = 4096
+ACCEPTANCE_SPEEDUP = 5.0
+EQUIVALENCE_TOL = 1e-9
+
+
+def _sides():
+    raw = os.environ.get("REPRO_PERF_SIDES", "16,32,64")
+    return [int(s) for s in raw.split(",") if s.strip()]
+
+
+def test_perf_suite_speedup_and_equivalence():
+    sides = _sides()
+    t0 = time.perf_counter()
+    results = run_perf_suite(sides=sides, trials=16, workers=4, repeats=3)
+    wall_s = time.perf_counter() - t0
+
+    for r in results:
+        assert r.max_abs_diff <= EQUIVALENCE_TOL, (
+            f"{r.kernel} at size {r.size}: batch/scalar disagree by {r.max_abs_diff}"
+        )
+
+    checked = 0
+    for r in results:
+        if r.kernel in ACCEPTANCE_KERNELS and r.size >= ACCEPTANCE_CELLS:
+            assert r.speedup >= ACCEPTANCE_SPEEDUP, (
+                f"{r.kernel} at {r.size} cells: {r.speedup:.1f}x < "
+                f"{ACCEPTANCE_SPEEDUP}x acceptance bar"
+            )
+            checked += 1
+    if any(side * side >= ACCEPTANCE_CELLS for side in sides):
+        assert checked >= len(ACCEPTANCE_KERNELS)
+
+    out = os.environ.get("REPRO_PERF_OUT", DEFAULT_OUT)
+    if out:
+        payload = write_bench_results(results, out, wall_s=wall_s)
+        assert validate_benchmark_result(payload) == []
+        assert set(ACCEPTANCE_KERNELS) <= set(speedup_by_kernel(payload))

@@ -1,0 +1,67 @@
+"""Compare a fresh BENCH_perf.json against the stored baseline ratios.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py FRESH.json [BASELINE.json]
+
+For every kernel present in both files, the fresh worst-case speedup
+must not fall below ``baseline_speedup / SLOWDOWN_FACTOR`` (5x): a
+machine can be slower overall, but the *ratio* of batch to scalar is
+machine-insensitive, so losing more than 5x of it means the batch
+kernel itself regressed.  Exits non-zero (for CI) with a per-kernel
+report on failure.
+"""
+
+import json
+import sys
+
+SLOWDOWN_FACTOR = 5.0
+
+# Kernels whose batch-vs-scalar ratio the gate enforces.  Cold builds
+# and Monte-Carlo pools are tracked in the artifact but not gated: the
+# former is an amortized one-off, the latter is core-count bound.
+GATED_KERNELS = ("max_skew_bound", "max_skew_lower_bound", "buffered_max_skew")
+
+
+def speedups(path):
+    with open(path) as fh:
+        payload = json.load(fh)
+    headers = payload["headers"]
+    k, sp = headers.index("kernel"), headers.index("speedup")
+    out = {}
+    for row in payload["rows"]:
+        kernel, speedup = row[k], float(row[sp])
+        out[kernel] = min(out.get(kernel, float("inf")), speedup)
+    return out
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    fresh = speedups(argv[1])
+    baseline_path = argv[2] if len(argv) > 2 else "benchmarks/perf/baseline.json"
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)["speedups"]
+
+    failures = []
+    for kernel in GATED_KERNELS:
+        if kernel not in fresh or kernel not in baseline:
+            continue
+        floor = baseline[kernel] / SLOWDOWN_FACTOR
+        status = "ok" if fresh[kernel] >= floor else "REGRESSION"
+        print(
+            f"{kernel}: fresh {fresh[kernel]:.1f}x, baseline {baseline[kernel]:.1f}x, "
+            f"floor {floor:.1f}x -> {status}"
+        )
+        if fresh[kernel] < floor:
+            failures.append(kernel)
+    if failures:
+        print(f"perf regression in: {', '.join(failures)}")
+        return 1
+    print("perf-smoke: batch kernels within 5x of baseline ratios")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -9,8 +9,14 @@ benchmarks turn measured sweeps into claims via :mod:`repro.analysis.scaling`
 
 from repro.analysis.scaling import GrowthFit, classify_growth, fit_growth
 from repro.analysis.skew import SchemeEvaluation, compare_schemes, evaluate_scheme
-from repro.analysis.montecarlo import MonteCarloSummary, run_trials
+from repro.analysis.montecarlo import MonteCarloSummary, run_trials, summarize
 from repro.analysis.crossover import Crossover, find_crossover, winning_factor
+from repro.analysis.perf import (
+    KernelTiming,
+    run_perf_suite,
+    speedup_by_kernel,
+    write_bench_results,
+)
 
 __all__ = [
     "GrowthFit",
@@ -21,7 +27,12 @@ __all__ = [
     "compare_schemes",
     "MonteCarloSummary",
     "run_trials",
+    "summarize",
     "Crossover",
     "find_crossover",
     "winning_factor",
+    "KernelTiming",
+    "run_perf_suite",
+    "speedup_by_kernel",
+    "write_bench_results",
 ]

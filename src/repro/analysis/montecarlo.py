@@ -4,6 +4,13 @@ The stochastic experiments (inverter strings, variation build-up,
 self-timed service times) report means with confidence intervals over
 independently seeded trials; seeds are derived deterministically from a
 base seed so every benchmark run is reproducible.
+
+Trials can run serially or fan out over a ``concurrent.futures`` pool
+(``workers=N``).  Seeds are partitioned into contiguous chunks and the
+per-trial values are reassembled in seed order before summarizing, so
+the parallel path produces *bit-identical* summaries to the serial one
+— parallelism is purely a wall-clock optimization, never a semantic
+change, and the determinism test pins that down.
 """
 
 from __future__ import annotations
@@ -12,8 +19,9 @@ import contextlib
 import math
 import statistics
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.obs.profile import Profiler
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -44,64 +52,9 @@ class MonteCarloSummary:
         return self.ci_low <= value <= self.ci_high
 
 
-def run_trials(
-    trial: Trial,
-    n_trials: int,
-    base_seed: int = 0,
-    z: float = 1.96,
-    tracer: Optional[Tracer] = None,
-    profiler: Optional[Profiler] = None,
-) -> MonteCarloSummary:
-    """Run ``trial(seed)`` for seeds ``base_seed .. base_seed + n - 1``.
-
-    ``z`` is the normal quantile for the CI (1.96 ~ 95%).
-
-    With a ``tracer``, each trial emits a ``montecarlo/trial`` progress
-    event (``t`` is the trial index; the payload carries the seed, the
-    trial value, and its wall-clock cost) followed by a final
-    ``montecarlo/summary``.  A ``profiler`` accumulates the whole loop
-    under a ``montecarlo`` phase.  Both default to off.
-    """
-    if n_trials < 2:
-        raise ValueError("need at least two trials")
-    tracer = tracer if tracer is not None else NULL_TRACER
-    values: List[float] = []
-    with (profiler.profiled("montecarlo") if profiler is not None
-          else contextlib.nullcontext()):
-        for i in range(n_trials):
-            if tracer.enabled:
-                t0 = time.perf_counter()
-                value = trial(base_seed + i)
-                tracer.event(
-                    float(i), "montecarlo", "trial",
-                    seed=base_seed + i, value=value,
-                    wall_s=time.perf_counter() - t0,
-                    completed=i + 1, total=n_trials,
-                )
-            else:
-                value = trial(base_seed + i)
-            values.append(value)
-    mean = statistics.fmean(values)
-    stdev = statistics.stdev(values)
-    summary = MonteCarloSummary(
-        trials=n_trials,
-        mean=mean,
-        stdev=stdev,
-        minimum=min(values),
-        maximum=max(values),
-        ci_half_width=z * stdev / math.sqrt(n_trials),
-    )
-    if tracer.enabled:
-        tracer.event(
-            float(n_trials), "montecarlo", "summary",
-            trials=n_trials, mean=mean, stdev=stdev,
-            ci_low=summary.ci_low, ci_high=summary.ci_high,
-        )
-    return summary
-
-
 def summarize(values: Sequence[float], z: float = 1.96) -> MonteCarloSummary:
-    """Summarize an existing sample the same way as :func:`run_trials`."""
+    """Summarize a sample; :func:`run_trials` delegates here, so serial,
+    parallel, and pre-collected samples share one construction path."""
     if len(values) < 2:
         raise ValueError("need at least two values")
     mean = statistics.fmean(values)
@@ -114,3 +67,120 @@ def summarize(values: Sequence[float], z: float = 1.96) -> MonteCarloSummary:
         maximum=max(values),
         ci_half_width=z * stdev / math.sqrt(len(values)),
     )
+
+
+def _seed_chunks(base_seed: int, n_trials: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(first_seed, count)`` chunks covering the seed range.
+
+    The partition depends only on ``(base_seed, n_trials, workers)`` —
+    never on scheduling — and chunks are reassembled in order, which is
+    what makes the parallel path deterministic.
+    """
+    chunk = -(-n_trials // workers)  # ceil
+    return [
+        (base_seed + lo, min(chunk, n_trials - lo))
+        for lo in range(0, n_trials, chunk)
+    ]
+
+
+def _run_chunk(trial: Trial, first_seed: int, count: int) -> List[Tuple[float, float]]:
+    """Run ``count`` consecutive seeds; returns (value, wall_s) per trial.
+
+    Module-level so the chunk (not the pool plumbing) is what a process
+    backend has to pickle.
+    """
+    out: List[Tuple[float, float]] = []
+    for seed in range(first_seed, first_seed + count):
+        t0 = time.perf_counter()
+        value = trial(seed)
+        out.append((value, time.perf_counter() - t0))
+    return out
+
+
+def run_trials(
+    trial: Trial,
+    n_trials: int,
+    base_seed: int = 0,
+    z: float = 1.96,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[Profiler] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
+) -> MonteCarloSummary:
+    """Run ``trial(seed)`` for seeds ``base_seed .. base_seed + n - 1``.
+
+    ``z`` is the normal quantile for the CI (1.96 ~ 95%).
+
+    ``workers=N`` (N >= 2) fans the seed range out over a
+    ``concurrent.futures`` pool in contiguous chunks; values come back
+    in seed order, so the summary is bit-identical to the serial path.
+    ``executor`` picks the pool: ``"thread"`` (default — works with any
+    callable, pays the GIL for pure-Python trials but wins when trials
+    release it) or ``"process"`` (true multi-core, requires ``trial`` to
+    be picklable, i.e. a module-level function).
+
+    With a ``tracer``, each trial emits a ``montecarlo/trial`` progress
+    event (``t`` is the trial index; the payload carries the seed, the
+    trial value, and its wall-clock cost) followed by a final
+    ``montecarlo/summary``; parallel runs emit the same events in the
+    same seed order once all chunks land.  A ``profiler`` accumulates
+    the whole loop under a ``montecarlo`` phase.  Both default to off.
+    """
+    if n_trials < 2:
+        raise ValueError("need at least two trials")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    parallel = workers is not None and workers > 1
+    values: List[float] = []
+    with (profiler.profiled("montecarlo") if profiler is not None
+          else contextlib.nullcontext()):
+        if parallel:
+            if executor == "thread":
+                pool_cls = ThreadPoolExecutor
+            elif executor == "process":
+                pool_cls = ProcessPoolExecutor
+            else:
+                raise ValueError(f"unknown executor {executor!r}")
+            chunks = _seed_chunks(base_seed, n_trials, workers)
+            with pool_cls(max_workers=workers) as pool:
+                timed = [
+                    item
+                    for chunk_result in pool.map(
+                        _run_chunk,
+                        [trial] * len(chunks),
+                        [first for first, _ in chunks],
+                        [count for _, count in chunks],
+                    )
+                    for item in chunk_result
+                ]
+            values = [value for value, _ in timed]
+            if tracer.enabled:
+                for i, (value, wall_s) in enumerate(timed):
+                    tracer.event(
+                        float(i), "montecarlo", "trial",
+                        seed=base_seed + i, value=value, wall_s=wall_s,
+                        completed=i + 1, total=n_trials,
+                    )
+        else:
+            for i in range(n_trials):
+                if tracer.enabled:
+                    t0 = time.perf_counter()
+                    value = trial(base_seed + i)
+                    tracer.event(
+                        float(i), "montecarlo", "trial",
+                        seed=base_seed + i, value=value,
+                        wall_s=time.perf_counter() - t0,
+                        completed=i + 1, total=n_trials,
+                    )
+                else:
+                    value = trial(base_seed + i)
+                values.append(value)
+    summary = summarize(values, z=z)
+    if tracer.enabled:
+        tracer.event(
+            float(n_trials), "montecarlo", "summary",
+            trials=n_trials, mean=summary.mean, stdev=summary.stdev,
+            ci_low=summary.ci_low, ci_high=summary.ci_high,
+        )
+    return summary

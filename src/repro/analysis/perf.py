@@ -1,0 +1,287 @@
+"""Microbenchmarks for the repo's hot kernels — the perf trajectory.
+
+Times the scalar reference paths against the batched/parallel kernels
+they were replaced by:
+
+* ``max_skew_bound`` / ``max_skew_lower_bound`` — per-pair LCA walks vs
+  the Euler-tour O(1)-LCA batch kernel (warm, i.e. index built and pair
+  translation memoized: the steady state every sweep and repeated bound
+  runs in);
+* the same bound evaluated *cold* on a fresh tree (index build + pair
+  translation included — the one-shot price of the batch path);
+* ``BufferedClockTree.max_skew`` — per-pair dict lookups vs the aligned
+  arrival-array kernel;
+* ``run_trials`` — the serial Monte-Carlo loop vs the
+  ``workers=N`` process pool (outputs are bit-identical by design, and
+  checked here).
+
+Every timing row records the measured equivalence gap
+(``max_abs_diff``) alongside the speedup, so a fast-but-wrong kernel
+cannot slip through the perf suite.  ``write_bench_results`` emits the
+rows as a ``BENCH_perf.json`` conforming to
+:data:`repro.obs.schema.BENCHMARK_RESULT_SCHEMA` (validated before
+writing); ``benchmarks/perf/`` and ``python -m repro bench`` are thin
+drivers over this module.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.montecarlo import run_trials
+from repro.arrays.topologies import mesh
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.htree import htree_for_array
+from repro.core.models import (
+    PhysicalModel,
+    SkewModel,
+    max_skew_bound,
+    max_skew_bound_scalar,
+    max_skew_lower_bound,
+    max_skew_lower_bound_scalar,
+)
+from repro.obs.schema import validate_benchmark_result
+from repro.obs.trace import NULL_TRACER, Tracer
+
+BENCH_HEADERS = [
+    "kernel",
+    "size",
+    "items",
+    "baseline_s",
+    "optimized_s",
+    "speedup",
+    "max_abs_diff",
+]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """One microbenchmark: a baseline path vs its optimized kernel.
+
+    ``size`` is the problem scale (cells for skew kernels, trials for
+    Monte-Carlo), ``items`` the inner quantity (communicating pairs, or
+    pool workers), and ``max_abs_diff`` the largest observed output
+    discrepancy between the two paths (0.0 when bit-identical).
+    """
+
+    kernel: str
+    size: int
+    items: int
+    baseline_s: float
+    optimized_s: float
+    max_abs_diff: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.optimized_s if self.optimized_s > 0 else float("inf")
+
+    def row(self) -> List:
+        return [
+            self.kernel,
+            self.size,
+            self.items,
+            self.baseline_s,
+            self.optimized_s,
+            self.speedup,
+            self.max_abs_diff,
+        ]
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall clock — the standard noise floor for microbenches."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_skew_kernels(
+    side: int,
+    model: Optional[SkewModel] = None,
+    repeats: int = 3,
+) -> List[KernelTiming]:
+    """Time the skew-bound kernels on a ``side x side`` mesh under an
+    H-tree clock (the Fig. 3 workload every sweep repeats)."""
+    model = model or PhysicalModel()
+    array = mesh(side, side)
+    pairs = array.communicating_pairs()
+    tree = htree_for_array(array)
+    n = array.size
+    results: List[KernelTiming] = []
+
+    # Cold: fresh tree each repeat, so the O(n log n) index build and
+    # the pair translation are inside the measurement.
+    scalar_s = _best_time(lambda: max_skew_bound_scalar(tree, pairs, model), repeats)
+    cold_s = float("inf")
+    cold_value = scalar_value = 0.0
+    for _ in range(repeats):
+        cold_tree = htree_for_array(array)
+        t0 = time.perf_counter()
+        cold_value = max_skew_bound(cold_tree, pairs, model)
+        cold_s = min(cold_s, time.perf_counter() - t0)
+        scalar_value = max_skew_bound_scalar(cold_tree, pairs, model)
+    results.append(
+        KernelTiming(
+            "max_skew_bound_cold", n, len(pairs), scalar_s, cold_s,
+            abs(cold_value - scalar_value),
+        )
+    )
+
+    # Warm: index built and memo populated — the steady state.
+    batch_value = max_skew_bound(tree, pairs, model)
+    results.append(
+        KernelTiming(
+            "max_skew_bound", n, len(pairs),
+            _best_time(lambda: max_skew_bound_scalar(tree, pairs, model), repeats),
+            _best_time(lambda: max_skew_bound(tree, pairs, model), repeats),
+            abs(batch_value - max_skew_bound_scalar(tree, pairs, model)),
+        )
+    )
+
+    floor_value = max_skew_lower_bound(tree, pairs, model)
+    results.append(
+        KernelTiming(
+            "max_skew_lower_bound", n, len(pairs),
+            _best_time(lambda: max_skew_lower_bound_scalar(tree, pairs, model), repeats),
+            _best_time(lambda: max_skew_lower_bound(tree, pairs, model), repeats),
+            abs(floor_value - max_skew_lower_bound_scalar(tree, pairs, model)),
+        )
+    )
+
+    buffered = BufferedClockTree(tree)
+    buffered_value = buffered.max_skew(pairs)
+    results.append(
+        KernelTiming(
+            "buffered_max_skew", n, len(pairs),
+            _best_time(lambda: buffered.max_skew_scalar(pairs), repeats),
+            _best_time(lambda: buffered.max_skew(pairs), repeats),
+            abs(buffered_value - buffered.max_skew_scalar(pairs)),
+        )
+    )
+    return results
+
+
+def _montecarlo_trial(seed: int) -> float:
+    """A seed-deterministic, compute-bound trial: the worst buffered
+    skew of a resampled H-tree (module-level so a process pool can
+    pickle it; heavy enough that pool startup amortizes away)."""
+    array = mesh(16, 16)
+    tree = htree_for_array(array)
+    buffered = BufferedClockTree(tree)
+    buffered.resample(seed)
+    return buffered.max_skew(array.communicating_pairs())
+
+
+def bench_montecarlo(
+    trials: int = 32,
+    workers: int = 4,
+    executor: str = "thread",
+) -> KernelTiming:
+    """Time the serial Monte-Carlo loop against the parallel backend.
+
+    ``max_abs_diff`` is the largest difference across all summary
+    fields — the parallel path is bit-identical by construction, so any
+    non-zero value is a determinism bug surfacing as a perf row.  The
+    measured speedup is hardware-honest: on a single-core box the pool
+    cannot win, and the row records that rather than hiding it
+    (``executor="process"`` measures the multi-core backend).
+    """
+    t0 = time.perf_counter()
+    serial = run_trials(_montecarlo_trial, trials, base_seed=0)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_trials(
+        _montecarlo_trial, trials, base_seed=0, workers=workers, executor=executor
+    )
+    parallel_s = time.perf_counter() - t0
+    diff = max(
+        abs(serial.mean - parallel.mean),
+        abs(serial.stdev - parallel.stdev),
+        abs(serial.minimum - parallel.minimum),
+        abs(serial.maximum - parallel.maximum),
+        abs(serial.ci_half_width - parallel.ci_half_width),
+    )
+    return KernelTiming(
+        f"montecarlo_workers_{workers}", trials, workers, serial_s, parallel_s, diff
+    )
+
+
+def run_perf_suite(
+    sides: Sequence[int] = (16, 32, 64),
+    trials: int = 32,
+    workers: int = 4,
+    repeats: int = 3,
+    tracer: Optional[Tracer] = None,
+    include_montecarlo: bool = True,
+) -> List[KernelTiming]:
+    """The full microbenchmark suite across array sizes.
+
+    With a ``tracer``, each finished timing emits a ``perf/kernel``
+    event (``t`` is the row index) carrying the whole row.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    results: List[KernelTiming] = []
+    for side in sides:
+        results.extend(bench_skew_kernels(side, repeats=repeats))
+    if include_montecarlo:
+        results.append(bench_montecarlo(trials=trials, workers=workers))
+    if tracer.enabled:
+        for i, r in enumerate(results):
+            tracer.event(
+                float(i), "perf", "kernel",
+                kernel=r.kernel, size=r.size, items=r.items,
+                baseline_s=r.baseline_s, optimized_s=r.optimized_s,
+                speedup=r.speedup, max_abs_diff=r.max_abs_diff,
+            )
+    return results
+
+
+def write_bench_results(
+    results: Sequence[KernelTiming],
+    path: str,
+    name: str = "BENCH_perf",
+    title: str = "Hot-kernel microbenchmarks: scalar/serial baseline vs batched/parallel",
+    wall_s: Optional[float] = None,
+) -> dict:
+    """Serialize timings as a schema-valid benchmark-result JSON.
+
+    The payload is validated against ``BENCHMARK_RESULT_SCHEMA`` before
+    anything touches disk; a malformed artifact raises instead of
+    poisoning the perf trajectory.
+    """
+    from repro import __version__  # deferred: repro/__init__ imports this package
+
+    meta: dict = {"emitted_at": time.time(), "repro_version": __version__}
+    if wall_s is not None:
+        meta["timing"] = {"wall_s": wall_s}
+    payload = {
+        "name": name,
+        "title": title,
+        "headers": list(BENCH_HEADERS),
+        "rows": [r.row() for r in results],
+        "meta": meta,
+    }
+    errors = validate_benchmark_result(payload)
+    if errors:
+        raise ValueError(f"BENCH payload failed schema validation: {errors}")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return payload
+
+
+def speedup_by_kernel(payload: dict) -> dict:
+    """``{kernel: worst observed speedup}`` from a BENCH payload — the
+    quantity the CI perf-smoke job compares against its stored baseline."""
+    headers = payload["headers"]
+    k, sp = headers.index("kernel"), headers.index("speedup")
+    out: dict = {}
+    for row in payload["rows"]:
+        kernel, speedup = row[k], float(row[sp])
+        out[kernel] = min(out.get(kernel, float("inf")), speedup)
+    return out

@@ -7,7 +7,7 @@ together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
 from repro.geometry.layout import Layout
@@ -29,6 +29,9 @@ class ProcessorArray:
     layout: Layout
     name: str = "array"
     host: Optional[CellId] = None
+    _pairs_cache: Optional[Tuple[int, List[Tuple[CellId, CellId]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         missing = [cell for cell in self.comm.nodes() if cell not in self.layout]
@@ -43,7 +46,15 @@ class ProcessorArray:
         return self.comm.node_count
 
     def communicating_pairs(self) -> List[Tuple[CellId, CellId]]:
-        return self.comm.communicating_pairs()
+        """The undirected pair set of ``comm``, cached per graph version.
+
+        Keyed on ``comm.version`` so mutating the graph (``add_edge`` /
+        ``add_node``) transparently invalidates it.  The returned list is
+        shared across calls — treat it as read-only; copy before mutating.
+        """
+        if self._pairs_cache is None or self._pairs_cache[0] != self.comm.version:
+            self._pairs_cache = (self.comm.version, self.comm.communicating_pairs())
+        return self._pairs_cache[1]
 
     def max_communication_distance(self) -> float:
         """Longest Manhattan distance between communicating cells.

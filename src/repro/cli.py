@@ -8,6 +8,7 @@ Run ``python -m repro <command> --help``.  Commands:
 * ``lower-bound``  — execute the Section V-B proof on a mesh;
 * ``inverter``     — the Section VII inverter-string experiment;
 * ``hybrid``       — hybrid cycle time vs the global equipotential clock;
+* ``bench``        — microbenchmark the hot kernels, write BENCH_perf.json;
 * ``trace``        — replay and summarise a recorded JSONL trace.
 
 Every command prints a small table; nothing is written to disk unless
@@ -23,6 +24,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.scaling import classify_growth
@@ -214,6 +216,37 @@ def cmd_hybrid(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the hot kernels (scalar vs batched, serial vs parallel) and
+    write the schema-valid perf-trajectory artifact."""
+    from repro.analysis.perf import run_perf_suite, write_bench_results
+
+    sides = [int(s) for s in args.sides.split(",")]
+    t0 = time.perf_counter()
+    results = run_perf_suite(
+        sides=sides,
+        trials=args.trials,
+        workers=args.workers,
+        repeats=args.repeats,
+        tracer=args.tracer,
+        include_montecarlo=not args.no_montecarlo,
+    )
+    wall_s = time.perf_counter() - t0
+    print(f"hot-kernel microbenchmarks (mesh sides {sides}):")
+    _print_table(
+        ["kernel", "size", "items", "baseline s", "optimized s", "speedup", "max |diff|"],
+        [
+            (r.kernel, r.size, r.items,
+             f"{r.baseline_s:.3e}", f"{r.optimized_s:.3e}",
+             f"{r.speedup:.1f}x", f"{r.max_abs_diff:.1e}")
+            for r in results
+        ],
+    )
+    write_bench_results(results, args.out, wall_s=wall_s)
+    print(f"\nwrote {args.out} ({len(results)} rows, schema-validated)")
+    return 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import recommend
 
@@ -383,6 +416,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=25)
     p.add_argument("--delta", type=float, default=1.0)
     p.set_defaults(func=cmd_hybrid)
+
+    p = add_command("bench", help="microbenchmark hot kernels, write BENCH_perf.json")
+    p.add_argument("--sides", default="16,32,64", help="comma-separated mesh side lengths")
+    p.add_argument("--trials", type=int, default=32, help="Monte-Carlo trials to time")
+    p.add_argument("--workers", type=int, default=4, help="Monte-Carlo pool size")
+    p.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    p.add_argument("--no-montecarlo", action="store_true", help="skip the Monte-Carlo row")
+    p.add_argument("--out", default="BENCH_perf.json", help="output artifact path")
+    p.set_defaults(func=cmd_bench)
 
     p = add_command("advise", help="recommend a synchronization design")
     common(p)

@@ -22,7 +22,9 @@ the Fig. 1/2 bench do.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.clocktree.tree import ClockTree
 from repro.delay.buffer import InverterPairModel
@@ -51,6 +53,9 @@ class BufferedClockTree:
         self._arrival_fall: Dict[NodeId, float] = {}
         self._segment_delays: List[float] = []
         self._buffer_count = 0
+        # Lazy per-build arrival arrays (aligned with the tree's dense
+        # node numbering) for the batched skew kernel.
+        self._arrival_vectors: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -68,6 +73,7 @@ class BufferedClockTree:
         self._arrival_fall = {self.tree.root: 0.0}
         self._segment_delays = []
         self._buffer_count = 0
+        self._arrival_vectors = None
         for node in self.tree.nodes():
             if node == self.tree.root:
                 continue
@@ -144,8 +150,53 @@ class BufferedClockTree:
         """Empirical skew: difference of concrete arrival times."""
         return abs(self.arrival(a, rising) - self.arrival(b, rising))
 
+    def _vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Rise/fall arrival arrays aligned with the tree's dense node
+        numbering (lazy, per build; ``resample`` rebuilds arrivals and
+        drops them).  Sharing the tree's numbering lets the skew kernel
+        reuse the tree's memoized pair-to-id translation."""
+        if self._arrival_vectors is None:
+            index = self.tree.lca_index()
+            n = len(index)
+            rise = np.fromiter(
+                (self._arrival_rise[index.node(i)] for i in range(n)),
+                dtype=np.float64, count=n,
+            )
+            fall = np.fromiter(
+                (self._arrival_fall[index.node(i)] for i in range(n)),
+                dtype=np.float64, count=n,
+            )
+            self._arrival_vectors = (rise, fall)
+        return self._arrival_vectors
+
+    def skew_batch(
+        self, pairs: Sequence[Tuple[NodeId, NodeId]], rising: bool = True
+    ) -> np.ndarray:
+        """Empirical skew of every pair at once, as a float64 array.
+
+        Same arithmetic as :meth:`skew` (``|arrival(a) - arrival(b)|``
+        on the identical per-node arrivals), so batch equals scalar
+        exactly.
+        """
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        rise, fall = self._vectors()
+        arrivals = rise if rising else fall
+        a_ids, b_ids = self.tree.pair_ids(pairs)
+        return np.abs(arrivals[a_ids] - arrivals[b_ids])
+
     def max_skew(self, pairs: Iterable[Tuple[NodeId, NodeId]], rising: bool = True) -> float:
-        """``sigma``: the maximum empirical skew over communicating pairs."""
+        """``sigma``: the maximum empirical skew over communicating pairs
+        (batched; equal to the per-pair scalar maximum)."""
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        if not pairs:
+            return 0.0
+        return float(self.skew_batch(pairs, rising).max())
+
+    def max_skew_scalar(
+        self, pairs: Iterable[Tuple[NodeId, NodeId]], rising: bool = True
+    ) -> float:
+        """Per-pair scalar reference for :meth:`max_skew` — the baseline
+        the perf-regression suite compares the batched kernel against."""
         return max((self.skew(a, b, rising) for a, b in pairs), default=0.0)
 
     def pulse_distortion(self, node: NodeId) -> float:

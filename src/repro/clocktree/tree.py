@@ -21,11 +21,19 @@ The two quantities every skew model consumes are defined here:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.clocktree.lca import EulerTourIndex
 from repro.geometry.point import Point
 
 NodeId = Hashable
+
+
+def _pairs_fingerprint(pairs: Sequence) -> Tuple:
+    """Cheap mutation guard for the pair-ids memo: length + endpoints."""
+    return (len(pairs), pairs[0], pairs[-1]) if pairs else (0,)
 
 
 class ClockTree:
@@ -42,9 +50,14 @@ class ClockTree:
         self._parent: Dict[NodeId, Optional[NodeId]] = {root: None}
         self._children: Dict[NodeId, List[NodeId]] = {root: []}
         self._edge_length: Dict[NodeId, float] = {}  # keyed by child
-        # Lazy caches, cleared on mutation.
+        # Eager caches, extended incrementally by add_child.
         self._root_distance: Dict[NodeId, float] = {root: 0.0}
         self._depth: Dict[NodeId, int] = {root: 0}
+        # Lazy caches, dropped by add_child and rebuilt on demand.
+        self._lca_index: Optional[EulerTourIndex] = None
+        self._leaves_cache: Optional[List[NodeId]] = None
+        self._pair_ids_memo: Dict[int, tuple] = {}
+        self._pair_metrics_memo: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -83,6 +96,10 @@ class ClockTree:
         self._edge_length[node] = float(length)
         self._root_distance[node] = self._root_distance[parent] + float(length)
         self._depth[node] = self._depth[parent] + 1
+        self._lca_index = None
+        self._leaves_cache = None
+        self._pair_ids_memo.clear()
+        self._pair_metrics_memo.clear()
 
     # ------------------------------------------------------------------
     # structure queries
@@ -108,7 +125,11 @@ class ClockTree:
         return list(self._position)
 
     def leaves(self) -> List[NodeId]:
-        return [n for n, ch in self._children.items() if not ch]
+        """Nodes with no children.  Cached until the next ``add_child``
+        (the only mutation); callers get a fresh copy each call."""
+        if self._leaves_cache is None:
+            self._leaves_cache = [n for n, ch in self._children.items() if not ch]
+        return list(self._leaves_cache)
 
     def parent(self, node: NodeId) -> Optional[NodeId]:
         return self._parent[node]
@@ -177,6 +198,99 @@ class ClockTree:
         """``d``: positive difference of root distances — difference model."""
         return abs(self._root_distance[a] - self._root_distance[b])
 
+    # ------------------------------------------------------------------
+    # batched path metrics (the vectorized kernels the skew bounds ride)
+    # ------------------------------------------------------------------
+    def lca_index(self) -> EulerTourIndex:
+        """The lazily built O(1)-LCA index (Euler tour + sparse table).
+
+        Built on first use in O(n log n), reused until ``add_child``
+        invalidates it.  Exposed so callers holding many pair sets can
+        translate nodes to dense ids once and query with raw arrays.
+        """
+        if self._lca_index is None:
+            self._lca_index = EulerTourIndex(
+                self._root, self._children, self._root_distance
+            )
+        return self._lca_index
+
+    def pair_ids(
+        self, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense-id arrays ``(a_ids, b_ids)`` for a sequence of pairs.
+
+        Translating node ids through the index dict is the one
+        Python-speed step left in the batch kernels, so the result is
+        memoized per pair-list *object* (callers like
+        ``ProcessorArray.communicating_pairs`` hand out a stable cached
+        list, which every skew kernel then translates exactly once).
+        The memo holds a strong reference to the list — ``id`` reuse is
+        impossible while cached — and a (length, endpoints) fingerprint
+        guards against in-place mutation; mutating a memoized list in
+        place in a way that preserves both endpoints is undefined.
+        """
+        index = self.lca_index()
+        key = id(pairs)
+        hit = self._pair_ids_memo.get(key)
+        if hit is not None:
+            ref, fingerprint, a_ids, b_ids = hit
+            if ref is pairs and fingerprint == _pairs_fingerprint(pairs):
+                return a_ids, b_ids
+        count = len(pairs)
+        a_ids = index.node_ids([a for a, _ in pairs])
+        b_ids = index.node_ids([b for _, b in pairs])
+        a_ids.flags.writeable = False
+        b_ids.flags.writeable = False
+        if count and len(self._pair_ids_memo) >= 8:
+            self._pair_ids_memo.clear()
+        if count:
+            self._pair_ids_memo[key] = (
+                pairs, _pairs_fingerprint(pairs), a_ids, b_ids
+            )
+        return a_ids, b_ids
+
+    def path_metrics_batch(
+        self, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(d, s)`` for every pair at once, as float64 arrays.
+
+        ``d[i] == path_difference(*pairs[i])`` and
+        ``s[i] == path_length(*pairs[i])`` exactly (same arithmetic, so
+        the scalar/batch agreement is bit-for-bit, not within-epsilon).
+        One O(n log n) index build plus one pair translation are
+        amortized over all queries; like :meth:`pair_ids`, the result is
+        memoized per pair-list object, so repeated bounds over the same
+        communicating pairs (upper + lower, sweeps) reduce to pure
+        model arithmetic.  The returned arrays are read-only.
+        """
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        if not pairs:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty.copy()
+        key = id(pairs)
+        hit = self._pair_metrics_memo.get(key)
+        if hit is not None:
+            ref, fingerprint, d, s = hit
+            if ref is pairs and fingerprint == _pairs_fingerprint(pairs):
+                return d, s
+        a_ids, b_ids = self.pair_ids(pairs)
+        d, s = self.lca_index().path_metrics_ids(a_ids, b_ids)
+        d.flags.writeable = False
+        s.flags.writeable = False
+        if len(self._pair_metrics_memo) >= 8:
+            self._pair_metrics_memo.clear()
+        self._pair_metrics_memo[key] = (pairs, _pairs_fingerprint(pairs), d, s)
+        return d, s
+
+    def lca_batch(self, pairs: Sequence[Tuple[NodeId, NodeId]]) -> List[NodeId]:
+        """Lowest common ancestor of every pair, via the O(1)-LCA index."""
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        if not pairs:
+            return []
+        index = self.lca_index()
+        a_ids, b_ids = self.pair_ids(pairs)
+        return [index.node(i) for i in index.lca_ids(a_ids, b_ids)]
+
     def longest_root_to_leaf(self) -> float:
         """``P``: the longest root-to-leaf path length, which lower-bounds
         the equipotential distribution time (A6)."""
@@ -202,24 +316,31 @@ class ClockTree:
         return max(distances) - min(distances) <= tolerance
 
     def validate(self) -> None:
-        """Check structural invariants (parent/child consistency, arity)."""
+        """Check structural invariants (parent/child consistency, arity,
+        root reachability) in a single O(n) pass.
+
+        One DFS over child edges visits every node reachable from the
+        root at most once; a node outside that set either sits on a
+        parent cycle or hangs off a broken parent pointer, so the old
+        per-node root-walk (O(n * depth)) adds nothing.
+        """
         for node, kids in self._children.items():
             if len(kids) > self._max_children:
                 raise AssertionError(f"node {node!r} exceeds arity")
             for kid in kids:
                 if self._parent[kid] != node:
                     raise AssertionError(f"parent pointer of {kid!r} is wrong")
-        # Every non-root node must reach the root.
-        for node in self._position:
-            seen = set()
-            current: Optional[NodeId] = node
-            while current is not None:
-                if current in seen:
-                    raise AssertionError(f"cycle through {current!r}")
-                seen.add(current)
-                current = self._parent[current]
-            if self._root not in seen:
-                raise AssertionError(f"{node!r} does not reach the root")
+        reached = {self._root}
+        stack = [self._root]
+        while stack:
+            for kid in self._children[stack.pop()]:
+                if kid in reached:
+                    raise AssertionError(f"{kid!r} reached twice — cycle or shared child")
+                reached.add(kid)
+                stack.append(kid)
+        if len(reached) != len(self._position):
+            stray = next(n for n in self._position if n not in reached)
+            raise AssertionError(f"{stray!r} does not reach the root")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -22,11 +22,19 @@ Then the models are:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Optional, Tuple
+from typing import Callable, Hashable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.clocktree.tree import ClockTree
 
 NodeId = Hashable
+
+
+def _as_pair_list(
+    pairs: Iterable[Tuple[NodeId, NodeId]]
+) -> Sequence[Tuple[NodeId, NodeId]]:
+    return pairs if isinstance(pairs, (list, tuple)) else list(pairs)
 
 
 class SkewModel:
@@ -40,6 +48,51 @@ class SkewModel:
         """Lower bound on the *worst-case achievable* skew (0 if the model
         asserts none)."""
         return 0.0
+
+    # ------------------------------------------------------------------
+    # batched evaluation
+    # ------------------------------------------------------------------
+    # Subclasses with closed-form bounds override these with pure array
+    # arithmetic on the tree's batched (d, s) metrics; the generic
+    # fallback loops over the scalar methods so any custom model gets
+    # the batch API (and the O(1)-LCA pair metrics) for free.
+
+    def skew_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        """``skew_bound`` for every pair at once, as a float64 array."""
+        pairs = _as_pair_list(pairs)
+        return np.fromiter(
+            (self.skew_bound(tree, a, b) for a, b in pairs),
+            dtype=np.float64,
+            count=len(pairs),
+        )
+
+    def skew_lower_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        """``skew_lower_bound`` for every pair at once, as a float64 array."""
+        pairs = _as_pair_list(pairs)
+        return np.fromiter(
+            (self.skew_lower_bound(tree, a, b) for a, b in pairs),
+            dtype=np.float64,
+            count=len(pairs),
+        )
+
+
+def _apply_elementwise(
+    func: Callable[[float], float], values: np.ndarray
+) -> np.ndarray:
+    """Map a user-supplied scalar ``f``/``g`` over an array.
+
+    The callables are opaque (monotonicity is all we require), so they
+    are applied per element with plain floats — custom-function models
+    keep exact scalar semantics at scalar speed, while the default
+    linear forms take the vectorized paths above.
+    """
+    return np.fromiter(
+        (func(float(v)) for v in values), dtype=np.float64, count=len(values)
+    )
 
 
 @dataclass(frozen=True)
@@ -58,6 +111,14 @@ class DifferenceModel(SkewModel):
 
     def skew_bound(self, tree: ClockTree, a: NodeId, b: NodeId) -> float:
         return self._f(tree.path_difference(a, b))
+
+    def skew_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        d, _ = tree.path_metrics_batch(pairs)
+        if self.f is not None:
+            return _apply_elementwise(self.f, d)
+        return self.m * d
 
 
 @dataclass(frozen=True)
@@ -92,6 +153,20 @@ class SummationModel(SkewModel):
     def skew_lower_bound(self, tree: ClockTree, a: NodeId, b: NodeId) -> float:
         return self.beta_value * tree.path_length(a, b)
 
+    def skew_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        _, s = tree.path_metrics_batch(pairs)
+        if self.g is not None:
+            return _apply_elementwise(self.g, s)
+        return (self.m + self.eps) * s
+
+    def skew_lower_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        _, s = tree.path_metrics_batch(pairs)
+        return self.beta_value * s
+
 
 @dataclass(frozen=True)
 class PhysicalModel(SkewModel):
@@ -120,6 +195,18 @@ class PhysicalModel(SkewModel):
         """The ``eps * s`` lower bracket — exactly A11 with beta = eps."""
         return self.eps * tree.path_length(a, b)
 
+    def skew_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        d, s = tree.path_metrics_batch(pairs)
+        return self.m * d + self.eps * s
+
+    def skew_lower_bound_batch(
+        self, tree: ClockTree, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> np.ndarray:
+        _, s = tree.path_metrics_batch(pairs)
+        return self.eps * s
+
     def as_difference(self) -> DifferenceModel:
         """The difference-model reading (valid when eps-terms are ignored)."""
         return DifferenceModel(m=self.m)
@@ -134,8 +221,16 @@ def max_skew_bound(
     pairs: Iterable[Tuple[NodeId, NodeId]],
     model: SkewModel,
 ) -> float:
-    """``sigma``: the worst-case skew over communicating pairs (A5's sigma)."""
-    return max((model.skew_bound(tree, a, b) for a, b in pairs), default=0.0)
+    """``sigma``: the worst-case skew over communicating pairs (A5's sigma).
+
+    Evaluates through the model's batched kernel (O(1)-LCA pair metrics
+    plus array arithmetic); results match the scalar per-pair path
+    exactly, as the property tests and ``benchmarks/perf`` enforce.
+    """
+    pairs = _as_pair_list(pairs)
+    if not pairs:
+        return 0.0
+    return float(model.skew_bound_batch(tree, pairs).max())
 
 
 def max_skew_lower_bound(
@@ -145,4 +240,27 @@ def max_skew_lower_bound(
 ) -> float:
     """The model's guaranteed worst-case skew over communicating pairs —
     under A11 no tuning can bring max skew below this."""
+    pairs = _as_pair_list(pairs)
+    if not pairs:
+        return 0.0
+    return float(model.skew_lower_bound_batch(tree, pairs).max())
+
+
+def max_skew_bound_scalar(
+    tree: ClockTree,
+    pairs: Iterable[Tuple[NodeId, NodeId]],
+    model: SkewModel,
+) -> float:
+    """Reference implementation of :func:`max_skew_bound` via per-pair
+    scalar calls — kept as the equivalence oracle and the baseline the
+    perf-regression suite measures the batch kernels against."""
+    return max((model.skew_bound(tree, a, b) for a, b in pairs), default=0.0)
+
+
+def max_skew_lower_bound_scalar(
+    tree: ClockTree,
+    pairs: Iterable[Tuple[NodeId, NodeId]],
+    model: SkewModel,
+) -> float:
+    """Scalar reference for :func:`max_skew_lower_bound` (see above)."""
     return max((model.skew_lower_bound(tree, a, b) for a, b in pairs), default=0.0)

@@ -41,6 +41,9 @@ class CommGraph:
     ) -> None:
         self._succ: Dict[NodeId, Set[NodeId]] = {}
         self._pred: Dict[NodeId, Set[NodeId]] = {}
+        # Monotone mutation counter; caches key on it (see version).
+        self._version = 0
+        self._pairs_cache: Optional[Tuple[int, List[Tuple[NodeId, NodeId]]]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -52,16 +55,20 @@ class CommGraph:
     # construction
     # ------------------------------------------------------------------
     def add_node(self, node: NodeId) -> None:
-        self._succ.setdefault(node, set())
-        self._pred.setdefault(node, set())
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+            self._version += 1
 
     def add_edge(self, src: NodeId, dst: NodeId) -> None:
         if src == dst:
             raise ValueError(f"self-loop on {src!r}: a cell does not communicate with itself")
         self.add_node(src)
         self.add_node(dst)
-        self._succ[src].add(dst)
-        self._pred[dst].add(src)
+        if dst not in self._succ[src]:
+            self._succ[src].add(dst)
+            self._pred[dst].add(src)
+            self._version += 1
 
     def add_bidirectional(self, a: NodeId, b: NodeId) -> None:
         """Add edges in both directions (common in systolic arrays where
@@ -84,6 +91,14 @@ class CommGraph:
     @property
     def node_count(self) -> int:
         return len(self._succ)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps whenever a node or edge is actually
+        added.  Derived caches (the pair list here, and any caller-side
+        cache such as :meth:`ProcessorArray.communicating_pairs`) key on
+        it and rebuild when it moves."""
+        return self._version
 
     @property
     def edge_count(self) -> int:
@@ -124,15 +139,22 @@ class CommGraph:
 
         Each pair appears once; this is the index set of the max in
         ``sigma = max skew over communicating cells`` (A5).
+
+        The list is cached against :attr:`version` (every skew bound and
+        ``max_communication_distance`` call quantifies over it, so the
+        old rebuild-per-call was a hot-loop tax); mutation invalidates
+        it, and callers receive a fresh copy they may own.
         """
-        seen: Set[FrozenSet[NodeId]] = set()
-        pairs: List[Tuple[NodeId, NodeId]] = []
-        for u, v in self.edges():
-            key = frozenset((u, v))
-            if key not in seen:
-                seen.add(key)
-                pairs.append((u, v))
-        return pairs
+        if self._pairs_cache is None or self._pairs_cache[0] != self._version:
+            seen: Set[FrozenSet[NodeId]] = set()
+            pairs: List[Tuple[NodeId, NodeId]] = []
+            for u, v in self.edges():
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append((u, v))
+            self._pairs_cache = (self._version, pairs)
+        return list(self._pairs_cache[1])
 
     # ------------------------------------------------------------------
     # structure

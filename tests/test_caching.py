@@ -1,0 +1,145 @@
+"""Invalidation behaviour of the hot-path caches added for the batched
+kernels: the CommGraph/ProcessorArray pair cache (keyed on the graph's
+mutation counter), the ClockTree leaves cache, and the O(n) validate."""
+
+import pytest
+
+from repro.arrays.model import ProcessorArray
+from repro.arrays.topologies import linear_array, mesh
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.tree import ClockTree
+from repro.geometry.layout import Layout
+from repro.geometry.point import Point
+from repro.graphs.comm import CommGraph
+
+
+class TestCommGraphVersion:
+    def test_version_bumps_on_new_node_and_edge(self):
+        g = CommGraph()
+        v0 = g.version
+        g.add_node("a")
+        assert g.version > v0
+        v1 = g.version
+        g.add_edge("a", "b")
+        assert g.version > v1
+
+    def test_version_stable_on_duplicate_adds(self):
+        g = CommGraph(edges=[("a", "b")])
+        v = g.version
+        g.add_node("a")
+        g.add_edge("a", "b")
+        assert g.version == v
+
+    def test_pairs_cache_invalidated_by_mutation(self):
+        g = CommGraph(edges=[("a", "b"), ("b", "a")])
+        assert g.communicating_pairs() == [("a", "b")]
+        g.add_edge("b", "c")
+        assert sorted(g.communicating_pairs()) == [("a", "b"), ("b", "c")]
+
+    def test_pairs_are_a_fresh_copy(self):
+        g = CommGraph(edges=[("a", "b")])
+        pairs = g.communicating_pairs()
+        pairs.append(("x", "y"))
+        assert g.communicating_pairs() == [("a", "b")]
+
+
+class TestProcessorArrayPairsCache:
+    def test_repeated_calls_share_one_list(self):
+        array = mesh(4, 4)
+        assert array.communicating_pairs() is array.communicating_pairs()
+
+    def test_cache_tracks_graph_mutation(self):
+        array = linear_array(4)
+        before = array.communicating_pairs()
+        n = len(before)
+        cells = array.comm.nodes()
+        array.comm.add_edge(cells[0], cells[-1])
+        after = array.communicating_pairs()
+        assert len(after) == n + 1
+        assert after is not before
+
+    def test_max_communication_distance_uses_cache(self):
+        array = mesh(3, 3)
+        d1 = array.max_communication_distance()
+        d2 = array.max_communication_distance()
+        assert d1 == d2 == 1.0
+
+    def test_pairs_match_uncached_graph_value(self):
+        array = mesh(5, 5)
+        assert sorted(array.communicating_pairs()) == sorted(
+            array.comm.communicating_pairs()
+        )
+
+
+class TestLeavesCache:
+    def test_leaves_cached_and_invalidated(self):
+        tree = htree_for_array(mesh(4, 4))
+        first = tree.leaves()
+        assert tree.leaves() == first
+        leaf = first[0]
+        tree.add_child(leaf, "new-leaf", tree.position(leaf), length=1.0)
+        updated = tree.leaves()
+        assert "new-leaf" in updated
+        assert leaf not in updated
+
+    def test_leaves_returns_a_copy(self):
+        tree = ClockTree("r", Point(0, 0))
+        tree.add_child("r", "c", Point(1, 0))
+        got = tree.leaves()
+        got.clear()
+        assert tree.leaves() == ["c"]
+
+
+class TestValidateSinglePass:
+    def test_valid_trees_pass(self):
+        htree_for_array(mesh(4, 4)).validate()
+        tree = ClockTree("r", Point(0, 0), max_children=3)
+        for i in range(3):
+            tree.add_child("r", i, Point(i + 1, 0))
+        tree.validate()
+
+    def test_detects_broken_parent_pointer(self):
+        tree = ClockTree("r", Point(0, 0))
+        tree.add_child("r", "a", Point(1, 0))
+        tree.add_child("r", "b", Point(0, 1))
+        tree._parent["a"] = "b"  # white-box corruption
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_unreachable_node(self):
+        tree = ClockTree("r", Point(0, 0))
+        tree.add_child("r", "a", Point(1, 0))
+        tree._children["r"].remove("a")  # orphan "a"
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_arity_violation(self):
+        tree = ClockTree("r", Point(0, 0), max_children=2)
+        tree.add_child("r", "a", Point(1, 0))
+        tree.add_child("r", "b", Point(0, 1))
+        tree._children["r"].append("c")
+        tree._parent["c"] = "r"
+        tree._position["c"] = Point(1, 1)
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_parent_cycle(self):
+        tree = ClockTree("r", Point(0, 0))
+        tree.add_child("r", "a", Point(1, 0))
+        tree.add_child("a", "b", Point(2, 0))
+        # Detach the a<->b pair into a parent cycle unreachable from r.
+        tree._children["r"].remove("a")
+        tree._parent["a"] = "b"
+        tree._children["b"].append("a")
+        tree._children["a"] = ["b"]
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+
+class TestHostValidationStillWorks:
+    def test_missing_layout_position_raises(self):
+        g = CommGraph(edges=[("a", "b")])
+        layout = Layout()
+        layout.place("a", Point(0, 0))
+        with pytest.raises(ValueError):
+            ProcessorArray(comm=g, layout=layout, name="broken")

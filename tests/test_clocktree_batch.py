@@ -1,0 +1,210 @@
+"""Scalar-vs-batch equivalence for the O(1)-LCA path-metric kernels.
+
+The batched kernels (`path_metrics_batch`, `lca_batch`,
+`skew_bound_batch`, `BufferedClockTree.skew_batch`) must agree with the
+scalar reference paths on *every* tree, not just the benchmark meshes —
+hypothesis builds random trees (random arity, random attachment order,
+zero-length edges included) and checks each pair both ways.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.topologies import mesh
+from repro.clocktree.buffered import BufferedClockTree
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.tree import ClockTree
+from repro.core.models import (
+    DifferenceModel,
+    PhysicalModel,
+    SkewModel,
+    SummationModel,
+    max_skew_bound,
+    max_skew_bound_scalar,
+    max_skew_lower_bound,
+    max_skew_lower_bound_scalar,
+)
+from repro.geometry.point import Point
+
+
+@st.composite
+def tree_and_pairs(draw):
+    """A random ClockTree plus a random list of node pairs."""
+    n = draw(st.integers(min_value=1, max_value=32))
+    max_children = draw(st.integers(min_value=1, max_value=3))
+    tree = ClockTree(0, Point(0.0, 0.0), max_children=max_children)
+    open_slots = {0: max_children}
+    for node in range(1, n):
+        parent = draw(st.sampled_from(sorted(open_slots)))
+        x = draw(st.integers(min_value=-8, max_value=8))
+        y = draw(st.integers(min_value=-8, max_value=8))
+        length = draw(
+            st.floats(min_value=0.0, max_value=16.0, allow_nan=False)
+        )
+        tree.add_child(parent, node, Point(float(x), float(y)), length=length)
+        open_slots[node] = max_children
+        open_slots[parent] -= 1
+        if open_slots[parent] == 0:
+            del open_slots[parent]
+    nodes = tree.nodes()
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    return tree, pairs
+
+
+class TestPathMetricsBatch:
+    @given(tree_and_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scalar_path_metrics(self, tp):
+        tree, pairs = tp
+        d, s = tree.path_metrics_batch(pairs)
+        assert len(d) == len(s) == len(pairs)
+        for i, (a, b) in enumerate(pairs):
+            assert abs(d[i] - tree.path_difference(a, b)) <= 1e-9
+            assert abs(s[i] - tree.path_length(a, b)) <= 1e-9
+            # s >= d >= 0 must survive batching too.
+            assert s[i] >= d[i] >= 0.0 or abs(s[i] - d[i]) <= 1e-9
+
+    @given(tree_and_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_lca_batch_matches_scalar(self, tp):
+        tree, pairs = tp
+        assert tree.lca_batch(pairs) == [tree.lca(a, b) for a, b in pairs]
+
+    @given(tree_and_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_skew_bounds_match_scalar(self, tp):
+        tree, pairs = tp
+        models = [
+            DifferenceModel(m=2.0),
+            DifferenceModel(f=lambda d: d * d),
+            SummationModel(m=1.5, eps=0.25),
+            SummationModel(g=lambda s: 3.0 * s + 1.0),
+            PhysicalModel(m=2.0, eps=0.5),
+        ]
+        for model in models:
+            upper = model.skew_bound_batch(tree, pairs)
+            lower = model.skew_lower_bound_batch(tree, pairs)
+            for i, (a, b) in enumerate(pairs):
+                assert abs(upper[i] - model.skew_bound(tree, a, b)) <= 1e-9
+                assert abs(lower[i] - model.skew_lower_bound(tree, a, b)) <= 1e-9
+            assert abs(max_skew_bound(tree, pairs, model)
+                       - max_skew_bound_scalar(tree, pairs, model)) <= 1e-9
+            assert abs(max_skew_lower_bound(tree, pairs, model)
+                       - max_skew_lower_bound_scalar(tree, pairs, model)) <= 1e-9
+
+    def test_empty_pairs(self):
+        tree = ClockTree("r", Point(0, 0))
+        d, s = tree.path_metrics_batch([])
+        assert len(d) == len(s) == 0
+        assert tree.lca_batch([]) == []
+        assert max_skew_bound(tree, [], PhysicalModel()) == 0.0
+        assert max_skew_lower_bound(tree, iter([]), PhysicalModel()) == 0.0
+
+    def test_generator_pairs_accepted(self):
+        array = mesh(4, 4)
+        tree = htree_for_array(array)
+        pairs = array.communicating_pairs()
+        model = PhysicalModel()
+        assert max_skew_bound(tree, iter(pairs), model) == max_skew_bound(
+            tree, pairs, model
+        )
+
+    def test_batch_arrays_are_read_only(self):
+        array = mesh(4, 4)
+        tree = htree_for_array(array)
+        d, s = tree.path_metrics_batch(array.communicating_pairs())
+        for arr in (d, s):
+            try:
+                arr[0] = -1.0
+            except ValueError:
+                continue
+            raise AssertionError("memoized metric array is writable")
+
+
+class TestIndexInvalidation:
+    def test_add_child_invalidates_index_and_memo(self):
+        array = mesh(4, 4)
+        tree = htree_for_array(array)
+        pairs = array.communicating_pairs()
+        before = max_skew_bound(tree, pairs, PhysicalModel())
+        assert before == max_skew_bound_scalar(tree, pairs, PhysicalModel())
+        leaf = tree.leaves()[0]
+        tree.add_child(leaf, "grafted", tree.position(leaf), length=7.0)
+        grafted_pairs = pairs + [("grafted", tree.root)]
+        after = max_skew_bound(tree, grafted_pairs, PhysicalModel())
+        assert after == max_skew_bound_scalar(tree, grafted_pairs, PhysicalModel())
+        assert after > before
+
+    def test_mutated_pair_list_is_recomputed(self):
+        # The memo keys on the list object; mutating it in place (with a
+        # changed endpoint) must fall back to a fresh translation.
+        array = mesh(3, 3)
+        tree = htree_for_array(array)
+        pairs = list(array.communicating_pairs())
+        d1, _ = tree.path_metrics_batch(pairs)
+        first = pairs[0]
+        pairs[0] = (tree.root, tree.root)
+        d2, _ = tree.path_metrics_batch(pairs)
+        assert d2[0] == 0.0
+        pairs[0] = first
+        d3, _ = tree.path_metrics_batch(pairs)
+        assert d3[0] == d1[0]
+
+
+class TestBufferedBatch:
+    def test_skew_batch_matches_scalar(self):
+        array = mesh(6, 6)
+        tree = htree_for_array(array)
+        buffered = BufferedClockTree(tree)
+        pairs = array.communicating_pairs()
+        for rising in (True, False):
+            batch = buffered.skew_batch(pairs, rising=rising)
+            for i, (a, b) in enumerate(pairs):
+                assert batch[i] == buffered.skew(a, b, rising=rising)
+            assert buffered.max_skew(pairs, rising=rising) == buffered.max_skew_scalar(
+                pairs, rising=rising
+            )
+
+    def test_resample_rebuilds_vectors(self):
+        array = mesh(4, 4)
+        tree = htree_for_array(array)
+        buffered = BufferedClockTree(tree)
+        pairs = array.communicating_pairs()
+        before = buffered.max_skew(pairs)
+        buffered.resample(seed=99)
+        after = buffered.max_skew(pairs)
+        assert after == buffered.max_skew_scalar(pairs)
+        assert before == before  # no exception path; values may coincide
+
+    def test_empty_pairs(self):
+        tree = ClockTree("r", Point(0, 0))
+        buffered = BufferedClockTree(tree)
+        assert buffered.max_skew([]) == 0.0
+
+
+class TestGenericFallback:
+    def test_custom_model_uses_scalar_fallback(self):
+        class WeirdModel(SkewModel):
+            def skew_bound(self, tree, a, b):
+                return float(tree.depth(a) + tree.depth(b))
+
+        array = mesh(3, 3)
+        tree = htree_for_array(array)
+        pairs = array.communicating_pairs()
+        model = WeirdModel()
+        batch = model.skew_bound_batch(tree, pairs)
+        assert isinstance(batch, np.ndarray)
+        for i, (a, b) in enumerate(pairs):
+            assert batch[i] == model.skew_bound(tree, a, b)
+        assert max_skew_bound(tree, pairs, model) == max_skew_bound_scalar(
+            tree, pairs, model
+        )
+        # The base lower bound is 0 everywhere.
+        assert max_skew_lower_bound(tree, pairs, model) == 0.0

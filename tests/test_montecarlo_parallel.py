@@ -1,0 +1,105 @@
+"""Determinism of the parallel Monte-Carlo backend.
+
+``workers=N`` must be a pure wall-clock optimization: summaries are
+required to be *bit-identical* to the serial path (same values in the
+same seed order feeding the same summarization), for any worker count,
+for both pool flavours, with tracer events intact.
+"""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    MonteCarloSummary,
+    _seed_chunks,
+    run_trials,
+    summarize,
+)
+from repro.obs.trace import RecordingTracer
+
+
+def _trial(seed: int) -> float:
+    # Deterministic, seed-sensitive, cheap.
+    return float((seed * 2654435761) % 1009) / 7.0
+
+
+class TestParallelDeterminism:
+    def test_workers_4_equals_serial_exactly(self):
+        serial = run_trials(_trial, 25, base_seed=11)
+        parallel = run_trials(_trial, 25, base_seed=11, workers=4)
+        assert serial == parallel  # frozen dataclass: field-wise bit equality
+
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8, 25, 40])
+    def test_any_worker_count_is_bit_identical(self, workers):
+        serial = run_trials(_trial, 25, base_seed=0)
+        parallel = run_trials(_trial, 25, base_seed=0, workers=workers)
+        assert serial == parallel
+
+    def test_process_pool_matches_serial(self):
+        serial = run_trials(_trial, 8, base_seed=3)
+        parallel = run_trials(_trial, 8, base_seed=3, workers=2, executor="process")
+        assert serial == parallel
+
+    def test_workers_1_takes_serial_path(self):
+        assert run_trials(_trial, 6) == run_trials(_trial, 6, workers=1)
+
+
+class TestSeedPartitioning:
+    def test_chunks_cover_range_in_order(self):
+        for n, workers in [(25, 4), (8, 8), (7, 3), (2, 16), (100, 7)]:
+            chunks = _seed_chunks(5, n, workers)
+            seeds = [
+                first + i for first, count in chunks for i in range(count)
+            ]
+            assert seeds == list(range(5, 5 + n))
+
+    def test_partition_is_schedule_independent(self):
+        assert _seed_chunks(0, 10, 3) == _seed_chunks(0, 10, 3)
+
+
+class TestTracing:
+    def test_parallel_run_emits_trial_and_summary_events(self):
+        tracer = RecordingTracer()
+        summary = run_trials(_trial, 9, base_seed=2, workers=3, tracer=tracer)
+        trials = [e for e in tracer.events if e.kind == "trial"]
+        assert len(trials) == 9
+        assert [e.data["seed"] for e in trials] == list(range(2, 11))
+        assert [e.data["value"] for e in trials] == [_trial(2 + i) for i in range(9)]
+        (final,) = [e for e in tracer.events if e.kind == "summary"]
+        assert final.data["mean"] == summary.mean
+
+    def test_parallel_trace_values_match_serial_trace(self):
+        serial_tracer, parallel_tracer = RecordingTracer(), RecordingTracer()
+        run_trials(_trial, 10, tracer=serial_tracer)
+        run_trials(_trial, 10, workers=4, tracer=parallel_tracer)
+        extract = lambda tr: [
+            (e.t, e.data["seed"], e.data["value"])
+            for e in tr.events
+            if e.kind == "trial"
+        ]
+        assert extract(serial_tracer) == extract(parallel_tracer)
+
+
+class TestValidationAndSummarize:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(_trial, 4, workers=0)
+        with pytest.raises(ValueError):
+            run_trials(_trial, 4, workers=-2)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(_trial, 4, workers=2, executor="fiber")
+
+    def test_run_trials_delegates_to_summarize(self):
+        values = [_trial(s) for s in range(7, 19)]
+        assert run_trials(_trial, 12, base_seed=7) == summarize(values)
+
+    def test_summarize_still_validates(self):
+        with pytest.raises(ValueError):
+            summarize([1.0])
+
+    def test_summary_shape(self):
+        summary = run_trials(_trial, 5, workers=2)
+        assert isinstance(summary, MonteCarloSummary)
+        assert summary.trials == 5
+        assert summary.ci_low <= summary.mean <= summary.ci_high

@@ -1,0 +1,98 @@
+"""The perf microbenchmark harness: timings, artifact shape, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.perf import (
+    BENCH_HEADERS,
+    KernelTiming,
+    bench_montecarlo,
+    bench_skew_kernels,
+    run_perf_suite,
+    speedup_by_kernel,
+    write_bench_results,
+)
+from repro.cli import main
+from repro.obs.schema import validate_benchmark_result
+from repro.obs.trace import RecordingTracer
+
+
+class TestKernelBenches:
+    def test_skew_kernels_report_equivalent_results(self):
+        results = bench_skew_kernels(side=4, repeats=1)
+        kernels = {r.kernel for r in results}
+        assert {"max_skew_bound", "max_skew_bound_cold",
+                "max_skew_lower_bound", "buffered_max_skew"} <= kernels
+        for r in results:
+            assert r.size == 16
+            assert r.items > 0
+            assert r.baseline_s > 0 and r.optimized_s > 0
+            assert r.max_abs_diff <= 1e-9
+
+    def test_montecarlo_bench_is_deterministic(self):
+        r = bench_montecarlo(trials=2, workers=2)
+        assert r.max_abs_diff == 0.0
+        assert r.size == 2 and r.items == 2
+
+    def test_suite_emits_tracer_events(self):
+        tracer = RecordingTracer()
+        results = run_perf_suite(
+            sides=(4,), repeats=1, include_montecarlo=False, tracer=tracer
+        )
+        events = tracer.by_kind("perf", "kernel")
+        assert len(events) == len(results)
+        assert events[0].data["kernel"] == results[0].kernel
+
+
+class TestArtifact:
+    def test_write_bench_results_is_schema_valid(self, tmp_path):
+        results = bench_skew_kernels(side=4, repeats=1)
+        out = tmp_path / "BENCH_perf.json"
+        payload = write_bench_results(results, str(out), wall_s=0.5)
+        assert validate_benchmark_result(payload) == []
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["headers"] == BENCH_HEADERS
+        assert on_disk["meta"]["timing"]["wall_s"] == 0.5
+
+    def test_speedup_by_kernel_takes_worst(self):
+        rows = [
+            KernelTiming("k", 16, 8, 1.0, 0.1, 0.0),
+            KernelTiming("k", 64, 8, 1.0, 0.5, 0.0),
+        ]
+        payload = {
+            "headers": BENCH_HEADERS,
+            "rows": [r.row() for r in rows],
+        }
+        assert speedup_by_kernel(payload) == {"k": pytest.approx(2.0)}
+
+    def test_invalid_payload_rejected_before_write(self, tmp_path):
+        # A row narrower than the header violates the cross-field schema
+        # invariant; nothing may reach the disk in that case.
+        class Broken(KernelTiming):
+            def row(self):
+                return ["only-one-cell"]
+
+        out = tmp_path / "bad.json"
+        with pytest.raises(ValueError):
+            write_bench_results(
+                [Broken("k", 16, 8, 1.0, 1.0, 0.0)], str(out)
+            )
+        assert not out.exists()
+
+
+class TestCliBench:
+    def test_bench_command_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        code = main([
+            "bench", "--sides", "4", "--trials", "2", "--workers", "2",
+            "--repeats", "1", "--no-montecarlo", "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "max_skew_bound" in captured
+        assert "schema-validated" in captured
+        payload = json.loads(out.read_text())
+        assert validate_benchmark_result(payload) == []
+        assert payload["name"] == "BENCH_perf"
