@@ -16,15 +16,24 @@ from typing import Optional, Sequence
 
 @dataclass(frozen=True)
 class Crossover:
-    """Where curve B drops below curve A (B starts winning)."""
+    """Where curve B drops below curve A (B starts winning).
+
+    Tie semantics: a tie (``B == A``) is *not* a win — B must fall strictly
+    below A for a crossover to exist.  But when a run of ties immediately
+    precedes the first strict win, the curves first met at the start of that
+    run, so ``x`` reports that first touch point.
+    """
 
     x: float
-    index: int          # first sample index where B < A
-    exact: bool         # True when the crossing was interpolated between samples
+    index: int          # first sample index where B < A (strictly)
+    exact: bool         # True when the crossing point x is exactly located
+                        # (interpolated zero or a tie sample); False when B
+                        # already wins at the first sample, i.e. the true
+                        # crossing happened before the sampled range
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        kind = "interpolated" if self.exact else "at sample"
-        return f"Crossover(x={self.x:.4g}, {kind})"
+        kind = "located" if self.exact else "before range"
+        return f"Crossover(x={self.x:.4g}, index={self.index}, {kind})"
 
 
 def find_crossover(
@@ -34,9 +43,13 @@ def find_crossover(
 ) -> Optional[Crossover]:
     """The smallest ``x`` at which ``ys_b`` falls strictly below ``ys_a``.
 
-    Returns ``None`` when B never wins in the sampled range; a crossover at
-    the first sample means B wins everywhere sampled.  Between samples the
-    crossing is located by linear interpolation of the difference curve.
+    Returns ``None`` when B never wins in the sampled range (ties alone are
+    not wins); a crossover at the first sample means B wins everywhere
+    sampled.  Between samples the crossing is located by linear
+    interpolation of the difference curve; a tie sample (or a run of them)
+    immediately before the first win *is* the crossing point — the curves
+    touch there — reported with ``exact=True`` and ``index`` at the first
+    strict win.
     """
     if not (len(xs) == len(ys_a) == len(ys_b)):
         raise ValueError("xs, ys_a, ys_b must have equal length")
@@ -49,11 +62,18 @@ def find_crossover(
     for i, d in enumerate(diff):
         if d < 0:
             if i == 0:
+                # The crossing happened before the sampled range.
                 return Crossover(x=xs[0], index=0, exact=False)
-            d_prev = diff[i - 1]
-            if d_prev <= 0:
-                return Crossover(x=xs[i - 1], index=i, exact=False)
+            if diff[i - 1] == 0:
+                # A tie (or a run of ties) precedes the win: the curves
+                # first touched at the start of the run — that sample is
+                # the exact crossing point.
+                j = i - 1
+                while j > 0 and diff[j - 1] == 0:
+                    j -= 1
+                return Crossover(x=xs[j], index=i, exact=True)
             # Linear interpolation of the sign change.
+            d_prev = diff[i - 1]
             frac = d_prev / (d_prev - d)
             x = xs[i - 1] + frac * (xs[i] - xs[i - 1])
             return Crossover(x=x, index=i, exact=True)

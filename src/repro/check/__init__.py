@@ -1,0 +1,85 @@
+"""repro.check — cross-simulator differential checker and invariant oracles.
+
+Entry points:
+
+* :func:`default_registry` — the populated :class:`CheckRegistry` (imports
+  the invariant/differential/metamorphic oracle modules);
+* :func:`run_suite` — run a suite and get ``(results, report)`` with the
+  report already schema-shaped (``repro.obs.schema.CHECK_REPORT_SCHEMA``);
+* ``python -m repro check --suite quick|full [--seed N] [--json FILE]`` —
+  the CLI face, wired into the ``check-suite`` CI job.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.check.registry import (
+    REGISTRY,
+    Check,
+    CheckContext,
+    CheckFailure,
+    CheckRegistry,
+    CheckResult,
+    default_registry,
+    require,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Check",
+    "CheckContext",
+    "CheckFailure",
+    "CheckRegistry",
+    "CheckResult",
+    "build_report",
+    "default_registry",
+    "require",
+    "run_suite",
+]
+
+
+def build_report(
+    results: List[CheckResult], suite: str, seed: int
+) -> Dict[str, Any]:
+    """Aggregate check results into the schema-valid JSON report
+    (:data:`repro.obs.schema.CHECK_REPORT_SCHEMA`)."""
+    failed = sum(1 for r in results if not r.passed)
+    return {
+        "suite": suite,
+        "seed": seed,
+        "passed": failed == 0,
+        "counts": {
+            "total": len(results),
+            "passed": len(results) - failed,
+            "failed": failed,
+        },
+        "checks": [
+            {
+                "name": r.name,
+                "kind": r.kind,
+                "passed": r.passed,
+                "duration_s": r.duration_s,
+                "error": r.error,
+                "details": r.details,
+            }
+            for r in results
+        ],
+        "meta": {"emitted_at": time.time(), "repro_version": __version__},
+    }
+
+
+def run_suite(
+    suite: str = "quick",
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[List[CheckResult], Dict[str, Any]]:
+    """Run every check in ``suite`` and return results plus the report."""
+    registry = default_registry()
+    results = registry.run(suite=suite, seed=seed, tracer=tracer, metrics=metrics)
+    return results, build_report(results, suite=suite, seed=seed)

@@ -1,0 +1,250 @@
+"""Differential oracles: one workload, four independent execution paths.
+
+"Correctly synchronized" has a functional definition in this repo: a
+skew-aware (or self-timed, or hybrid) run of a systolic program produces
+exactly what the ideal lockstep interpreter produces.  These checks run
+each workload through
+
+* the **lockstep executor** (``SystolicProgram.run_lockstep``) — the A1
+  reference semantics;
+* the **clocked simulator** on a buffered serpentine clock, hold-fixed by
+  :func:`repro.core.padding.plan_safe_clocking` and run above the minimum
+  safe period — must be violation-free and lockstep-equal;
+* the **self-timed dataflow simulator** with deterministic two-speed
+  service times — must be lockstep-equal, and its engine-driven makespan
+  must land exactly on the tandem recurrence computed directly;
+* the **hybrid executor** (Section VI) — must be lockstep-equal with its
+  cross-element dependency guarantee verified.
+
+Violation-count consistency rides along: the clean run reports zero
+violations, a run at half the safe period reports more than zero, and
+:func:`repro.sim.faults.summarize_violations` totals must agree with the
+raw violation list.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.arrays.systolic import (
+    SystolicProgram,
+    build_fir_array,
+    build_matvec_array,
+    build_mesh_matmul,
+    build_odd_even_sorter,
+)
+from repro.clocktree.builders import serpentine_clock
+from repro.clocktree.buffered import BufferedClockTree
+from repro.core.padding import plan_safe_clocking
+from repro.delay.variation import BoundedUniformVariation
+from repro.check.registry import REGISTRY, CheckContext, require
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import ClockedArraySimulator
+from repro.sim.dataflow import SelfTimedProgramSimulator, hashed_service
+from repro.sim.faults import summarize_violations
+from repro.sim.hybrid_exec import execute_program_hybrid
+
+TOL = 1e-9
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Structural equality with float tolerance (the simulators perform the
+    identical per-cell arithmetic, so agreement is expected to be exact;
+    the tolerance only absorbs representation noise)."""
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _values_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(float(a), float(b), rel_tol=1e-12, abs_tol=1e-12)
+    return a == b
+
+
+def _workloads(ctx: CheckContext) -> List[Tuple[str, SystolicProgram]]:
+    rng = ctx.rng("differential-workloads")
+    weights = [rng.uniform(-1.0, 1.0) for _ in range(4)]
+    xs = [rng.uniform(-2.0, 2.0) for _ in range(8)]
+    matrix = [[rng.uniform(-1.0, 1.0) for _ in range(4)] for _ in range(4)]
+    vec = [rng.uniform(-1.0, 1.0) for _ in range(4)]
+    values = [rng.uniform(-10.0, 10.0) for _ in range(8)]
+    programs = [
+        ("fir", build_fir_array(weights, xs)),
+        ("matvec", build_matvec_array(matrix, vec)),
+        ("sorter", build_odd_even_sorter(values)),
+    ]
+    if ctx.full:
+        a = [[rng.uniform(-1.0, 1.0) for _ in range(4)] for _ in range(4)]
+        b = [[rng.uniform(-1.0, 1.0) for _ in range(4)] for _ in range(4)]
+        programs.append(("matmul", build_mesh_matmul(a, b)))
+    return programs
+
+
+def _clocked_setup(program: SystolicProgram, seed: int, delta: float):
+    """Hold-fixed clocked simulator above its minimum safe period, plus the
+    ingredients to rebuild it at other periods."""
+    tree = serpentine_clock(program.array)
+    buffered = BufferedClockTree(
+        tree,
+        buffer_spacing=1.0,
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.1, seed=seed),
+    )
+    cells = program.array.comm.nodes()
+    probe = ClockSchedule.from_buffered_tree(buffered, 1.0, cells)
+    plan = plan_safe_clocking(program.array, probe, delta=delta)
+    return buffered, cells, plan
+
+
+@REGISTRY.register(
+    "differential-functional",
+    "differential",
+    "lockstep, clocked (hold-fixed, safe period), self-timed dataflow, and "
+    "hybrid execution all compute the same result",
+)
+def check_differential_functional(ctx: CheckContext) -> Dict[str, Any]:
+    delta = 1.0
+    checked = []
+    for name, program in _workloads(ctx):
+        reference = program.run_lockstep()
+
+        # Clocked, above the safe period with hold padding applied.
+        buffered, cells, plan = _clocked_setup(program, ctx.seed, delta)
+        period = plan.min_safe_period * 1.05 + 1e-6
+        schedule = ClockSchedule.from_buffered_tree(buffered, period, cells)
+        sim = ClockedArraySimulator(
+            program, schedule, delta=delta, edge_padding=plan.padding
+        )
+        require(not sim.hold_hazards(),
+                f"{name}: hold hazards survived the padding plan",
+                workload=name, padded_edges=plan.padded_edges)
+        clocked = sim.run()
+        require(clocked.clean,
+                f"{name}: clocked run above the safe period had violations",
+                workload=name, violations=len(clocked.violations),
+                period=period, min_safe_period=plan.min_safe_period)
+        require(_values_equal(clocked.result, reference),
+                f"{name}: clocked result diverged from lockstep",
+                workload=name, clocked=repr(clocked.result),
+                lockstep=repr(reference))
+
+        # Self-timed dataflow with irregular (two-speed) service times.
+        selftimed = SelfTimedProgramSimulator(
+            program,
+            service=hashed_service(1.0, 3.0, 0.2, seed=ctx.seed),
+            wire_delay=0.25,
+        )
+        df = selftimed.run()
+        require(_values_equal(df.result, reference),
+                f"{name}: self-timed result diverged from lockstep",
+                workload=name, selftimed=repr(df.result),
+                lockstep=repr(reference))
+        require(df.events_processed > 0,
+                f"{name}: self-timed run processed no events",
+                workload=name)
+
+        # Hybrid (Section VI): lockstep-equal with verified dependencies.
+        hybrid = execute_program_hybrid(program, element_size=3.0, delta=delta)
+        require(_values_equal(hybrid.result, reference),
+                f"{name}: hybrid result diverged from lockstep",
+                workload=name, hybrid=repr(hybrid.result),
+                lockstep=repr(reference))
+        require(hybrid.verify_dependencies(),
+                f"{name}: hybrid cross-element dependency check failed",
+                workload=name)
+        checked.append(name)
+    return {"workloads": checked}
+
+
+@REGISTRY.register(
+    "differential-timing",
+    "differential",
+    "the engine-driven self-timed makespan equals the tandem recurrence "
+    "computed directly, under constant and irregular service times",
+)
+def check_differential_timing(ctx: CheckContext) -> Dict[str, Any]:
+    services = [
+        ("constant", None),  # default constant_service(1.0)
+        ("two-speed", hashed_service(1.0, 4.0, 0.3, seed=ctx.seed)),
+    ]
+    rows = []
+    for name, program in _workloads(ctx):
+        for service_name, service in services:
+            sim = SelfTimedProgramSimulator(
+                program, service=service, wire_delay=0.5
+            )
+            run = sim.run()
+            expected = sim.recurrence_makespan()
+            require(abs(run.makespan - expected) <= TOL,
+                    f"{name}/{service_name}: engine makespan diverged from "
+                    f"the tandem recurrence",
+                    workload=name, service=service_name,
+                    engine=run.makespan, recurrence=expected)
+            rows.append({"workload": name, "service": service_name,
+                         "makespan": run.makespan})
+    return {"cases": rows}
+
+
+@REGISTRY.register(
+    "differential-violations",
+    "differential",
+    "violation counts are consistent: zero above the safe period, nonzero "
+    "at half of it, and summarize_violations agrees with the raw list",
+)
+def check_differential_violations(ctx: CheckContext) -> Dict[str, Any]:
+    name, program = _workloads(ctx)[0]  # fir: linear, fast, representative
+    tree = serpentine_clock(program.array)
+    buffered = BufferedClockTree(
+        tree,
+        buffer_spacing=1.0,
+        wire_variation=BoundedUniformVariation(m=1.0, epsilon=0.1, seed=ctx.seed),
+    )
+    cells = program.array.comm.nodes()
+    probe = ClockSchedule.from_buffered_tree(buffered, 1.0, cells)
+    # Pick delta above the largest sender->receiver clock lead so no edge
+    # has a hold hazard: setup is then the only failure mode, and the
+    # minimum safe period is the genuine setup requirement (no padding —
+    # a hold-padded serpentine is wave-pipelined and its safe period is
+    # just the guard margin, which would make this oracle vacuous).
+    max_lead = max(
+        abs(probe.offset(u) - probe.offset(v))
+        for u, v in program.array.comm.edges()
+    )
+    delta = max_lead + 1.0
+
+    safe_sim = ClockedArraySimulator(program, probe, delta=delta)
+    require(not safe_sim.hold_hazards(),
+            f"{name}: hold hazards despite delta above the worst clock lead",
+            workload=name, delta=delta, max_lead=max_lead)
+    msp = safe_sim.minimum_safe_period()
+
+    tight = 0.5 * msp
+    schedule = ClockSchedule.from_buffered_tree(buffered, tight, cells)
+    run = ClockedArraySimulator(program, schedule, delta=delta).run()
+    require(len(run.violations) > 0,
+            f"{name}: half the safe period produced no violations",
+            workload=name, period=tight, min_safe_period=msp)
+
+    summary = summarize_violations(run.violations)
+    require(summary.total == len(run.violations),
+            "summary total disagrees with the raw violation list",
+            summary_total=summary.total, raw=len(run.violations))
+    require(summary.stale + summary.race == summary.total,
+            "stale + race does not add up to the total",
+            stale=summary.stale, race=summary.race, total=summary.total)
+    require(sum(summary.per_cell.values()) == summary.total,
+            "per-cell counts do not add up to the total",
+            per_cell_sum=sum(summary.per_cell.values()), total=summary.total)
+    kinds = {"stale": 0, "race": 0}
+    for v in run.violations:
+        kinds[v.kind] += 1
+    require(kinds["stale"] == summary.stale and kinds["race"] == summary.race,
+            "summary stale/race split disagrees with per-violation kinds",
+            summary=[summary.stale, summary.race],
+            recount=[kinds["stale"], kinds["race"]])
+    return {
+        "workload": name,
+        "min_safe_period": msp,
+        "violations_at_half_period": summary.total,
+        "stale": summary.stale,
+        "race": summary.race,
+    }

@@ -9,6 +9,7 @@ Run ``python -m repro <command> --help``.  Commands:
 * ``inverter``     — the Section VII inverter-string experiment;
 * ``hybrid``       — hybrid cycle time vs the global equipotential clock;
 * ``bench``        — microbenchmark the hot kernels, write BENCH_perf.json;
+* ``check``        — run the invariant/differential/metamorphic check suite;
 * ``trace``        — replay and summarise a recorded JSONL trace.
 
 Every command prints a small table; nothing is written to disk unless
@@ -278,6 +279,52 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the invariant/differential/metamorphic check suite; exit 0 only
+    if every oracle passes."""
+    import json
+
+    from repro.check import run_suite
+    from repro.obs.schema import validate_check_report
+
+    results, report = run_suite(
+        suite=args.suite,
+        seed=args.seed,
+        tracer=args.tracer,
+        metrics=args.metrics_registry,
+    )
+    print(f"check suite '{args.suite}' (seed {args.seed}):")
+    _print_table(
+        ["check", "kind", "status", "time (s)", "note"],
+        [
+            (
+                r.name,
+                r.kind,
+                "pass" if r.passed else "FAIL",
+                f"{r.duration_s:.3f}",
+                "" if r.passed else (r.error or "?"),
+            )
+            for r in results
+        ],
+    )
+    schema_errors = validate_check_report(report)
+    if schema_errors:  # a checker that emits broken reports is itself broken
+        for err in schema_errors:
+            print(f"report schema error: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json} (schema-validated)")
+    counts = report["counts"]
+    print(
+        f"\n{counts['passed']}/{counts['total']} checks passed"
+        + ("" if report["passed"] else f" — {counts['failed']} FAILED")
+    )
+    return 0 if report["passed"] else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Replay a JSONL trace: counts, skew histogram, violation timeline."""
     events = load_trace(args.file)
@@ -432,6 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_command("schemes", help="list registered clocking schemes")
     p.set_defaults(func=cmd_schemes)
+
+    p = add_command("check", help="run the invariant/differential/metamorphic check suite")
+    p.add_argument(
+        "--suite", choices=["quick", "full"], default="quick",
+        help="quick: CI-sized configurations; full: larger arrays + extra cases",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for generated workloads")
+    p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the schema-validated check report to FILE",
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("trace", help="replay and summarise a JSONL trace file")
     p.add_argument("file", help="trace file written by a --trace run")

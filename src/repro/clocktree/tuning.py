@@ -65,8 +65,11 @@ def tune_to_equidistant(
             f"tuning cannot shorten wires"
         )
 
+    # Clamp at zero: a target within the 1e-12 validation tolerance below
+    # the farthest cell would otherwise yield negative padding — a tuned
+    # tree with a *shortened* wire, which tuning by definition cannot do.
     padding = {
-        cell: target - tree.root_distance(cell) for cell in cell_list
+        cell: max(0.0, target - tree.root_distance(cell)) for cell in cell_list
     }
     tuned = ClockTree(
         tree.root, tree.position(tree.root), max_children=tree.max_children

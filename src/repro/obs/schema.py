@@ -93,8 +93,125 @@ BENCHMARK_RESULT_SCHEMA: Dict[str, Any] = {
 }
 
 
+#: Shape of the report ``python -m repro check --json FILE`` writes.
+CHECK_REPORT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["suite", "seed", "passed", "counts", "checks", "meta"],
+    "properties": {
+        "suite": {"type": "string"},
+        "seed": {"type": "integer"},
+        "passed": {"type": "boolean"},
+        "counts": {
+            "type": "object",
+            "required": ["total", "passed", "failed"],
+            "properties": {
+                "total": {"type": "integer"},
+                "passed": {"type": "integer"},
+                "failed": {"type": "integer"},
+            },
+        },
+        "checks": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "kind", "passed", "duration_s", "details"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "kind": {"type": "string"},
+                    "passed": {"type": "boolean"},
+                    "duration_s": {"type": "number"},
+                    "error": {"type": ["string", "null"]},
+                    "details": {"type": "object"},
+                },
+            },
+        },
+        "meta": {
+            "type": "object",
+            "required": ["emitted_at", "repro_version"],
+            "properties": {
+                "emitted_at": {"type": "number"},
+                "repro_version": {"type": "string"},
+            },
+        },
+    },
+}
+
+#: Shape of ``ViolationSummary.to_dict()`` (repro.sim.faults).
+VIOLATION_SUMMARY_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "total", "stale", "race", "edges_affected",
+        "first_failure_tick", "last_failure_tick",
+        "worst_edge", "worst_edge_count", "per_cell",
+    ],
+    "properties": {
+        "total": {"type": "integer"},
+        "stale": {"type": "integer"},
+        "race": {"type": "integer"},
+        "edges_affected": {"type": "integer"},
+        "first_failure_tick": {"type": "integer"},
+        "last_failure_tick": {"type": "integer"},
+        "worst_edge": {"type": "array"},
+        "worst_edge_count": {"type": "integer"},
+        "per_cell": {"type": "object"},
+    },
+}
+
+
 def validate_trace_event(obj: Any) -> List[str]:
     return validate(obj, TRACE_EVENT_SCHEMA)
+
+
+def validate_check_report(obj: Any) -> List[str]:
+    """Schema check plus the cross-field consistency the mini-schema can't
+    express: the counts must agree with the per-check rows, and the overall
+    verdict must agree with the failure count."""
+    errors = validate(obj, CHECK_REPORT_SCHEMA)
+    if not errors:
+        failed = sum(1 for c in obj["checks"] if not c["passed"])
+        counts = obj["counts"]
+        if counts["total"] != len(obj["checks"]):
+            errors.append(
+                f"$.counts.total: {counts['total']} != "
+                f"{len(obj['checks'])} check rows"
+            )
+        if counts["failed"] != failed:
+            errors.append(
+                f"$.counts.failed: {counts['failed']} != {failed} failing rows"
+            )
+        if counts["passed"] != counts["total"] - failed:
+            errors.append(
+                f"$.counts.passed: {counts['passed']} != "
+                f"{counts['total'] - failed}"
+            )
+        if obj["passed"] != (failed == 0):
+            errors.append(
+                f"$.passed: {obj['passed']} disagrees with {failed} failures"
+            )
+    return errors
+
+
+def validate_violation_summary(obj: Any) -> List[str]:
+    """Schema check plus the arithmetic invariants of a violation summary:
+    stale + race = total, and the per-cell counts sum to the total."""
+    errors = validate(obj, VIOLATION_SUMMARY_SCHEMA)
+    if not errors:
+        if obj["stale"] + obj["race"] != obj["total"]:
+            errors.append(
+                f"$.total: stale ({obj['stale']}) + race ({obj['race']}) "
+                f"!= total ({obj['total']})"
+            )
+        per_cell_sum = sum(obj["per_cell"].values())
+        if per_cell_sum != obj["total"]:
+            errors.append(
+                f"$.per_cell: counts sum to {per_cell_sum}, "
+                f"expected total {obj['total']}"
+            )
+        if obj["total"] > 0 and obj["first_failure_tick"] > obj["last_failure_tick"]:
+            errors.append(
+                "$.first_failure_tick: exceeds last_failure_tick"
+            )
+    return errors
 
 
 def validate_benchmark_result(obj: Any) -> List[str]:

@@ -1,0 +1,252 @@
+"""Self-timed *functional* execution of systolic programs.
+
+:mod:`repro.sim.selftimed` and :mod:`repro.sim.handshake` model the paper's
+Section I timing arguments (tandem recurrences, request/acknowledge
+protocols) but never execute a real workload.  This module closes that gap:
+a :class:`SelfTimedProgramSimulator` runs any :class:`~repro.arrays.
+systolic.SystolicProgram` data-driven on the discrete-event engine — each
+cell fires its wave ``k`` as soon as it has finished wave ``k-1`` and every
+predecessor's wave ``k-1`` token has arrived, with a per-(cell, wave)
+service time.
+
+The functional claim this realizes is the self-timed half of the paper's
+equivalence: because every cell consumes exactly the generation ``k-1``
+value on each input edge, the computation is the ideal lockstep semantics
+(assumption A1) regardless of service-time variation — self-timing changes
+*when* things happen, never *what* is computed.  The differential checker
+(:mod:`repro.check.differential`) asserts exactly that, against the ideal
+executor, the clocked simulator, and the hybrid executor.
+
+Timing-wise the run obeys the unbuffered (infinite-FIFO) tandem recurrence
+
+``start[c][k] = max(finish[c][k-1], max_pred finish[pred][k-1] + wire)``
+
+— the ``blocking=False`` idealization of :func:`repro.sim.selftimed.
+simulate_selftimed_line`, generalized from a line to any COMM graph.  The
+checker verifies the engine-driven makespan against that recurrence
+computed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.arrays.cells import PE
+from repro.arrays.systolic import SystolicProgram
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sim.engine import Simulator
+
+CellId = Hashable
+
+#: Service-time callback: ``(cell, wave) -> duration``.  Deterministic
+#: callables keep runs reproducible; see :func:`constant_service` and
+#: :func:`hashed_service`.
+ServiceTime = Callable[[CellId, int], float]
+
+
+def constant_service(duration: float) -> ServiceTime:
+    """Every (cell, wave) takes exactly ``duration``."""
+    if duration < 0:
+        raise ValueError("service time must be non-negative")
+    return lambda cell, wave: duration
+
+
+def hashed_service(
+    normal: float, worst: float, worst_probability: float, seed: int = 0
+) -> ServiceTime:
+    """The two-speed cell model of Section I, keyed deterministically on
+    ``(seed, cell, wave)`` — stable across processes and iteration orders,
+    like :func:`repro.sim.faults._stable_unit_noise`."""
+    if normal <= 0 or worst < normal:
+        raise ValueError("need 0 < normal <= worst")
+    if not 0.0 <= worst_probability <= 1.0:
+        raise ValueError("worst_probability must be a probability")
+    from repro.sim.faults import _stable_unit_noise
+
+    def sample(cell: CellId, wave: int) -> float:
+        u = (_stable_unit_noise(seed, cell, wave) + 1.0) / 2.0  # [0, 1)
+        return worst if u < worst_probability else normal
+
+    return sample
+
+
+@dataclass
+class DataflowRunResult:
+    """Outcome of a self-timed program run: payload plus timing."""
+
+    result: Any
+    waves: int
+    makespan: float
+    events_processed: int
+    finish_times: Dict[CellId, float]  # completion of each cell's last wave
+
+    @property
+    def mean_cycle_time(self) -> float:
+        """Makespan per wave — the crude throughput figure."""
+        return self.makespan / self.waves if self.waves else 0.0
+
+
+class _ResultFacade:
+    """Quacks like a LockstepExecutor for ``SystolicProgram.read_result``
+    (which only ever calls ``pe``)."""
+
+    def __init__(self, pes: Mapping[CellId, PE]) -> None:
+        self._pes = pes
+
+    def pe(self, cell: CellId) -> PE:
+        return self._pes[cell]
+
+
+class SelfTimedProgramSimulator:
+    """Run a systolic program data-driven on the event engine.
+
+    ``service`` supplies the per-(cell, wave) compute time; ``wire_delay``
+    is the token propagation time per COMM edge (uniform — the regular-array
+    case).  Channels are unbounded FIFOs (no backpressure): the pure
+    dataflow idealization, which keeps functional behaviour exactly
+    lockstep while letting timing float.
+    """
+
+    def __init__(
+        self,
+        program: SystolicProgram,
+        service: Optional[ServiceTime] = None,
+        wire_delay: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if wire_delay < 0:
+            raise ValueError("wire delay must be non-negative")
+        self._program = program
+        self._comm = program.array.comm
+        self._service = service if service is not None else constant_service(1.0)
+        self._wire_delay = wire_delay
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics
+
+    def run(self, waves: Optional[int] = None) -> DataflowRunResult:
+        n_waves = waves if waves is not None else self._program.cycles
+        if n_waves < 1:
+            raise ValueError("need at least one wave")
+        pes = self._program.pes
+        for pe in pes.values():
+            pe.reset()
+
+        sim = Simulator(tracer=self._tracer, metrics=self._metrics)
+        cells = self._comm.nodes()
+        preds: Dict[CellId, Tuple[CellId, ...]] = {
+            c: tuple(self._comm.predecessors(c)) for c in cells
+        }
+        # Per-cell progress: next wave to fire, busy-until flag, and the
+        # arrived-but-unconsumed tokens per generation.
+        next_wave: Dict[CellId, int] = {c: 0 for c in cells}
+        busy: Dict[CellId, bool] = {c: False for c in cells}
+        inbox: Dict[CellId, Dict[int, Dict[CellId, Any]]] = {c: {} for c in cells}
+        finish_times: Dict[CellId, float] = {c: 0.0 for c in cells}
+        tracer = self._tracer
+        service_hist = (
+            self._metrics.histogram("dataflow.service_time")
+            if self._metrics is not None
+            else None
+        )
+
+        def ready(cell: CellId) -> bool:
+            k = next_wave[cell]
+            if k >= n_waves or busy[cell]:
+                return False
+            if k == 0:
+                return True  # wave 0 consumes the initial (empty) registers
+            pending = inbox[cell].get(k - 1, {})
+            return all(src in pending for src in preds[cell])
+
+        def try_fire(cell: CellId) -> None:
+            if not ready(cell):
+                return
+            k = next_wave[cell]
+            inputs: Dict[CellId, Any] = (
+                inbox[cell].pop(k - 1, {}) if k > 0 else {}
+            )
+            # Lockstep semantics: an input edge with no token yet written
+            # reads as None (the empty register before the first latch).
+            fire_inputs = {src: inputs.get(src) for src in preds[cell]}
+            outputs = pes[cell].fire(fire_inputs)
+            duration = self._service(cell, k)
+            if duration < 0:
+                raise ValueError(f"negative service time for {cell!r} wave {k}")
+            if service_hist is not None:
+                service_hist.observe(duration)
+            if tracer.enabled:
+                tracer.event(sim.now, "dataflow", "fire", cell=cell, wave=k)
+            next_wave[cell] = k + 1
+            busy[cell] = True
+
+            def deliver(dst: CellId, value: Any, gen: int = k) -> None:
+                inbox[dst].setdefault(gen, {})[cell] = value
+                try_fire(dst)
+
+            def done() -> None:
+                busy[cell] = False
+                finish_times[cell] = sim.now
+                for dst in self._comm.successors(cell):
+                    value = outputs.get(dst) if outputs else None
+                    sim.schedule(
+                        self._wire_delay,
+                        (lambda d=dst, v=value: deliver(d, v)),
+                    )
+                try_fire(cell)
+
+            sim.schedule(duration, done)
+
+        for cell in cells:
+            try_fire(cell)
+        processed = sim.run(max_events=None)
+
+        fired = [c for c in cells if next_wave[c] != n_waves]
+        if fired:
+            raise AssertionError(
+                f"dataflow run stalled: {len(fired)} cells short of "
+                f"{n_waves} waves (first: {fired[:3]!r})"
+            )
+        makespan = max(finish_times.values(), default=0.0)
+        result = self._program.read_result(_ResultFacade(pes))
+        if tracer.enabled:
+            tracer.event(
+                makespan, "dataflow", "run",
+                waves=n_waves, cells=len(cells), makespan=makespan,
+            )
+        if self._metrics is not None:
+            self._metrics.gauge("dataflow.makespan").set(makespan)
+        return DataflowRunResult(
+            result=result,
+            waves=n_waves,
+            makespan=makespan,
+            events_processed=processed,
+            finish_times=finish_times,
+        )
+
+    def recurrence_makespan(self, waves: Optional[int] = None) -> float:
+        """The tandem-recurrence makespan computed directly (no engine):
+
+        ``finish[c][k] = max(finish[c][k-1], max_pred finish[pred][k-1] +
+        wire) + service(c, k)`` — the generalization of
+        :func:`repro.sim.selftimed.simulate_selftimed_line` with
+        ``blocking=False`` to an arbitrary COMM graph.  The differential
+        checker asserts the engine-driven run lands on exactly this value.
+        """
+        n_waves = waves if waves is not None else self._program.cycles
+        cells = self._comm.nodes()
+        finish: Dict[CellId, float] = {c: 0.0 for c in cells}
+        for k in range(n_waves):
+            new_finish: Dict[CellId, float] = {}
+            for c in cells:
+                start = finish[c]
+                if k > 0:
+                    for p in self._comm.predecessors(c):
+                        start = max(start, finish[p] + self._wire_delay)
+                new_finish[c] = start + self._service(c, k)
+            # Wave k's start depends on wave k-1 finishes only, so the
+            # whole wave updates atomically.
+            finish = new_finish
+        return max(finish.values(), default=0.0)

@@ -67,44 +67,55 @@ class Simulator:
         if metrics is not None:
             event_counter = metrics.counter("engine.events")
             depth_gauge = metrics.gauge("engine.queue_depth")
-        while self._queue:
-            next_time = self._queue.peek_time()
-            assert next_time is not None
-            if next_time > until:
-                break
-            if max_events is not None and processed >= max_events:
-                # The guard fired with work still queued — a likely runaway
-                # (a deadlocked protocol or a self-rescheduling loop).
-                if tracer.enabled:
-                    tracer.event(
-                        self.now,
-                        "engine",
-                        "runaway_guard",
-                        limit=max_events,
-                        pending=len(self._queue),
-                    )
-                if metrics is not None:
-                    metrics.counter("engine.runaway_guards").inc()
-                break
-            time, action = self._queue.pop()
-            self.now = time
-            if tracer.enabled:
-                t0 = _time.perf_counter()
-                action()
-                tracer.event(
-                    time,
-                    "engine",
-                    "dispatch",
-                    wall_s=_time.perf_counter() - t0,
-                    queue_depth=len(self._queue),
-                )
-            else:
-                action()
-            processed += 1
-            if metrics is not None:
-                event_counter.inc()
-                depth_gauge.set(len(self._queue))
-        self.events_processed += processed
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    # The guard fired with work still queued — a likely runaway
+                    # (a deadlocked protocol or a self-rescheduling loop).
+                    if tracer.enabled:
+                        tracer.event(
+                            self.now,
+                            "engine",
+                            "runaway_guard",
+                            limit=max_events,
+                            pending=len(self._queue),
+                        )
+                    if metrics is not None:
+                        metrics.counter("engine.runaway_guards").inc()
+                    break
+                time, action = self._queue.pop()
+                self.now = time
+                # The popped event counts as processed whether or not its
+                # callback raises: counters, gauges, and the dispatch span
+                # must stay consistent with the queue state.
+                failed = False
+                t0 = _time.perf_counter() if tracer.enabled else 0.0
+                try:
+                    action()
+                except BaseException:
+                    failed = True
+                    raise
+                finally:
+                    processed += 1
+                    if tracer.enabled:
+                        data = {
+                            "wall_s": _time.perf_counter() - t0,
+                            "queue_depth": len(self._queue),
+                        }
+                        if failed:
+                            data["error"] = True
+                        tracer.event(time, "engine", "dispatch", **data)
+                    if metrics is not None:
+                        event_counter.inc()
+                        depth_gauge.set(len(self._queue))
+                        if failed:
+                            metrics.counter("engine.dispatch_errors").inc()
+        finally:
+            self.events_processed += processed
         return processed
 
     @property

@@ -63,3 +63,45 @@ class TestOnRealCurves:
         assert cross is not None
         assert 2 <= cross.x <= 8  # a few cells, as the EQ bench shows
         assert winning_factor(eq, pipe) > 20
+
+
+class TestTieSemantics:
+    """Tie handling: a tie is never a win, but a tie run immediately
+    before the first strict win is the exact crossing point."""
+
+    def test_tie_then_win_is_exact_with_consistent_index(self):
+        xs = [1.0, 2.0, 3.0]
+        a = [2.0, 2.0, 2.0]
+        b = [3.0, 2.0, 1.0]
+        cross = find_crossover(xs, a, b)
+        assert cross is not None
+        assert cross.x == pytest.approx(2.0)   # the touch point
+        assert cross.index == 2                # first sample where B < A
+        assert cross.exact                     # the touch locates the crossing
+
+    def test_tie_run_reports_first_touch(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        a = [1.0, 1.0, 1.0, 1.0]
+        b = [2.0, 1.0, 1.0, 0.0]
+        cross = find_crossover(xs, a, b)
+        assert cross is not None
+        assert cross.x == pytest.approx(1.0)   # start of the tie run
+        assert cross.index == 3
+        assert cross.exact
+
+    def test_ties_from_the_first_sample(self):
+        cross = find_crossover([0.0, 1.0, 2.0], [1.0, 1.0, 1.0], [1.0, 1.0, 0.0])
+        assert cross is not None
+        assert cross.x == pytest.approx(0.0)
+        assert cross.index == 2
+        assert cross.exact
+
+    def test_tie_without_a_win_is_no_crossover(self):
+        assert find_crossover([1, 2, 3], [2, 2, 2], [3, 2, 3]) is None
+        assert find_crossover([1, 2], [2, 2], [2, 2]) is None
+
+    def test_win_at_first_sample_is_not_exact(self):
+        cross = find_crossover([1, 2], [5, 6], [1, 1])
+        assert cross is not None
+        assert cross.index == 0
+        assert not cross.exact

@@ -1,0 +1,165 @@
+"""Property tests for the A8-breaking jitter model and the violation
+summary: the edge cases the check suite's oracles lean on."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.obs.schema import validate_violation_summary
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import TimingViolation
+from repro.sim.faults import JitteredSchedule, summarize_violations
+
+
+# ----------------------------------------------------------------------
+# JitteredSchedule: bounded drift must never reorder ticks
+# ----------------------------------------------------------------------
+@given(
+    period=st.floats(min_value=0.1, max_value=100.0,
+                     allow_nan=False, allow_infinity=False),
+    fraction=st.floats(min_value=0.0, max_value=0.999),
+    seed=st.integers(0, 2**20),
+    offsets=st.lists(
+        st.floats(min_value=0.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=6,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_jittered_ticks_stay_strictly_monotone(period, fraction, seed, offsets):
+    """Amplitude anywhere below period/2 — including just under it — keeps
+    every cell's tick sequence strictly increasing (drift, not reordering)."""
+    base = ClockSchedule(
+        {f"c{i}": off for i, off in enumerate(offsets)}, period
+    )
+    amplitude = fraction * (period / 2)
+    if amplitude >= period / 2:  # float round-up at fraction ~ 0.999
+        amplitude = math.nextafter(period / 2, 0.0)
+    schedule = JitteredSchedule(base, amplitude, seed=seed)
+    for cell in base.cells():
+        times = [schedule.tick_time(cell, k) for k in range(12)]
+        assert all(b > a for a, b in zip(times, times[1:])), (
+            f"ticks reordered at {cell!r} with amplitude {amplitude}"
+        )
+        # Jitter stays within its advertised band around the base time.
+        for k, t in enumerate(times):
+            assert abs(t - base.tick_time(cell, k)) <= amplitude + 1e-12
+
+
+def test_jitter_amplitude_bounds_enforced():
+    base = ClockSchedule({"a": 0.0}, 2.0)
+    with pytest.raises(ValueError, match="non-negative"):
+        JitteredSchedule(base, -0.1)
+    with pytest.raises(ValueError, match="half the period"):
+        JitteredSchedule(base, 1.0)  # exactly period/2 is already too much
+    # Just under the bound is accepted.
+    JitteredSchedule(base, math.nextafter(1.0, 0.0))
+
+
+def test_jitter_amplitude_just_under_half_period_is_extreme_but_safe():
+    """The boundary case the full suite's metamorphic check relies on:
+    amplitude one ulp below period/2 still never swaps adjacent ticks."""
+    period = 1.0
+    base = ClockSchedule({"x": 0.0, "y": 0.375}, period)
+    schedule = JitteredSchedule(
+        base, math.nextafter(period / 2, 0.0), seed=7
+    )
+    for cell in ("x", "y"):
+        times = [schedule.tick_time(cell, k) for k in range(200)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+# ----------------------------------------------------------------------
+# summarize_violations: edge cases + schema round-trip
+# ----------------------------------------------------------------------
+def _violation(edge, tick, kind):
+    # actual > expected -> "race"; actual <= expected -> "stale".
+    expected = 5
+    actual = expected + 1 if kind == "race" else expected - 1
+    return TimingViolation(
+        edge=edge,
+        receiver_tick=tick,
+        expected_sender_tick=expected,
+        actual_sender_tick=actual,
+    )
+
+
+def _assert_summary_consistent(violations):
+    summary = summarize_violations(violations)
+    assert summary.total == len(violations)
+    assert summary.stale + summary.race == summary.total
+    assert summary.clean == (not violations)
+    if violations:
+        ticks = [v.receiver_tick for v in violations]
+        assert summary.first_failure_tick == min(ticks)
+        assert summary.last_failure_tick == max(ticks)
+        assert summary.edges_affected == len({v.edge for v in violations})
+        assert sum(summary.per_cell.values()) == summary.total
+        worst_edge, worst_count = summary.worst_edge
+        per_edge = {}
+        for v in violations:
+            per_edge[v.edge] = per_edge.get(v.edge, 0) + 1
+        assert worst_count == max(per_edge.values())
+        assert per_edge[worst_edge] == worst_count
+    # to_dict must round-trip through the obs schema validator.
+    assert validate_violation_summary(summary.to_dict()) == []
+    return summary
+
+
+def test_summary_empty_list():
+    summary = _assert_summary_consistent([])
+    assert summary.clean
+    assert summary.first_failure_tick == -1
+    assert summary.last_failure_tick == -1
+    assert summary.worst_edge == ((None, None), 0)
+
+
+def test_summary_single_violation():
+    summary = _assert_summary_consistent([_violation(("a", "b"), 3, "stale")])
+    assert summary.total == 1
+    assert summary.stale == 1 and summary.race == 0
+    assert summary.first_failure_tick == summary.last_failure_tick == 3
+    assert summary.worst_edge == (("a", "b"), 1)
+    assert dict(summary.per_cell) == {"b": 1}
+
+
+def test_summary_all_stale():
+    violations = [
+        _violation(("a", "b"), t, "stale") for t in (2, 4, 9)
+    ] + [_violation(("b", "c"), 4, "stale")]
+    summary = _assert_summary_consistent(violations)
+    assert summary.stale == 4 and summary.race == 0
+    assert summary.first_failure_tick == 2
+    assert summary.last_failure_tick == 9
+
+
+def test_summary_duplicate_edges_aggregate():
+    violations = [
+        _violation(("u", "v"), 1, "race"),
+        _violation(("u", "v"), 2, "stale"),
+        _violation(("u", "v"), 3, "race"),
+        _violation(("w", "v"), 1, "stale"),
+    ]
+    summary = _assert_summary_consistent(violations)
+    assert summary.edges_affected == 2
+    assert summary.worst_edge == (("u", "v"), 3)
+    assert dict(summary.per_cell) == {"v": 4}
+    assert summary.stale == 2 and summary.race == 2
+
+
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.sampled_from([("a", "b"), ("b", "c"), ("c", "a"), (0, 1)]),
+            st.integers(min_value=0, max_value=50),
+            st.sampled_from(["stale", "race"]),
+        ),
+        min_size=0, max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_summary_invariants_hold_for_arbitrary_violation_lists(entries):
+    violations = [_violation(edge, tick, kind) for edge, tick, kind in entries]
+    _assert_summary_consistent(violations)

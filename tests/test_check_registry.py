@@ -1,0 +1,166 @@
+"""Tests for the check registry machinery (repro.check.registry)."""
+
+import pytest
+
+from repro.check import build_report
+from repro.check.registry import (
+    CheckContext,
+    CheckFailure,
+    CheckRegistry,
+    require,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_check_report
+from repro.obs.trace import RecordingTracer
+
+
+def _registry_with(*entries):
+    reg = CheckRegistry()
+    for name, kind, suites, func in entries:
+        reg.register(name, kind, f"doc for {name}", suites=suites)(func)
+    return reg
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        reg = _registry_with(
+            ("alpha", "invariant", ("quick", "full"), lambda ctx: {"ok": True}),
+        )
+        assert len(reg) == 1
+        assert reg.get("alpha").kind == "invariant"
+
+    def test_duplicate_name_rejected(self):
+        reg = _registry_with(
+            ("alpha", "invariant", ("quick", "full"), lambda ctx: {}),
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("alpha", "invariant", "dup")(lambda ctx: {})
+
+    def test_unknown_kind_rejected(self):
+        reg = CheckRegistry()
+        with pytest.raises(ValueError, match="unknown check kind"):
+            reg.register("x", "vibes", "nope")(lambda ctx: {})
+
+    def test_bad_suites_rejected(self):
+        reg = CheckRegistry()
+        with pytest.raises(ValueError, match="suites"):
+            reg.register("x", "invariant", "nope", suites=("nightly",))(
+                lambda ctx: {}
+            )
+
+    def test_suite_selection(self):
+        reg = _registry_with(
+            ("everywhere", "invariant", ("quick", "full"), lambda ctx: {}),
+            ("full-only", "differential", ("full",), lambda ctx: {}),
+        )
+        assert [c.name for c in reg.checks("quick")] == ["everywhere"]
+        assert [c.name for c in reg.checks("full")] == ["everywhere", "full-only"]
+        with pytest.raises(ValueError, match="unknown suite"):
+            reg.checks("nightly")
+
+
+class TestRun:
+    def test_failure_becomes_result_not_exception(self):
+        def failing(ctx):
+            require(False, "claim broken", measured=3, bound=2)
+
+        reg = _registry_with(("bad", "invariant", ("quick", "full"), failing))
+        (result,) = reg.run("quick")
+        assert not result.passed
+        assert result.error == "claim broken"
+        assert result.details == {"measured": 3, "bound": 2}
+
+    def test_unexpected_exception_becomes_failure(self):
+        def broken(ctx):
+            raise RuntimeError("oracle bug")
+
+        reg = _registry_with(("broken", "invariant", ("quick", "full"), broken))
+        (result,) = reg.run("quick")
+        assert not result.passed
+        assert "RuntimeError" in result.error
+
+    def test_pass_collects_details(self):
+        reg = _registry_with(
+            ("good", "metamorphic", ("quick", "full"), lambda ctx: {"n": 7}),
+        )
+        (result,) = reg.run("quick", seed=5)
+        assert result.passed and result.error is None
+        assert result.details == {"n": 7}
+        assert result.duration_s >= 0.0
+
+    def test_context_carries_seed_and_suite(self):
+        seen = {}
+
+        def probe(ctx):
+            seen["seed"] = ctx.seed
+            seen["suite"] = ctx.suite
+            seen["full"] = ctx.full
+            return {}
+
+        reg = _registry_with(("probe", "invariant", ("quick", "full"), probe))
+        reg.run("full", seed=99)
+        assert seen == {"seed": 99, "suite": "full", "full": True}
+
+    def test_context_rng_is_deterministic_and_salted(self):
+        ctx = CheckContext(seed=3)
+        a = ctx.rng("salt-a").random()
+        assert ctx.rng("salt-a").random() == a
+        assert ctx.rng("salt-b").random() != a
+
+    def test_names_filter(self):
+        reg = _registry_with(
+            ("one", "invariant", ("quick", "full"), lambda ctx: {}),
+            ("two", "invariant", ("quick", "full"), lambda ctx: {}),
+        )
+        results = reg.run("quick", names=["two"])
+        assert [r.name for r in results] == ["two"]
+        with pytest.raises(KeyError, match="unknown checks"):
+            reg.run("quick", names=["three"])
+
+    def test_observability_hooks(self):
+        def failing(ctx):
+            raise CheckFailure("nope")
+
+        reg = _registry_with(
+            ("ok", "invariant", ("quick", "full"), lambda ctx: {}),
+            ("nope", "invariant", ("quick", "full"), failing),
+        )
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        reg.run("quick", tracer=tracer, metrics=metrics)
+        kinds = [(e.cat, e.kind) for e in tracer.events]
+        assert ("check", "start") in kinds
+        assert ("check", "pass") in kinds
+        assert ("check", "fail") in kinds
+        assert metrics.counter("check.runs").value == 2
+        assert metrics.counter("check.failures").value == 1
+
+
+class TestReport:
+    def test_report_is_schema_valid(self):
+        reg = _registry_with(
+            ("good", "invariant", ("quick", "full"), lambda ctx: {"x": 1.5}),
+            ("bad", "differential", ("quick", "full"),
+             lambda ctx: require(False, "broken")),
+        )
+        results = reg.run("quick", seed=4)
+        report = build_report(results, suite="quick", seed=4)
+        assert validate_check_report(report) == []
+        assert report["passed"] is False
+        assert report["counts"] == {"total": 2, "passed": 1, "failed": 1}
+
+    def test_validator_catches_inconsistent_counts(self):
+        reg = _registry_with(
+            ("good", "invariant", ("quick", "full"), lambda ctx: {}),
+        )
+        report = build_report(reg.run("quick"), suite="quick", seed=0)
+        report["counts"]["failed"] = 5
+        assert any("counts.failed" in e for e in validate_check_report(report))
+
+    def test_validator_catches_wrong_verdict(self):
+        reg = _registry_with(
+            ("good", "invariant", ("quick", "full"), lambda ctx: {}),
+        )
+        report = build_report(reg.run("quick"), suite="quick", seed=0)
+        report["passed"] = False
+        assert any("$.passed" in e for e in validate_check_report(report))

@@ -1,0 +1,190 @@
+"""End-to-end tests for the check suite: the registered oracles, the
+self-timed dataflow simulator they lean on, and the CLI face."""
+
+import json
+
+import pytest
+
+from repro.arrays.systolic import (
+    build_fir_array,
+    build_matvec_array,
+    build_odd_even_sorter,
+)
+from repro.check import REGISTRY, default_registry, run_suite
+from repro.check.registry import CheckContext
+from repro.cli import main
+from repro.obs.schema import validate_check_report
+from repro.sim.dataflow import (
+    SelfTimedProgramSimulator,
+    constant_service,
+    hashed_service,
+)
+
+EXPECTED_CHECKS = {
+    "skew-bracket",
+    "a5-period",
+    "theorem-scaling",
+    "tuning-monotonicity",
+    "lower-bound-consistency",
+    "differential-functional",
+    "differential-timing",
+    "differential-violations",
+    "metamorphic-rescale",
+    "metamorphic-jitter-seed",
+    "metamorphic-relabel",
+}
+
+
+class TestDefaultRegistry:
+    def test_all_oracles_registered(self):
+        registry = default_registry()
+        names = {c.name for c in registry.checks()}
+        assert EXPECTED_CHECKS <= names
+
+    def test_every_kind_represented(self):
+        registry = default_registry()
+        kinds = {c.kind for c in registry.checks("quick")}
+        assert kinds == {"invariant", "differential", "metamorphic"}
+
+    def test_quick_suite_passes_on_seed_workloads(self):
+        results, report = run_suite(suite="quick", seed=0)
+        failures = [(r.name, r.error) for r in results if not r.passed]
+        assert failures == []
+        assert report["passed"] is True
+        assert validate_check_report(report) == []
+
+    def test_quick_suite_passes_under_other_seeds(self):
+        for seed in (1, 17):
+            results, _ = run_suite(suite="quick", seed=seed)
+            failures = [(r.name, r.error) for r in results if not r.passed]
+            assert failures == [], f"seed {seed}: {failures}"
+
+    def test_individual_oracles_runnable_directly(self):
+        registry = default_registry()
+        ctx = CheckContext(seed=0, suite="quick")
+        details = registry.get("tuning-monotonicity").func(ctx)
+        assert details["added_wire"] >= 0.0
+        assert details["sigma_diff"][1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDataflowSimulator:
+    """The self-timed executor the differential checks run workloads on."""
+
+    def _programs(self):
+        return [
+            build_fir_array([0.5, -1.0, 2.0], [1.0, 2.0, 3.0, 4.0]),
+            build_matvec_array([[1.0, 2.0], [3.0, 4.0]], [5.0, -1.0]),
+            build_odd_even_sorter([4.0, 1.0, 3.0, 2.0]),
+        ]
+
+    def test_matches_lockstep_with_constant_service(self):
+        for program in self._programs():
+            reference = program.run_lockstep()
+            run = SelfTimedProgramSimulator(program).run()
+            assert run.result == reference
+
+    def test_matches_lockstep_with_irregular_service(self):
+        for program in self._programs():
+            reference = program.run_lockstep()
+            sim = SelfTimedProgramSimulator(
+                program,
+                service=hashed_service(1.0, 5.0, 0.3, seed=3),
+                wire_delay=0.75,
+            )
+            assert sim.run().result == reference
+
+    def test_engine_makespan_equals_recurrence(self):
+        for program in self._programs():
+            sim = SelfTimedProgramSimulator(
+                program,
+                service=hashed_service(1.0, 4.0, 0.25, seed=9),
+                wire_delay=0.5,
+            )
+            assert sim.run().makespan == pytest.approx(
+                sim.recurrence_makespan(), abs=1e-9
+            )
+
+    def test_constant_service_line_throughput(self):
+        # With unit service and zero wire delay every wave takes exactly one
+        # time unit: makespan == waves.
+        program = build_odd_even_sorter([3.0, 1.0, 2.0])
+        run = SelfTimedProgramSimulator(
+            program, service=constant_service(1.0)
+        ).run()
+        assert run.makespan == pytest.approx(float(program.cycles))
+        assert run.mean_cycle_time == pytest.approx(1.0)
+
+    def test_rejects_bad_parameters(self):
+        program = build_odd_even_sorter([1.0, 2.0])
+        with pytest.raises(ValueError):
+            SelfTimedProgramSimulator(program, wire_delay=-1.0)
+        with pytest.raises(ValueError):
+            constant_service(-0.5)
+        with pytest.raises(ValueError):
+            hashed_service(1.0, 0.5, 0.1)  # worst < normal
+        with pytest.raises(ValueError):
+            hashed_service(1.0, 2.0, 1.5)  # not a probability
+        with pytest.raises(ValueError):
+            SelfTimedProgramSimulator(program).run(waves=0)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCheckCommand:
+    def test_quick_suite_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "--suite", "quick")
+        assert code == 0
+        assert "11/11 checks passed" in out or "checks passed" in out
+        assert "FAIL" not in out
+
+    def test_json_report_written_and_valid(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code, out, _ = run_cli(
+            capsys, "check", "--suite", "quick", "--seed", "3",
+            "--json", str(out_file),
+        )
+        assert code == 0
+        assert f"wrote {out_file}" in out
+        report = json.loads(out_file.read_text())
+        assert validate_check_report(report) == []
+        assert report["suite"] == "quick"
+        assert report["seed"] == 3
+        assert report["passed"] is True
+
+    def test_failing_check_exits_one(self, capsys, monkeypatch):
+        import repro.check as check_pkg
+        from repro.check.registry import CheckRegistry, require
+
+        broken = CheckRegistry()
+        broken.register("always-fails", "invariant", "forced failure")(
+            lambda ctx: require(False, "forced failure", probe=1)
+        )
+        monkeypatch.setattr(check_pkg, "default_registry", lambda: broken)
+        code, out, _ = run_cli(capsys, "check", "--suite", "quick")
+        assert code == 1
+        assert "FAIL" in out
+        assert "forced failure" in out
+
+    def test_check_with_trace_and_metrics(self, capsys, tmp_path):
+        trace_file = tmp_path / "check.jsonl"
+        code, out, _ = run_cli(
+            capsys, "check", "--suite", "quick",
+            "--trace", str(trace_file), "--metrics",
+        )
+        assert code == 0
+        assert trace_file.exists()
+        lines = [json.loads(l) for l in trace_file.read_text().splitlines()]
+        assert any(e["cat"] == "check" and e["kind"] == "pass" for e in lines)
+        assert "check.runs" in out  # metrics table printed
+
+    def test_registry_not_double_registered_on_repeat_runs(self, capsys):
+        # default_registry() imports oracle modules; a second call must not
+        # re-register (module import is cached) or the CLI would crash.
+        assert len(default_registry()) == len(default_registry())
+        code, _, _ = run_cli(capsys, "check", "--suite", "quick")
+        assert code == 0
+        assert len(REGISTRY) == len(default_registry())

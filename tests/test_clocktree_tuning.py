@@ -94,3 +94,35 @@ class TestTuning:
         tree = spine_clock(array)
         with pytest.raises(KeyError):
             tune_to_equidistant(tree, ["nope"])
+
+
+class TestTargetBoundary:
+    """A target within the 1e-12 validation tolerance below the farthest
+    cell must not produce negative padding (shortened wires)."""
+
+    def test_target_just_below_farthest_clamps_to_zero(self):
+        array = mesh(4, 4)
+        tree = serpentine_clock(array)
+        cells = array.comm.nodes()
+        farthest = max(tree.root_distance(c) for c in cells)
+        tuned, added = tune_to_equidistant(tree, cells, target=farthest - 1e-13)
+        assert added >= 0.0
+        for node in tree.nodes():
+            if node == tree.root:
+                continue
+            assert tuned.edge_length(node) >= tree.edge_length(node) - 0.0
+
+    def test_equidistant_tree_zero_added_at_boundary_target(self):
+        """On an already-equidistant tree every per-cell padding would go
+        negative at a boundary target; the clamp keeps the tree identical."""
+        from repro.clocktree.htree import htree_for_array
+
+        array = mesh(4, 4)
+        tree = htree_for_array(array)
+        cells = array.comm.nodes()
+        farthest = max(tree.root_distance(c) for c in cells)
+        tuned, added = tune_to_equidistant(tree, cells, target=farthest - 1e-13)
+        assert added == 0.0
+        assert tuned.total_wire_length() == pytest.approx(tree.total_wire_length())
+        for c in cells:
+            assert tuned.root_distance(c) == pytest.approx(tree.root_distance(c))

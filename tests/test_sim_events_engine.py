@@ -133,3 +133,71 @@ class TestSimulator:
         sim.schedule(1.0, lambda: log.append("third"))
         sim.run()
         assert log == ["first", "second", "third", "nested"]
+
+
+class TestRaisingCallbacks:
+    """A callback that raises must not desynchronize the engine's
+    accounting from the popped event (the dispatch-consistency bugfix)."""
+
+    def test_events_processed_counts_the_raising_event(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("payload failure")
+
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, boom)
+        sim.schedule(3.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # Two events were popped and dispatched (the second one fatally).
+        assert sim.events_processed == 2
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_dispatch_span_and_metrics_emitted_on_raise(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import RecordingTracer
+
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        sim = Simulator(tracer=tracer, metrics=metrics)
+
+        def boom():
+            raise ValueError("nope")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(ValueError):
+            sim.run()
+        dispatches = tracer.by_kind("engine", "dispatch")
+        assert len(dispatches) == 1
+        assert dispatches[0].data["error"] is True
+        assert dispatches[0].data["queue_depth"] == 0
+        assert metrics.counter("engine.events").value == 1
+        assert metrics.counter("engine.dispatch_errors").value == 1
+        assert metrics.gauge("engine.queue_depth").value == 0
+
+    def test_successful_dispatch_payload_unchanged(self):
+        from repro.obs.trace import RecordingTracer
+
+        tracer = RecordingTracer()
+        sim = Simulator(tracer=tracer)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        (event,) = tracer.by_kind("engine", "dispatch")
+        assert set(event.data) == {"wall_s", "queue_depth"}
+
+    def test_run_resumes_after_a_raise(self):
+        sim = Simulator()
+        ran = []
+
+        def boom():
+            raise RuntimeError("once")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, lambda: ran.append("later"))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        sim.run()
+        assert ran == ["later"]
+        assert sim.events_processed == 2
