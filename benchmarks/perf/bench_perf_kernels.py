@@ -4,9 +4,18 @@ Runs :func:`repro.analysis.perf.run_perf_suite` across mesh sizes and
 enforces the PR's acceptance bar:
 
 * scalar and batched results agree to within 1e-9 (they are in fact
-  bit-identical — same arithmetic on the same float64 values);
+  bit-identical — same arithmetic on the same float64 values), and the
+  compiled simulation kernels agree *exactly* (diff == 0.0: identical
+  payloads, violation lists, and makespans);
 * at >= 4096 cells the warm batched ``max_skew_bound`` and
-  ``BufferedClockTree.max_skew`` beat the scalar path by >= 5x;
+  ``BufferedClockTree.max_skew`` beat the scalar path by >= 5x, and the
+  compiled ``clocked_run`` / ``selftimed_makespan`` kernels beat their
+  scalar oracles by >= 10x;
+* ``max_skew_bound_cold`` (index build + pair translation included) is
+  >= 1x at every benchmarked size — cold-start must never lose to the
+  scalar path;
+* the ``CompiledTrialContext`` Monte-Carlo cache is >= 3x over the
+  rebuild-per-trial formulation, with bit-identical summaries;
 * the parallel Monte-Carlo backend returns bit-identical summaries.
 
 The suite writes the repo-root ``BENCH_perf.json`` perf-trajectory
@@ -35,6 +44,11 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
 ACCEPTANCE_KERNELS = ("max_skew_bound", "buffered_max_skew")
 ACCEPTANCE_CELLS = 4096
 ACCEPTANCE_SPEEDUP = 5.0
+# Compiled simulation kernels: >= 10x at >= 4096 cells, exact agreement.
+SIM_KERNELS = ("clocked_run", "selftimed_makespan")
+SIM_SPEEDUP = 10.0
+# Monte-Carlo structure cache: >= 3x over rebuild-per-trial.
+MC_CACHED_SPEEDUP = 3.0
 EQUIVALENCE_TOL = 1e-9
 
 
@@ -53,8 +67,23 @@ def test_perf_suite_speedup_and_equivalence():
         assert r.max_abs_diff <= EQUIVALENCE_TOL, (
             f"{r.kernel} at size {r.size}: batch/scalar disagree by {r.max_abs_diff}"
         )
+        if r.kernel in SIM_KERNELS:
+            assert r.max_abs_diff == 0.0, (
+                f"{r.kernel} at size {r.size}: compiled kernel not exact "
+                f"(diff {r.max_abs_diff})"
+            )
+        if r.kernel == "max_skew_bound_cold":
+            assert r.speedup >= 1.0, (
+                f"max_skew_bound_cold at {r.size} cells: {r.speedup:.2f}x — "
+                f"cold-start lost to the scalar path"
+            )
+        if r.kernel == "montecarlo_cached":
+            assert r.speedup >= MC_CACHED_SPEEDUP, (
+                f"montecarlo_cached: {r.speedup:.1f}x < {MC_CACHED_SPEEDUP}x"
+            )
 
     checked = 0
+    sim_checked = 0
     for r in results:
         if r.kernel in ACCEPTANCE_KERNELS and r.size >= ACCEPTANCE_CELLS:
             assert r.speedup >= ACCEPTANCE_SPEEDUP, (
@@ -62,8 +91,15 @@ def test_perf_suite_speedup_and_equivalence():
                 f"{ACCEPTANCE_SPEEDUP}x acceptance bar"
             )
             checked += 1
+        if r.kernel in SIM_KERNELS and r.size >= ACCEPTANCE_CELLS:
+            assert r.speedup >= SIM_SPEEDUP, (
+                f"{r.kernel} at {r.size} cells: {r.speedup:.1f}x < "
+                f"{SIM_SPEEDUP}x acceptance bar"
+            )
+            sim_checked += 1
     if any(side * side >= ACCEPTANCE_CELLS for side in sides):
         assert checked >= len(ACCEPTANCE_KERNELS)
+        assert sim_checked >= len(SIM_KERNELS)
 
     out = os.environ.get("REPRO_PERF_OUT", DEFAULT_OUT)
     if out:

@@ -9,7 +9,12 @@ benchmarks turn measured sweeps into claims via :mod:`repro.analysis.scaling`
 
 from repro.analysis.scaling import GrowthFit, classify_growth, fit_growth
 from repro.analysis.skew import SchemeEvaluation, compare_schemes, evaluate_scheme
-from repro.analysis.montecarlo import MonteCarloSummary, run_trials, summarize
+from repro.analysis.montecarlo import (
+    CompiledTrialContext,
+    MonteCarloSummary,
+    run_trials,
+    summarize,
+)
 from repro.analysis.crossover import Crossover, find_crossover, winning_factor
 from repro.analysis.perf import (
     KernelTiming,
@@ -25,6 +30,7 @@ __all__ = [
     "SchemeEvaluation",
     "evaluate_scheme",
     "compare_schemes",
+    "CompiledTrialContext",
     "MonteCarloSummary",
     "run_trials",
     "summarize",

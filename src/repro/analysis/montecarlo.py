@@ -18,10 +18,11 @@ from __future__ import annotations
 import contextlib
 import math
 import statistics
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.obs.profile import Profiler
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -67,6 +68,48 @@ def summarize(values: Sequence[float], z: float = 1.96) -> MonteCarloSummary:
         maximum=max(values),
         ci_half_width=z * stdev / math.sqrt(len(values)),
     )
+
+
+class CompiledTrialContext:
+    """Compile-once, resample-per-trial structure cache for Monte-Carlo.
+
+    Most trial functions rebuild everything from scratch per seed — array,
+    clock tree, compiled simulation kernels — even though only the *noise*
+    (wire variation, jitter, service times) depends on the seed.  Wrap the
+    structure factory in a ``CompiledTrialContext`` and call :meth:`get`
+    inside the trial: the factory runs once per worker (thread-local, and
+    process pools rebuild on unpickle), and every seed reuses the result.
+
+    Determinism is unchanged as long as the cached structure's per-seed
+    resampling is itself deterministic (e.g.
+    ``BufferedClockTree.resample(seed)`` fully rebuilds from the seed):
+    trial values then depend only on the seed, exactly as in the uncached
+    formulation, so :func:`run_trials` summaries are bit-identical with
+    and without the cache — the property tests pin this.
+
+    For ``executor="process"`` the factory must be picklable (a
+    module-level function); the built structure itself is never pickled.
+    """
+
+    __slots__ = ("_build", "_local")
+
+    def __init__(self, build: Callable[[], Any]) -> None:
+        self._build = build
+        self._local = threading.local()
+
+    def get(self) -> Any:
+        value = getattr(self._local, "value", None)
+        if value is None:
+            value = self._build()
+            self._local.value = value
+        return value
+
+    def __getstate__(self) -> Any:
+        return self._build  # the cache is per-worker; never ship contents
+
+    def __setstate__(self, state: Any) -> None:
+        self._build = state
+        self._local = threading.local()
 
 
 def _seed_chunks(base_seed: int, n_trials: int, workers: int) -> List[Tuple[int, int]]:

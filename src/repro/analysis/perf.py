@@ -11,9 +11,15 @@ they were replaced by:
   translation included — the one-shot price of the batch path);
 * ``BufferedClockTree.max_skew`` — per-pair dict lookups vs the aligned
   arrival-array kernel;
+* ``clocked_run`` / ``selftimed_makespan`` — the scalar per-(cell, tick)
+  simulators vs the array-compiled kernels of :mod:`repro.sim.compiled`
+  (full ``ClockedRunResult`` agreement enforced in the diff column);
+* ``engine_dispatch`` — the per-event instrumented engine loop structure
+  vs the uninstrumented fast path;
 * ``run_trials`` — the serial Monte-Carlo loop vs the
   ``workers=N`` process pool (outputs are bit-identical by design, and
-  checked here).
+  checked here), and the rebuild-per-trial formulation vs the
+  ``CompiledTrialContext`` structure cache (``montecarlo_cached``).
 
 Every timing row records the measured equivalence gap
 (``max_abs_diff``) alongside the speedup, so a fast-but-wrong kernel
@@ -31,7 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.analysis.montecarlo import run_trials
+from repro.analysis.montecarlo import CompiledTrialContext, run_trials
 from repro.arrays.topologies import mesh
 from repro.clocktree.buffered import BufferedClockTree
 from repro.clocktree.htree import htree_for_array
@@ -44,7 +50,7 @@ from repro.core.models import (
     max_skew_lower_bound_scalar,
 )
 from repro.obs.schema import validate_benchmark_result
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 BENCH_HEADERS = [
     "kernel",
@@ -166,6 +172,133 @@ def bench_skew_kernels(
     return results
 
 
+def _bench_matmul_program(side: int):
+    """A deterministic ``side x side`` mesh matmul — the simulation-kernel
+    workload (4096 cells at side 64, the acceptance-gate scale)."""
+    from repro.arrays.systolic import build_mesh_matmul
+
+    a = [
+        [((i * 31 + j * 17) % 13) / 6.0 - 1.0 for j in range(side)]
+        for i in range(side)
+    ]
+    b = [
+        [((i * 19 + j * 23) % 11) / 5.0 - 1.0 for j in range(side)]
+        for i in range(side)
+    ]
+    return build_mesh_matmul(a, b)
+
+
+def _flatten_floats(value) -> List[float]:
+    if isinstance(value, (list, tuple)):
+        out: List[float] = []
+        for v in value:
+            out.extend(_flatten_floats(v))
+        return out
+    return [float(value)] if value is not None else []
+
+
+def _clocked_diff(a, b) -> float:
+    """Worst discrepancy between two ``ClockedRunResult``s: 0.0 only when
+    payload, violation list, tick count, and makespan all agree exactly."""
+    if a.violations != b.violations or a.ticks != b.ticks:
+        return float("inf")
+    fa, fb = _flatten_floats(a.result), _flatten_floats(b.result)
+    if len(fa) != len(fb):
+        return float("inf")
+    diff = abs(a.makespan - b.makespan)
+    for x, y in zip(fa, fb):
+        diff = max(diff, abs(x - y))
+    return diff
+
+
+def bench_sim_kernels(side: int, repeats: int = 3) -> List[KernelTiming]:
+    """Time the compiled simulation kernels against their scalar oracles
+    on the mesh-matmul workload:
+
+    * ``clocked_run`` — the scalar per-(cell, tick) event interpreter vs
+      the array-compiled kernel (timing matrix + stream execution), both
+      producing the full ``ClockedRunResult``;
+    * ``selftimed_makespan`` — the per-cell tandem-recurrence loop vs the
+      wavefront array kernel, under the default constant service.
+
+    Both compiled paths are pre-warmed so the one-off structure compile is
+    excluded (the steady state of checks, sweeps, and Monte-Carlo — same
+    convention as the warm skew rows); ``max_abs_diff`` is computed from
+    fully-compared outputs, so any divergence poisons the row.
+    """
+    from repro.sim.clock_distribution import ClockSchedule
+    from repro.sim.clocked import ClockedArraySimulator
+    from repro.sim.dataflow import SelfTimedProgramSimulator
+
+    program = _bench_matmul_program(side)
+    cells = program.array.comm.nodes()
+    n = len(cells)
+    results: List[KernelTiming] = []
+
+    schedule = ClockSchedule({c: 0.0 for c in cells}, period=10.0)
+    sim = ClockedArraySimulator(program, schedule, delta=1.0)
+    compiled_run = sim.run()  # pre-warm: compile + stream plan
+    scalar_run = sim.run_scalar()
+    results.append(
+        KernelTiming(
+            "clocked_run", n, program.cycles,
+            _best_time(lambda: sim.run_scalar(), repeats),
+            _best_time(lambda: sim.run(), repeats),
+            _clocked_diff(compiled_run, scalar_run),
+        )
+    )
+
+    selftimed = SelfTimedProgramSimulator(program, wire_delay=0.5)
+    compiled_span = selftimed.recurrence_makespan()  # pre-warm the kernel
+    scalar_span = selftimed.recurrence_makespan_scalar()
+    results.append(
+        KernelTiming(
+            "selftimed_makespan", n, program.cycles,
+            _best_time(lambda: selftimed.recurrence_makespan_scalar(), repeats),
+            _best_time(lambda: selftimed.recurrence_makespan(), repeats),
+            abs(compiled_span - scalar_span),
+        )
+    )
+    return results
+
+
+def _drive_engine(sim, n_events: int) -> int:
+    from repro.sim.engine import Simulator  # noqa: F401  (typing aid only)
+
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n_events:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count[0]
+
+
+def bench_engine_dispatch(n_events: int = 100_000, repeats: int = 3) -> KernelTiming:
+    """Time the engine's uninstrumented dispatch fast path against the
+    instrumented loop structure (a disabled ``NullTracer`` *instance*
+    forces the per-event bookkeeping branch without emitting anything, so
+    both sides execute the same callbacks)."""
+    from repro.sim.engine import Simulator
+
+    def instrumented() -> int:
+        return _drive_engine(Simulator(tracer=NullTracer()), n_events)
+
+    def fast() -> int:
+        return _drive_engine(Simulator(), n_events)
+
+    diff = float(abs(instrumented() - fast()))
+    return KernelTiming(
+        "engine_dispatch", n_events, 1,
+        _best_time(instrumented, repeats),
+        _best_time(fast, repeats),
+        diff,
+    )
+
+
 def _montecarlo_trial(seed: int) -> float:
     """A seed-deterministic, compute-bound trial: the worst buffered
     skew of a resampled H-tree (module-level so a process pool can
@@ -175,6 +308,56 @@ def _montecarlo_trial(seed: int) -> float:
     buffered = BufferedClockTree(tree)
     buffered.resample(seed)
     return buffered.max_skew(array.communicating_pairs())
+
+
+def _mc_structure():
+    """The seed-independent structure of :func:`_montecarlo_trial`:
+    array, pairs, and buffered H-tree (module-level so process pools can
+    pickle the context's factory)."""
+    array = mesh(16, 16)
+    tree = htree_for_array(array)
+    return array.communicating_pairs(), BufferedClockTree(tree)
+
+
+_MC_CONTEXT = CompiledTrialContext(_mc_structure)
+
+
+def _mc_cached_trial(seed: int) -> float:
+    """The cached formulation of :func:`_montecarlo_trial`: structure from
+    the per-worker context, only the noise resampled per seed.  Values are
+    bit-identical to the uncached trial because ``resample`` rebuilds the
+    buffered tree deterministically from the seed alone."""
+    pairs, buffered = _MC_CONTEXT.get()
+    buffered.resample(seed)
+    return buffered.max_skew(pairs)
+
+
+def bench_montecarlo_cached(trials: int = 32) -> KernelTiming:
+    """Time ``run_trials`` with the per-trial rebuild-everything
+    formulation against the :class:`CompiledTrialContext` cache (compile
+    structure once per worker, resample only noise per seed).
+
+    ``max_abs_diff`` compares every summary field; the cached path is
+    bit-identical by construction, so any non-zero value is a caching
+    bug surfacing as a perf row.
+    """
+    t0 = time.perf_counter()
+    uncached = run_trials(_montecarlo_trial, trials, base_seed=0)
+    uncached_s = time.perf_counter() - t0
+    _MC_CONTEXT.get()  # pre-warm: the compile belongs to no single trial
+    t0 = time.perf_counter()
+    cached = run_trials(_mc_cached_trial, trials, base_seed=0)
+    cached_s = time.perf_counter() - t0
+    diff = max(
+        abs(uncached.mean - cached.mean),
+        abs(uncached.stdev - cached.stdev),
+        abs(uncached.minimum - cached.minimum),
+        abs(uncached.maximum - cached.maximum),
+        abs(uncached.ci_half_width - cached.ci_half_width),
+    )
+    return KernelTiming(
+        "montecarlo_cached", trials, trials, uncached_s, cached_s, diff
+    )
 
 
 def bench_montecarlo(
@@ -228,8 +411,11 @@ def run_perf_suite(
     results: List[KernelTiming] = []
     for side in sides:
         results.extend(bench_skew_kernels(side, repeats=repeats))
+        results.extend(bench_sim_kernels(side, repeats=repeats))
+    results.append(bench_engine_dispatch(repeats=repeats))
     if include_montecarlo:
         results.append(bench_montecarlo(trials=trials, workers=workers))
+        results.append(bench_montecarlo_cached(trials=trials))
     if tracer.enabled:
         for i, r in enumerate(results):
             tracer.event(

@@ -185,6 +185,73 @@ def check_differential_timing(ctx: CheckContext) -> Dict[str, Any]:
 
 
 @REGISTRY.register(
+    "differential-compiled",
+    "differential",
+    "the array-compiled simulation kernels agree exactly with their "
+    "scalar oracles: identical clocked payloads, violation lists (contents "
+    "and order), makespans, and tandem-recurrence makespans, across clean, "
+    "overdriven, and jittered schedules",
+)
+def check_differential_compiled(ctx: CheckContext) -> Dict[str, Any]:
+    from repro.sim.dataflow import constant_service
+    from repro.sim.faults import JitteredSchedule
+
+    delta = 1.0
+    cases = []
+    for name, program in _workloads(ctx):
+        buffered, cells, plan = _clocked_setup(program, ctx.seed, delta)
+        period = plan.min_safe_period * 1.05 + 1e-6
+        safe = ClockSchedule.from_buffered_tree(buffered, period, cells)
+        tight = ClockSchedule.from_buffered_tree(buffered, 0.5 * period, cells)
+        jittered = JitteredSchedule(safe, amplitude=0.3 * period, seed=ctx.seed)
+        regimes = [
+            ("clean", safe, plan.padding),
+            ("overdriven", tight, None),
+            ("jittered", jittered, plan.padding),
+        ]
+        for regime, schedule, padding in regimes:
+            sim = ClockedArraySimulator(
+                program, schedule, delta=delta, edge_padding=padding
+            )
+            compiled = sim.run()
+            scalar = sim.run_scalar()
+            require(repr(compiled.result) == repr(scalar.result),
+                    f"{name}/{regime}: compiled payload diverged from scalar",
+                    workload=name, regime=regime,
+                    compiled=repr(compiled.result), scalar=repr(scalar.result))
+            require(compiled.violations == scalar.violations,
+                    f"{name}/{regime}: compiled violation list diverged "
+                    f"(contents or order)",
+                    workload=name, regime=regime,
+                    compiled=len(compiled.violations),
+                    scalar=len(scalar.violations))
+            require(compiled.makespan == scalar.makespan
+                    and compiled.ticks == scalar.ticks,
+                    f"{name}/{regime}: compiled timing diverged from scalar",
+                    workload=name, regime=regime,
+                    compiled=[compiled.makespan, compiled.ticks],
+                    scalar=[scalar.makespan, scalar.ticks])
+            cases.append({"workload": name, "regime": regime,
+                          "violations": len(compiled.violations)})
+
+        for service_name, service in [
+            ("constant", constant_service(1.0)),
+            ("two-speed", hashed_service(1.0, 3.0, 0.25, seed=ctx.seed)),
+        ]:
+            selftimed = SelfTimedProgramSimulator(
+                program, service=service, wire_delay=0.5
+            )
+            fast = selftimed.recurrence_makespan()
+            slow = selftimed.recurrence_makespan_scalar()
+            require(fast == slow,
+                    f"{name}/{service_name}: compiled recurrence makespan "
+                    f"diverged from the scalar loop",
+                    workload=name, service=service_name,
+                    compiled=fast, scalar=slow)
+    return {"cases": cases}
+
+
+@REGISTRY.register(
     "differential-violations",
     "differential",
     "violation counts are consistent: zero above the safe period, nonzero "

@@ -25,7 +25,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
-from repro.clocktree.lca import EulerTourIndex
+from repro.clocktree.lca import LiftingLCAIndex
 from repro.geometry.point import Point
 
 NodeId = Hashable
@@ -53,8 +53,17 @@ class ClockTree:
         # Eager caches, extended incrementally by add_child.
         self._root_distance: Dict[NodeId, float] = {root: 0.0}
         self._depth: Dict[NodeId, int] = {root: 0}
+        # Dense insertion-order arrays for the batched LCA index: parents
+        # always precede children, and the root's parent is itself (the
+        # lifting fixed point).  Maintained here so an index build is pure
+        # numpy with no tree walk.
+        self._dense_id: Dict[NodeId, int] = {root: 0}
+        self._dense_nodes: List[NodeId] = [root]
+        self._dense_parent: List[int] = [0]
+        self._dense_depth: List[int] = [0]
+        self._dense_rd: List[float] = [0.0]
         # Lazy caches, dropped by add_child and rebuilt on demand.
-        self._lca_index: Optional[EulerTourIndex] = None
+        self._lca_index: Optional[LiftingLCAIndex] = None
         self._leaves_cache: Optional[List[NodeId]] = None
         self._pair_ids_memo: Dict[int, tuple] = {}
         self._pair_metrics_memo: Dict[int, tuple] = {}
@@ -96,6 +105,11 @@ class ClockTree:
         self._edge_length[node] = float(length)
         self._root_distance[node] = self._root_distance[parent] + float(length)
         self._depth[node] = self._depth[parent] + 1
+        self._dense_id[node] = len(self._dense_nodes)
+        self._dense_nodes.append(node)
+        self._dense_parent.append(self._dense_id[parent])
+        self._dense_depth.append(self._depth[node])
+        self._dense_rd.append(self._root_distance[node])
         self._lca_index = None
         self._leaves_cache = None
         self._pair_ids_memo.clear()
@@ -201,16 +215,23 @@ class ClockTree:
     # ------------------------------------------------------------------
     # batched path metrics (the vectorized kernels the skew bounds ride)
     # ------------------------------------------------------------------
-    def lca_index(self) -> EulerTourIndex:
-        """The lazily built O(1)-LCA index (Euler tour + sparse table).
+    def lca_index(self) -> LiftingLCAIndex:
+        """The lazily built batched LCA index (binary lifting).
 
-        Built on first use in O(n log n), reused until ``add_child``
-        invalidates it.  Exposed so callers holding many pair sets can
-        translate nodes to dense ids once and query with raw arrays.
+        The build is a few O(n) numpy gathers over the dense arrays
+        ``add_child`` maintains — cheap enough that even cold-start
+        (build + one batched query) beats the scalar per-pair walk.
+        Reused until ``add_child`` invalidates it.  Exposed so callers
+        holding many pair sets can translate nodes to dense ids once and
+        query with raw arrays.
         """
         if self._lca_index is None:
-            self._lca_index = EulerTourIndex(
-                self._root, self._children, self._root_distance
+            self._lca_index = LiftingLCAIndex(
+                self._dense_id,
+                self._dense_nodes,
+                self._dense_parent,
+                self._dense_depth,
+                self._dense_rd,
             )
         return self._lca_index
 

@@ -21,6 +21,12 @@ from repro.sim.events import EventQueue
 from repro.sim.engine import Simulator
 from repro.sim.clock_distribution import ClockSchedule
 from repro.sim.clocked import ClockedArraySimulator, ClockedRunResult, TimingViolation
+from repro.sim.compiled import (
+    CompiledClockedKernel,
+    CompiledMaxPlus,
+    CompiledRecurrence,
+    compile_clocked,
+)
 from repro.sim.selftimed import (
     SelfTimedResult,
     simulate_selftimed_line,
@@ -59,6 +65,10 @@ __all__ = [
     "ClockedArraySimulator",
     "ClockedRunResult",
     "TimingViolation",
+    "CompiledClockedKernel",
+    "CompiledMaxPlus",
+    "CompiledRecurrence",
+    "compile_clocked",
     "SelfTimedResult",
     "simulate_selftimed_line",
     "worst_case_path_probability",

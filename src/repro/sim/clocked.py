@@ -115,6 +115,9 @@ class ClockedArraySimulator:
             self._edge_delay[(u, v)] = (
                 self._wire_model.delay(layout.distance(u, v)) + pad
             )
+        # Lazily-built array kernel (repro.sim.compiled); rebuilt if the
+        # COMM graph changes shape underneath us.
+        self._compiled: Optional[Any] = None
 
     def _latched_sender_tick(self, edge: EdgeKey, receiver_tick: int) -> int:
         """Which sender tick's output is on the wire when the receiver
@@ -139,10 +142,36 @@ class ClockedArraySimulator:
             k -= 1
         return k
 
+    def compiled(self):
+        """The array-compiled kernel for this simulator (built once, cached;
+        see :class:`repro.sim.compiled.CompiledClockedKernel`)."""
+        from repro.sim.compiled import CompiledClockedKernel
+
+        kernel = self._compiled
+        if kernel is None or kernel.comm_version != self._comm.version:
+            kernel = CompiledClockedKernel(
+                self._program, self._schedule, self._delta, self._edge_delay
+            )
+            self._compiled = kernel
+        return kernel
+
     def run(self, ticks: Optional[int] = None) -> ClockedRunResult:
         """Fire every cell for ``ticks`` ticks (default: the program's cycle
-        count) in global time order, track what each latch actually read,
-        and extract the program result."""
+        count), track what each latch actually read, and extract the
+        program result.
+
+        Uninstrumented runs go through the array-compiled kernel, which is
+        byte-identical to :meth:`run_scalar` (the differential and property
+        suites enforce this); tracing or metrics keep the scalar path so
+        per-event instrumentation stays exact.
+        """
+        if not self._tracer.enabled and self._metrics is None:
+            return self.compiled().run(ticks)
+        return self.run_scalar(ticks)
+
+    def run_scalar(self, ticks: Optional[int] = None) -> ClockedRunResult:
+        """The reference interpreter: one Python event per (cell, tick),
+        exactly as specified — kept as the oracle for the compiled kernel."""
         n_ticks = ticks if ticks is not None else self._program.cycles
         if n_ticks < 1:
             raise ValueError("need at least one tick")

@@ -1,0 +1,414 @@
+"""Array-compiled simulation kernels.
+
+The scalar simulators (:mod:`repro.sim.clocked`, the tandem recurrence of
+:mod:`repro.sim.dataflow`, the hybrid max-plus loops) interpret the object
+graph one (cell, tick) at a time — O(cells x ticks) Python dispatch.  The
+analyses that matter at paper scale (A5 violation sets on 4096-cell
+meshes, Monte-Carlo sweeps, the scaling benches) repeat those runs over a
+*fixed structure*, so this module splits them into
+
+* a one-time **compile** step that lowers a program + schedule + wire
+  model into dense numpy index arrays (sender/receiver ids per directed
+  edge, per-edge data-path lag, per-cell clock offsets, captured
+  predecessor orders), and
+* **vectorized execute** steps that evaluate all latch generations, the
+  full :class:`~repro.sim.clocked.TimingViolation` set, the self-timed
+  wavefront recurrence, or the hybrid neighbor barrier in O(edges x
+  ticks) array operations.
+
+Every kernel is an *exact* replacement, not an approximation: the same
+float64 operations in the same order as the scalar reference, so payloads,
+makespans, and violation lists are byte-identical.  The scalar paths stay
+in the tree as the oracle (``run_scalar``, ``recurrence_makespan_scalar``)
+and the differential/property suites assert the agreement.
+
+Functional payload execution of a *clean* clocked run additionally
+delegates to the stream evaluator in :mod:`repro.sim.batch` (lockstep
+semantics factor per cell); dirty runs and programs outside the stream
+algebra replay events in exact scalar order using the precomputed latch
+matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.systolic import SystolicProgram
+from repro.graphs.comm import CommGraph
+from repro.sim import batch
+from repro.sim.clock_distribution import ClockSchedule
+from repro.sim.clocked import (
+    ClockedRunResult,
+    TimingViolation,
+    _ExecutorFacade,
+)
+
+CellId = Hashable
+EdgeKey = Tuple[CellId, CellId]
+
+#: Matches the scalar latch scan's guard band (``clocked.py``).
+_LATCH_TOL = 1e-12
+
+
+class CompiledClockedKernel:
+    """A :class:`~repro.sim.clocked.ClockedArraySimulator` lowered to
+    arrays: compile once, run many times.
+
+    ``edge_delay`` is the simulator's per-directed-edge data propagation
+    delay (wire model plus hold padding), so the kernel and the scalar
+    path consume the *same* precomputed lags.
+    """
+
+    def __init__(
+        self,
+        program: SystolicProgram,
+        schedule: ClockSchedule,
+        delta: float,
+        edge_delay: Mapping[EdgeKey, float],
+    ) -> None:
+        comm: CommGraph = program.array.comm
+        self._program = program
+        self._schedule = schedule
+        self.comm_version = comm.version
+        cells = comm.nodes()
+        self._cells: List[CellId] = cells
+        index = {c: i for i, c in enumerate(cells)}
+        # Captured once: the scalar path iterates a fresh set copy per
+        # event, which is order-stable within a process, so one snapshot
+        # reproduces the scalar input-dict and violation order exactly.
+        self._preds: Dict[CellId, Tuple[CellId, ...]] = {
+            c: tuple(comm.predecessors(c)) for c in cells
+        }
+        self._succs: Dict[CellId, Tuple[CellId, ...]] = {
+            c: tuple(comm.successors(c)) for c in cells
+        }
+        src_ids: List[int] = []
+        dst_ids: List[int] = []
+        lags: List[float] = []
+        slots: List[int] = []
+        edge_id: Dict[EdgeKey, int] = {}
+        for c in cells:
+            for j, u in enumerate(self._preds[c]):
+                edge_id[(u, c)] = len(src_ids)
+                src_ids.append(index[u])
+                dst_ids.append(index[c])
+                lags.append(delta + edge_delay[(u, c)])
+                slots.append(j)
+        self._src = np.asarray(src_ids, dtype=np.int64)
+        self._dst = np.asarray(dst_ids, dtype=np.int64)
+        self._lag = np.asarray(lags, dtype=np.float64)
+        self._slot = np.asarray(slots, dtype=np.int64)
+        self._edge_id = edge_id
+        self._offsets = np.asarray(
+            [schedule.offset(c) for c in cells], dtype=np.float64
+        )
+        self._period = schedule.period
+        # A plain ClockSchedule is affine (offset + k * period); subclasses
+        # such as JitteredSchedule override tick_time and take the generic
+        # tabulated path.
+        self._affine = type(schedule) is ClockSchedule
+        # Stream-execution plan for clean runs (None = not yet probed;
+        # False = unsupported, always replay).
+        self._stream_order: Any = None
+
+    # ------------------------------------------------------------------
+    # timing analysis
+    # ------------------------------------------------------------------
+    def _tick_matrix(self, n_ticks: int) -> np.ndarray:
+        """``T[c, k]`` = absolute time of tick ``k`` at cell ``c``, with
+        exactly the scalar arithmetic (``offset + k * period`` per
+        element for affine schedules; ``tick_time`` calls otherwise)."""
+        n_cells = len(self._cells)
+        if self._affine:
+            ks = np.arange(n_ticks, dtype=np.float64) * self._period
+            return self._offsets[:, None] + ks[None, :]
+        tick_time = self._schedule.tick_time
+        T = np.empty((n_cells, n_ticks), dtype=np.float64)
+        for i, c in enumerate(self._cells):
+            row = T[i]
+            for k in range(n_ticks):
+                row[k] = tick_time(c, k)
+        return T
+
+    def latch_matrix(self, n_ticks: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(T, g)``: the tick-time matrix and, per (edge, receiver tick),
+        the latched sender generation — the vectorized
+        ``_latched_sender_tick`` (identical floor estimate, identical
+        downward scan with the same tolerance)."""
+        T = self._tick_matrix(n_ticks)
+        if not len(self._src):
+            return T, np.empty((0, n_ticks), dtype=np.int64)
+        t_latch = T[self._dst]                      # (E, K)
+        off_u = self._offsets[self._src][:, None]
+        lag = self._lag[:, None]
+        estimate = np.floor((t_latch - off_u - lag) / self._period)
+        g = estimate.astype(np.int64) + 3           # covers ~1.5 periods of jitter
+        thresh = t_latch + _LATCH_TOL
+        if self._affine:
+            while True:
+                late = (g >= 0) & (off_u + g * self._period + lag > thresh)
+                if not late.any():
+                    break
+                g -= late
+        else:
+            k_max = max(int(g.max(initial=0)), n_ticks - 1)
+            Tall = self._tick_matrix(k_max + 1)
+            src_col = self._src[:, None]
+            while True:
+                jj = np.maximum(g, 0)
+                late = (g >= 0) & (Tall[src_col, jj] + lag > thresh)
+                if not late.any():
+                    break
+                g -= late
+        return T, g
+
+    def _event_order(self, T: np.ndarray, n_ticks: int) -> np.ndarray:
+        """Flat (cell * K + tick) event indices sorted exactly like the
+        scalar event list: by time, then tick, then cell position."""
+        n_cells = len(self._cells)
+        k_flat = np.tile(np.arange(n_ticks, dtype=np.int64), n_cells)
+        i_flat = np.repeat(np.arange(n_cells, dtype=np.int64), n_ticks)
+        return np.lexsort((i_flat, k_flat, T.ravel()))
+
+    def violations(
+        self, T: np.ndarray, g: np.ndarray, n_ticks: int
+    ) -> List[TimingViolation]:
+        """The violation list in exact scalar order: event order (time,
+        tick, cell) outermost, captured predecessor order within a cell."""
+        if not g.size:
+            return []
+        ks = np.arange(n_ticks, dtype=np.int64)
+        expected = ks - 1
+        mask = g != expected[None, :]
+        # Tick 0 expects -1; a latch of -1 (or below) is not a violation
+        # there (both sides pre-first-tick), matching the scalar guard.
+        mask[:, 0] &= g[:, 0] >= 0
+        if not mask.any():
+            return []
+        order = self._event_order(T, n_ticks)
+        rank = np.empty(order.shape, dtype=np.int64)
+        rank[order] = np.arange(len(order), dtype=np.int64)
+        e_idx, k_idx = np.nonzero(mask)
+        event_rank = rank[self._dst[e_idx] * n_ticks + k_idx]
+        perm = np.lexsort((self._slot[e_idx], event_rank))
+        cells = self._cells
+        src, dst = self._src, self._dst
+        out: List[TimingViolation] = []
+        for j in perm:
+            e = e_idx[j]
+            k = int(k_idx[j])
+            out.append(
+                TimingViolation(
+                    edge=(cells[src[e]], cells[dst[e]]),
+                    receiver_tick=k,
+                    expected_sender_tick=k - 1,
+                    actual_sender_tick=int(g[e, k]),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # functional execution
+    # ------------------------------------------------------------------
+    def _try_stream_order(self) -> Any:
+        if self._stream_order is None:
+            pes = self._program.pes
+            try:
+                if not batch.supports(pes, self._cells):
+                    raise batch.BatchUnsupported("unhandled PE class")
+                self._stream_order = batch.topological_order(
+                    self._program.array.comm
+                )
+            except batch.BatchUnsupported:
+                self._stream_order = False
+        return self._stream_order
+
+    def _replay(self, T: np.ndarray, g: np.ndarray, n_ticks: int) -> Any:
+        """Event-order functional replay using the precomputed latch
+        matrix — exact scalar semantics for dirty runs and programs the
+        stream evaluator cannot express."""
+        pes = self._program.pes
+        cells = self._cells
+        order = self._event_order(T, n_ticks)
+        cell_seq = (order // n_ticks).tolist()
+        tick_seq = (order % n_ticks).tolist()
+        g_rows = g.tolist()
+        history: List[List[Any]] = [
+            [None] * n_ticks for _ in range(len(self._src))
+        ]
+        edge_id = self._edge_id
+        pred_info = [
+            [(u, edge_id[(u, c)]) for u in self._preds[c]] for c in cells
+        ]
+        succ_info = [
+            [(v, edge_id[(c, v)]) for v in self._succs[c]] for c in cells
+        ]
+        fires = [pes[c].fire for c in cells]
+        for ci, k in zip(cell_seq, tick_seq):
+            inputs: Dict[CellId, Any] = {}
+            for u, e in pred_info[ci]:
+                gen = g_rows[e][k]
+                inputs[u] = history[e][gen] if 0 <= gen < n_ticks else None
+            outputs = fires[ci](inputs)
+            for v, e in succ_info[ci]:
+                history[e][k] = outputs.get(v) if outputs else None
+        return self._program.read_result(_ExecutorFacade(pes))
+
+    def run(self, ticks: Optional[int] = None) -> ClockedRunResult:
+        """Byte-identical to the scalar ``ClockedArraySimulator.run``:
+        same result payload, same violation list (contents *and* order),
+        same makespan."""
+        n_ticks = ticks if ticks is not None else self._program.cycles
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        pes = self._program.pes
+        for pe in pes.values():
+            pe.reset()
+        T, g = self.latch_matrix(n_ticks)
+        violations = self.violations(T, g, n_ticks)
+        makespan = max(0.0, float(T.max())) if T.size else 0.0
+        result: Any = None
+        ran = False
+        if not violations:
+            order = self._try_stream_order()
+            if order is not False:
+                try:
+                    batch.execute_streams(
+                        pes, order, self._preds, self._succs, n_ticks
+                    )
+                    result = self._program.read_result(_ExecutorFacade(pes))
+                    ran = True
+                except batch.BatchUnsupported:
+                    self._stream_order = False
+                    for pe in pes.values():
+                        pe.reset()  # discard any partial stream state
+        if not ran:
+            result = self._replay(T, g, n_ticks)
+        return ClockedRunResult(
+            result=result,
+            violations=violations,
+            ticks=n_ticks,
+            makespan=makespan,
+        )
+
+
+def compile_clocked(simulator: Any) -> CompiledClockedKernel:
+    """Lower a :class:`~repro.sim.clocked.ClockedArraySimulator` into its
+    array kernel (also available as ``simulator.compiled()``)."""
+    return simulator.compiled()
+
+
+# ----------------------------------------------------------------------
+# self-timed tandem recurrence
+# ----------------------------------------------------------------------
+class CompiledRecurrence:
+    """The unbuffered tandem recurrence evaluated wavefront-by-wavefront
+    with grouped array maxima.
+
+    Compiles the COMM graph once (edges grouped by receiver for
+    ``np.maximum.reduceat``); each wave is then a handful of array ops.
+    ``max`` is associative and the add order per element matches the
+    scalar loop, so the makespan equals
+    :meth:`~repro.sim.dataflow.SelfTimedProgramSimulator.
+    recurrence_makespan_scalar` exactly.
+    """
+
+    def __init__(self, comm: CommGraph) -> None:
+        self.comm_version = comm.version
+        self._cells = comm.nodes()
+        index = {c: i for i, c in enumerate(self._cells)}
+        src: List[int] = []
+        group_starts: List[int] = []
+        group_cells: List[int] = []
+        for c in self._cells:
+            preds = comm.predecessors(c)
+            if preds:
+                group_starts.append(len(src))
+                group_cells.append(index[c])
+                src.extend(index[p] for p in preds)
+        self._src = np.asarray(src, dtype=np.int64)
+        self._group_starts = np.asarray(group_starts, dtype=np.int64)
+        self._group_cells = np.asarray(group_cells, dtype=np.int64)
+
+    def _service_matrix(
+        self, service: Any, n_waves: int
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """(constant column, full matrix) — one of the two is set."""
+        constant = getattr(service, "constant_duration", None)
+        n = len(self._cells)
+        if constant is not None:
+            return np.full(n, float(constant)), None
+        svc = np.empty((n, n_waves), dtype=np.float64)
+        for i, c in enumerate(self._cells):
+            row = svc[i]
+            for k in range(n_waves):
+                row[k] = service(c, k)
+        return None, svc
+
+    def makespan(self, service: Any, wire_delay: float, n_waves: int) -> float:
+        cells = self._cells
+        if not cells:
+            return 0.0
+        const_col, svc = self._service_matrix(service, n_waves)
+        finish = np.zeros(len(cells), dtype=np.float64)
+        src, starts, targets = self._src, self._group_starts, self._group_cells
+        for k in range(n_waves):
+            if k > 0 and len(src):
+                arrivals = finish[src] + wire_delay
+                grouped = np.maximum.reduceat(arrivals, starts)
+                start = finish.copy()
+                start[targets] = np.maximum(start[targets], grouped)
+            else:
+                start = finish
+            col = const_col if const_col is not None else svc[:, k]
+            finish = start + col
+        return float(finish.max())
+
+
+# ----------------------------------------------------------------------
+# hybrid neighbor-barrier (max-plus) step
+# ----------------------------------------------------------------------
+class CompiledMaxPlus:
+    """One compiled step of the hybrid handshake recurrence
+    ``start[e] = max(finish[e], max_nbr finish[nbr] + hs(e, nbr))``.
+
+    Used by :func:`repro.sim.hybrid_sim.simulate_hybrid` and
+    :func:`repro.sim.hybrid_exec.execute_program_hybrid`; ``max`` over
+    neighbors is order-free, so the vector step equals the scalar dict
+    loop exactly.
+    """
+
+    def __init__(
+        self,
+        eids: Sequence[Hashable],
+        neighbors_of: Mapping[Hashable, Any],
+        handshake: Mapping[Tuple[Hashable, Hashable], float],
+    ) -> None:
+        index = {e: i for i, e in enumerate(eids)}
+        nbr: List[int] = []
+        cost: List[float] = []
+        group_starts: List[int] = []
+        group_cells: List[int] = []
+        for e in eids:
+            partners = neighbors_of[e]
+            if partners:
+                group_starts.append(len(nbr))
+                group_cells.append(index[e])
+                for p in partners:
+                    nbr.append(index[p])
+                    cost.append(handshake[(e, p)])
+        self._nbr = np.asarray(nbr, dtype=np.int64)
+        self._cost = np.asarray(cost, dtype=np.float64)
+        self._group_starts = np.asarray(group_starts, dtype=np.int64)
+        self._group_cells = np.asarray(group_cells, dtype=np.int64)
+
+    def starts(self, finish: np.ndarray) -> np.ndarray:
+        start = finish.copy()
+        if len(self._nbr):
+            ready = finish[self._nbr] + self._cost
+            grouped = np.maximum.reduceat(ready, self._group_starts)
+            tgt = self._group_cells
+            start[tgt] = np.maximum(start[tgt], grouped)
+        return start

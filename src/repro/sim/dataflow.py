@@ -47,10 +47,20 @@ ServiceTime = Callable[[CellId, int], float]
 
 
 def constant_service(duration: float) -> ServiceTime:
-    """Every (cell, wave) takes exactly ``duration``."""
+    """Every (cell, wave) takes exactly ``duration``.
+
+    The returned callable carries a ``constant_duration`` attribute so the
+    compiled recurrence kernel (:mod:`repro.sim.compiled`) can skip
+    tabulating a full (cell, wave) service matrix.
+    """
     if duration < 0:
         raise ValueError("service time must be non-negative")
-    return lambda cell, wave: duration
+
+    def service(cell: CellId, wave: int) -> float:
+        return duration
+
+    service.constant_duration = float(duration)
+    return service
 
 
 def hashed_service(
@@ -125,6 +135,7 @@ class SelfTimedProgramSimulator:
         self._wire_delay = wire_delay
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics
+        self._compiled: Any = None  # lazy CompiledRecurrence
 
     def run(self, waves: Optional[int] = None) -> DataflowRunResult:
         n_waves = waves if waves is not None else self._program.cycles
@@ -226,6 +237,18 @@ class SelfTimedProgramSimulator:
             finish_times=finish_times,
         )
 
+    def compiled_recurrence(self):
+        """The array-compiled tandem recurrence for this program's COMM
+        graph (built once, cached; see
+        :class:`repro.sim.compiled.CompiledRecurrence`)."""
+        from repro.sim.compiled import CompiledRecurrence
+
+        kernel = self._compiled
+        if kernel is None or kernel.comm_version != self._comm.version:
+            kernel = CompiledRecurrence(self._comm)
+            self._compiled = kernel
+        return kernel
+
     def recurrence_makespan(self, waves: Optional[int] = None) -> float:
         """The tandem-recurrence makespan computed directly (no engine):
 
@@ -234,7 +257,20 @@ class SelfTimedProgramSimulator:
         :func:`repro.sim.selftimed.simulate_selftimed_line` with
         ``blocking=False`` to an arbitrary COMM graph.  The differential
         checker asserts the engine-driven run lands on exactly this value.
+
+        Evaluated wavefront-at-a-time by the compiled array kernel, which
+        performs the identical float operations (``max`` is order-free, the
+        single add is unreassociated) — :meth:`recurrence_makespan_scalar`
+        is the reference it must equal exactly.
         """
+        n_waves = waves if waves is not None else self._program.cycles
+        return self.compiled_recurrence().makespan(
+            self._service, self._wire_delay, n_waves
+        )
+
+    def recurrence_makespan_scalar(self, waves: Optional[int] = None) -> float:
+        """Reference (per-cell Python loop) evaluation of the tandem
+        recurrence — the oracle for :meth:`recurrence_makespan`."""
         n_waves = waves if waves is not None else self._program.cycles
         cells = self._comm.nodes()
         finish: Dict[CellId, float] = {c: 0.0 for c in cells}

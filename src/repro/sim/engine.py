@@ -64,6 +64,33 @@ class Simulator:
         processed = 0
         tracer = self.tracer
         metrics = self.metrics
+        if tracer is NULL_TRACER and metrics is None:
+            # Uninstrumented fast path: no span bookkeeping, no per-event
+            # wall-clock reads, no try/finally per dispatch.  The dataflow
+            # and handshake simulators schedule one closure per token, so
+            # dispatch overhead is a first-order cost at array scale.
+            queue = self._queue
+            try:
+                if until is math.inf and max_events is None:
+                    while queue:
+                        time, action = queue.pop()
+                        self.now = time
+                        processed += 1
+                        action()
+                else:
+                    while queue:
+                        next_time = queue.peek_time()
+                        if next_time > until:
+                            break
+                        if max_events is not None and processed >= max_events:
+                            break
+                        time, action = queue.pop()
+                        self.now = time
+                        processed += 1
+                        action()
+            finally:
+                self.events_processed += processed
+            return processed
         if metrics is not None:
             event_counter = metrics.counter("engine.events")
             depth_gauge = metrics.gauge("engine.queue_depth")

@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Tuple
 
+import numpy as np
+
 from repro.arrays.ideal import LockstepExecutor
 from repro.arrays.systolic import SystolicProgram
 from repro.core.hybrid import HybridScheme, build_hybrid
@@ -93,25 +95,32 @@ def execute_program_hybrid(
         handshake[(a, b)] = d
         handshake[(b, a)] = d
 
-    finish: Dict[ElementId, float] = {e: 0.0 for e in eids}
+    # Compiled max-plus barrier step (repro.sim.compiled) — same values as
+    # the per-element dict loop: neighbor max is order-free, and the adds
+    # keep the scalar association start + (base + jitter).
+    from repro.sim.compiled import CompiledMaxPlus
+
+    kernel = CompiledMaxPlus(
+        eids, {e: scheme.element_graph.neighbors(e) for e in eids}, handshake
+    )
+    base = np.asarray([base_cost[e] for e in eids], dtype=np.float64)
+
+    finish = np.zeros(len(eids), dtype=np.float64)
     start_times: List[Dict[ElementId, float]] = []
     finish_times: List[Dict[ElementId, float]] = []
     for _step in range(n_steps):
-        start: Dict[ElementId, float] = {}
-        for e in eids:
-            ready = finish[e]
-            for nbr in scheme.element_graph.neighbors(e):
-                ready = max(ready, finish[nbr] + handshake[(e, nbr)])
-            start[e] = ready
-        new_finish: Dict[ElementId, float] = {}
-        for e in eids:
-            cost = base_cost[e]
-            if jitter > 0:
-                cost += rng.uniform(0.0, jitter * delta)
-            new_finish[e] = start[e] + cost
-        finish = new_finish
-        start_times.append(start)
-        finish_times.append(dict(finish))
+        start = kernel.starts(finish)
+        if jitter > 0:
+            # One uniform draw per element in eids order — the scalar
+            # loop's exact RNG consumption sequence.
+            cost = base + np.asarray(
+                [rng.uniform(0.0, jitter * delta) for _ in eids]
+            )
+        else:
+            cost = base
+        finish = start + cost
+        start_times.append(dict(zip(eids, start.tolist())))
+        finish_times.append(dict(zip(eids, finish.tolist())))
 
     # Functional execution: the barrier makes hybrid semantics lockstep.
     executor = LockstepExecutor(program.array.comm, program.pes)

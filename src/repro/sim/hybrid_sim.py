@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.core.hybrid import HybridScheme
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -93,34 +95,45 @@ def simulate_hybrid(
         metrics.histogram("hybrid.step_skew") if metrics is not None else None
     )
 
-    finish: Dict[ElementId, float] = {e: 0.0 for e in eids}
+    # The neighbor barrier is a max-plus step — compiled to grouped array
+    # maxima (identical values: max is order-free, the adds keep the
+    # scalar association start + (base + jitter)).
+    from repro.sim.compiled import CompiledMaxPlus
+
+    kernel = CompiledMaxPlus(
+        eids, {e: scheme.element_graph.neighbors(e) for e in eids}, handshake
+    )
+    base = np.asarray([base_cost[e] for e in eids], dtype=np.float64)
+
+    finish = np.zeros(len(eids), dtype=np.float64)
     finish_times = []
     for step in range(steps):
-        start: Dict[ElementId, float] = {}
-        for e in eids:
-            ready = finish[e]
-            for nbr in scheme.element_graph.neighbors(e):
-                ready = max(ready, finish[nbr] + handshake[(e, nbr)])
-            start[e] = ready
-        for e in eids:
-            cost = base_cost[e]
-            if jitter > 0:
-                cost += rng.uniform(0.0, jitter * delta)
-            finish[e] = start[e] + cost
-        finish_times.append(max(finish.values()))
+        start = kernel.starts(finish)
+        if jitter > 0:
+            # One uniform draw per element in eids order — the exact RNG
+            # consumption sequence of the scalar loop.
+            cost = base + np.asarray(
+                [rng.uniform(0.0, jitter * delta) for _ in eids]
+            )
+        else:
+            cost = base
+        finish = start + cost
+        finish_times.append(float(finish.max()))
         if tracer.enabled:
-            for e in eids:
+            starts_list = start.tolist()
+            finish_list = finish.tolist()
+            for e, s, f in zip(eids, starts_list, finish_list):
                 tracer.event(
-                    finish[e], "hybrid", "step", cell=e,
-                    step=step, start=start[e], finish=finish[e],
+                    f, "hybrid", "step", cell=e,
+                    step=step, start=s, finish=f,
                 )
-            spread = max(start.values()) - min(start.values())
+            spread = max(starts_list) - min(starts_list)
             tracer.event(
                 finish_times[-1], "hybrid", "step_summary",
                 step=step, start_spread=spread, makespan=finish_times[-1],
             )
         if skew_hist is not None:
-            skew_hist.observe(max(start.values()) - min(start.values()))
+            skew_hist.observe(float(start.max()) - float(start.min()))
 
     half = steps // 2
     steady = finish_times[half:]
