@@ -325,6 +325,56 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_sta(args: argparse.Namespace) -> int:
+    """Static timing analysis + design rules; exit 0 only if every analyzed
+    design is clean (no stale/race edge, no DRC failure)."""
+    import json
+
+    from repro.obs.schema import validate_sta_report
+    from repro.sta import STAAnalyzer, design_for_workload
+    from repro.sta.design import WORKLOADS
+    from repro.sta.report import render_report
+
+    workloads = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    reports = []
+    for i, workload in enumerate(workloads):
+        design = design_for_workload(
+            workload,
+            size=args.size,
+            scheme=args.scheme,
+            m=args.m,
+            eps=args.eps,
+            delta=args.delta,
+            seed=args.seed,
+            period=args.period,
+            pad_races=not args.no_pad,
+        )
+        report = STAAnalyzer(
+            design, tracer=args.tracer, metrics=args.metrics_registry
+        ).report()
+        if i:
+            print()
+        print(render_report(report, verbose=args.verbose))
+        reports.append(report)
+    payload = [r.to_dict() for r in reports]
+    schema_errors = [e for d in payload for e in validate_sta_report(d)]
+    if schema_errors:  # an analyzer that emits broken reports is itself broken
+        for err in schema_errors:
+            print(f"report schema error: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json} (schema-validated, {len(payload)} reports)")
+    dirty = [r for r in reports if not r.passed]
+    print(
+        f"\n{len(reports) - len(dirty)}/{len(reports)} designs clean"
+        + ("" if not dirty else f" — {len(dirty)} with violations")
+    )
+    return 0 if not dirty else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Replay a JSONL trace: counts, skew histogram, violation timeline."""
     events = load_trace(args.file)
@@ -491,6 +541,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the schema-validated check report to FILE",
     )
     p.set_defaults(func=cmd_check)
+
+    p = add_command("sta", help="static timing analysis, race detection, and design rules")
+    p.add_argument(
+        "--workload", choices=["fir", "matvec", "sorter", "matmul", "all"],
+        default="all", help="which bundled design(s) to analyze",
+    )
+    p.add_argument("--size", type=int, default=6, help="array size parameter")
+    p.add_argument("--scheme", default="serpentine", help="clock tree scheme")
+    p.add_argument("--m", type=float, default=1.0, help="nominal per-unit delay")
+    p.add_argument("--eps", type=float, default=0.1, help="per-unit delay variation")
+    p.add_argument("--delta", type=float, default=1.0, help="cell compute+propagate time")
+    p.add_argument("--seed", type=int, default=0, help="seed for generated workloads")
+    p.add_argument(
+        "--period", type=float, default=None,
+        help="clock period override (default: derived minimum feasible period with margin)",
+    )
+    p.add_argument(
+        "--no-pad", action="store_true",
+        help="skip hold-fix padding (probe race-prone operating points)",
+    )
+    p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the schema-validated report array to FILE",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="list flagged edges even when the design is clean",
+    )
+    p.set_defaults(func=cmd_sta)
 
     p = sub.add_parser("trace", help="replay and summarise a JSONL trace file")
     p.add_argument("file", help="trace file written by a --trace run")

@@ -56,6 +56,10 @@ class BufferedClockTree:
         # Lazy per-build arrival arrays (aligned with the tree's dense
         # node numbering) for the batched skew kernel.
         self._arrival_vectors: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Monotone rebuild counter; downstream memoizers (compiled trial
+        # contexts, the STA analyzer) key their caches on it so a
+        # resample() is never observed through stale data.
+        self._version = 0
         self._build()
 
     # ------------------------------------------------------------------
@@ -68,7 +72,9 @@ class BufferedClockTree:
         by construction), so sampling is deterministic for a fixed tree and
         seed — that determinism *is* assumption A8.
         """
+        self._version += 1
         self._wire_variation.reset()
+        self._buffer_model.reset()
         self._arrival_rise = {self.tree.root: 0.0}
         self._arrival_fall = {self.tree.root: 0.0}
         self._segment_delays = []
@@ -114,12 +120,7 @@ class BufferedClockTree:
         """Redraw all delays with a new seed — the A8-broken scenario where
         physical conditions drift between clock events."""
         self._wire_variation.resample(seed)
-        self._buffer_model = InverterPairModel(
-            nominal=self._buffer_model.nominal,
-            bias=self._buffer_model.bias,
-            variance=self._buffer_model.variance,
-            seed=seed,
-        )
+        self._buffer_model = self._buffer_model.reseeded(seed)
         self._build()
 
     # ------------------------------------------------------------------
@@ -128,6 +129,14 @@ class BufferedClockTree:
     @property
     def buffer_count(self) -> int:
         return self._buffer_count
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every (re)build.  Cache any quantity
+        derived from the sampled delays against this value; a changed
+        version means :meth:`resample` (or a tree-growth rebuild) redrew
+        them."""
+        return self._version
 
     def arrival(self, node: NodeId, rising: bool = True) -> float:
         """Arrival time of a clock edge launched from the root at t = 0."""
@@ -155,6 +164,11 @@ class BufferedClockTree:
         numbering (lazy, per build; ``resample`` rebuilds arrivals and
         drops them).  Sharing the tree's numbering lets the skew kernel
         reuse the tree's memoized pair-to-id translation."""
+        if len(self._arrival_rise) != len(self.tree):
+            # The geometric tree grew since the last build; re-derive the
+            # arrivals (deterministic: the variation process replays from
+            # its seed, so existing nodes keep their delays).
+            self._build()
         if self._arrival_vectors is None:
             index = self.tree.lca_index()
             n = len(index)

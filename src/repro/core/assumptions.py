@@ -52,6 +52,30 @@ def check_a2_unit_area(array: ProcessorArray, min_separation: float = 1.0) -> As
     )
 
 
+def check_a3_rectilinear_wires(array: ProcessorArray, tolerance: float = 1e-9) -> AssumptionCheck:
+    """A3: wires are rectilinear (unit width is an axiom of the area model;
+    the routed polylines can at least be checked for axis-alignment).  A
+    layout with no routed wires is vacuously conformant but reported as not
+    checkable so callers can distinguish 'checked' from 'nothing to check'."""
+    from repro.geometry.routing import is_rectilinear
+
+    wires = array.layout.wires
+    if not wires:
+        return AssumptionCheck(
+            "A3 (rectilinear unit-width wires)",
+            holds=True,
+            checkable=False,
+            detail="no routed wires in the layout",
+        )
+    crooked = sum(1 for w in wires if not is_rectilinear(w.path, tolerance))
+    return AssumptionCheck(
+        "A3 (rectilinear unit-width wires)",
+        holds=crooked == 0,
+        checkable=True,
+        detail=f"{len(wires)} wires, {crooked} non-rectilinear",
+    )
+
+
 def check_a4_clock_tree(array: ProcessorArray, tree: ClockTree) -> AssumptionCheck:
     """A4: CLK is a rooted binary tree containing every clocked cell."""
     missing = [c for c in array.comm.nodes() if c not in tree]
@@ -155,6 +179,7 @@ def audit(
     checks = [
         check_a1_comm_graph(array),
         check_a2_unit_area(array),
+        check_a3_rectilinear_wires(array),
         check_a4_clock_tree(array, tree),
         check_a6_equipotential_floor(tree),
         check_a9_equidistance(array, tree),

@@ -76,7 +76,20 @@ class InverterPairModel:
         self.nominal = nominal
         self.bias = bias
         self.variance = variance
+        self._seed = seed
         self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the sample stream to its seed, so a replay draws the
+        identical delays (what makes a rebuild of a buffered tree
+        deterministic — assumption A8 by construction)."""
+        self._rng = random.Random(self._seed)
+
+    def reseeded(self, seed: int) -> "InverterPairModel":
+        """The same model parameters over a fresh seed (for resampling)."""
+        return InverterPairModel(
+            nominal=self.nominal, bias=self.bias, variance=self.variance, seed=seed
+        )
 
     def sample_stage(self) -> Buffer:
         noise = self._rng.gauss(0.0, self.variance**0.5) if self.variance > 0 else 0.0

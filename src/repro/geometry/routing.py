@@ -7,9 +7,21 @@ space-filling visit orders used by serpentine clock spines and comb layouts.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.geometry.point import Point
+
+
+def is_rectilinear(path: Sequence[Point], tolerance: float = 1e-9) -> bool:
+    """Whether every segment of a polyline is axis-aligned (A3 wire rule).
+
+    A degenerate (zero-length) segment counts as rectilinear; a path with
+    fewer than two points vacuously does too.
+    """
+    for a, b in zip(path, path[1:]):
+        if abs(a.x - b.x) > tolerance and abs(a.y - b.y) > tolerance:
+            return False
+    return True
 
 
 def l_route(a: Point, b: Point, horizontal_first: bool = True) -> Tuple[Point, ...]:

@@ -136,6 +136,106 @@ CHECK_REPORT_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: Shape of the report ``python -m repro sta --json FILE`` writes.
+STA_REPORT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "design", "period", "verdict", "robust",
+        "counts", "slack", "edges", "drc", "empirical", "meta",
+    ],
+    "properties": {
+        "design": {"type": "string"},
+        "period": {"type": "number"},
+        "verdict": {"type": "string"},
+        "robust": {"type": "boolean"},
+        "counts": {
+            "type": "object",
+            "required": [
+                "edges", "stale", "race", "stale_possible",
+                "race_possible", "race_floor", "drc_fail", "drc_warn",
+            ],
+            "properties": {
+                "edges": {"type": "integer"},
+                "stale": {"type": "integer"},
+                "race": {"type": "integer"},
+                "stale_possible": {"type": "integer"},
+                "race_possible": {"type": "integer"},
+                "race_floor": {"type": "integer"},
+                "drc_fail": {"type": "integer"},
+                "drc_warn": {"type": "integer"},
+            },
+        },
+        "slack": {
+            "type": "object",
+            "required": [
+                "worst_setup_slack", "worst_hold_slack",
+                "min_feasible_period_exact", "min_feasible_period_bound",
+            ],
+            "properties": {
+                "worst_setup_slack": {"type": "number"},
+                "worst_hold_slack": {"type": "number"},
+                "min_feasible_period_exact": {"type": "number"},
+                "min_feasible_period_bound": {"type": "number"},
+            },
+        },
+        "edges": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "edge", "lag", "sigma_ub", "sigma_lb", "offset_lead",
+                    "setup_slack", "hold_slack",
+                    "setup_slack_bound", "hold_slack_bound", "flags",
+                ],
+                "properties": {
+                    "edge": {"type": "array", "items": {"type": "string"}},
+                    "lag": {"type": "number"},
+                    "sigma_ub": {"type": "number"},
+                    "sigma_lb": {"type": "number"},
+                    "offset_lead": {"type": "number"},
+                    "setup_slack": {"type": "number"},
+                    "hold_slack": {"type": "number"},
+                    "setup_slack_bound": {"type": "number"},
+                    "hold_slack_bound": {"type": "number"},
+                    "flags": {"type": "array", "items": {"type": "string"}},
+                },
+            },
+        },
+        "drc": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["rule", "title", "status", "detail"],
+                "properties": {
+                    "rule": {"type": "string"},
+                    "title": {"type": "string"},
+                    "status": {"type": "string"},
+                    "detail": {"type": "string"},
+                },
+            },
+        },
+        "empirical": {
+            "type": ["object", "null"],
+            "required": ["max_skew", "model_sigma_ub_max", "within_model"],
+            "properties": {
+                "max_skew": {"type": "number"},
+                "model_sigma_ub_max": {"type": "number"},
+                "within_model": {"type": "boolean"},
+                "tree_version": {"type": "integer"},
+            },
+        },
+        "meta": {
+            "type": "object",
+            "required": ["emitted_at", "repro_version"],
+            "properties": {
+                "emitted_at": {"type": "number"},
+                "repro_version": {"type": "string"},
+            },
+        },
+    },
+}
+
+
 #: Shape of ``ViolationSummary.to_dict()`` (repro.sim.faults).
 VIOLATION_SUMMARY_SCHEMA: Dict[str, Any] = {
     "type": "object",
@@ -188,6 +288,50 @@ def validate_check_report(obj: Any) -> List[str]:
             errors.append(
                 f"$.passed: {obj['passed']} disagrees with {failed} failures"
             )
+    return errors
+
+
+def validate_sta_report(obj: Any) -> List[str]:
+    """Schema check plus the cross-field invariants of an STA report: the
+    verdict must agree with the violation counts, the counts must agree
+    with the per-edge rows, and DRC statuses must be from the fixed set."""
+    errors = validate(obj, STA_REPORT_SCHEMA)
+    if not errors:
+        counts = obj["counts"]
+        if counts["edges"] != len(obj["edges"]):
+            errors.append(
+                f"$.counts.edges: {counts['edges']} != {len(obj['edges'])} rows"
+            )
+        for key, flag in (
+            ("stale", "stale"), ("race", "race"),
+            ("stale_possible", "stale-possible"),
+            ("race_possible", "race-possible"),
+            ("race_floor", "race-floor"),
+        ):
+            seen = sum(1 for e in obj["edges"] if flag in e["flags"])
+            if counts[key] != seen:
+                errors.append(
+                    f"$.counts.{key}: {counts[key]} != {seen} flagged rows"
+                )
+        drc_fail = sum(1 for r in obj["drc"] if r["status"] == "fail")
+        if counts["drc_fail"] != drc_fail:
+            errors.append(
+                f"$.counts.drc_fail: {counts['drc_fail']} != {drc_fail} fail rows"
+            )
+        for i, r in enumerate(obj["drc"]):
+            if r["status"] not in ("pass", "fail", "warn", "skip"):
+                errors.append(f"$.drc[{i}].status: unknown status {r['status']!r}")
+        dirty = counts["stale"] + counts["race"] + counts["drc_fail"] > 0
+        if obj["verdict"] not in ("clean", "violations"):
+            errors.append(f"$.verdict: unknown verdict {obj['verdict']!r}")
+        elif (obj["verdict"] == "violations") != dirty:
+            errors.append(
+                f"$.verdict: {obj['verdict']!r} disagrees with counts "
+                f"(stale {counts['stale']}, race {counts['race']}, "
+                f"drc_fail {counts['drc_fail']})"
+            )
+        if obj["robust"] and obj["verdict"] != "clean":
+            errors.append("$.robust: true on a non-clean report")
     return errors
 
 

@@ -260,6 +260,15 @@ class ClockedArraySimulator:
             makespan=makespan,
         )
 
+    def edge_lags(self) -> Dict[EdgeKey, float]:
+        """The full data-path lag of every directed edge: ``delta`` plus
+        wire propagation plus hold-fix padding.  This is the quantity every
+        latch decision compares against clock offsets — exposed so the
+        static analyzer (:mod:`repro.sta`) can be cross-checked against the
+        simulator's own arithmetic (the ``sta-soundness`` oracle asserts
+        the two lag computations agree to the bit)."""
+        return {edge: self._delta + wire for edge, wire in self._edge_delay.items()}
+
     def minimum_safe_period(self) -> float:
         """The smallest period for which this schedule's skews cause no
         violations: from the closed-form latch condition,
@@ -267,13 +276,8 @@ class ClockedArraySimulator:
         (the hold side needs ``offset(u) + delta + wire > offset(v)``, which
         a period cannot fix — it is reported by :meth:`hold_hazards`)."""
         worst = 0.0
-        for (u, v), wire in self._edge_delay.items():
-            need = (
-                self._schedule.offset(u)
-                - self._schedule.offset(v)
-                + self._delta
-                + wire
-            )
+        for (u, v), lag in self.edge_lags().items():
+            need = self._schedule.offset(u) - self._schedule.offset(v) + lag
             worst = max(worst, need)
         return worst
 
@@ -283,7 +287,7 @@ class ClockedArraySimulator:
         added delay (padding) or a better clock layout, as the paper notes
         ("adding delay to circuits")."""
         hazards = []
-        for (u, v), wire in self._edge_delay.items():
-            if self._schedule.offset(u) + self._delta + wire < self._schedule.offset(v) - 1e-12:
+        for (u, v), lag in self.edge_lags().items():
+            if self._schedule.offset(u) + lag < self._schedule.offset(v) - 1e-12:
                 hazards.append((u, v))
         return hazards

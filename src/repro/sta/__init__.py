@@ -1,0 +1,64 @@
+"""repro.sta — static timing analysis, race detection, and design rules.
+
+The paper's argument is static: period and race safety follow from skew
+*bounds*, never from running the array.  This package makes that argument
+executable as a linter:
+
+* :mod:`repro.sta.design` — the :class:`Design` bundle (program + clock
+  tree + skew model + schedule + discipline) and ready-made/randomized
+  design generators;
+* :mod:`repro.sta.slack` — vectorized per-edge setup/hold slack in exact
+  (schedule) and bound (model) modes, the minimum feasible period
+  (monotone bisection), and worst-case hold padding;
+* :mod:`repro.sta.drc` — assumptions A1-A11 as pass/fail/warn/skip rules;
+* :mod:`repro.sta.analyzer` — the cached, instrumented facade;
+* :mod:`repro.sta.report` — the schema-pinned JSON report and its CLI
+  rendering (``python -m repro sta``).
+
+Soundness contract (enforced by the ``sta-soundness`` oracle in
+:mod:`repro.check`): a ``clean`` verdict implies the clocked simulator
+runs violation-free, and every simulator-observed violation edge has
+non-positive static slack.
+"""
+
+from repro.sta.analyzer import STAAnalyzer, analyze
+from repro.sta.design import (
+    Design,
+    WORKLOADS,
+    design_for_workload,
+    random_design,
+)
+from repro.sta.drc import RuleResult, drc_counts, drc_failures, run_drc
+from repro.sta.report import STAReport, build_report, render_report
+from repro.sta.slack import (
+    EdgeSlack,
+    SlackAnalysis,
+    analyze_slack,
+    edge_lags,
+    minimum_feasible_period,
+    minimum_feasible_period_closed_form,
+    pad_for_races,
+)
+
+__all__ = [
+    "Design",
+    "EdgeSlack",
+    "RuleResult",
+    "STAAnalyzer",
+    "STAReport",
+    "SlackAnalysis",
+    "WORKLOADS",
+    "analyze",
+    "analyze_slack",
+    "build_report",
+    "design_for_workload",
+    "drc_counts",
+    "drc_failures",
+    "edge_lags",
+    "minimum_feasible_period",
+    "minimum_feasible_period_closed_form",
+    "pad_for_races",
+    "random_design",
+    "render_report",
+    "run_drc",
+]

@@ -1,0 +1,159 @@
+"""The analyzer facade: slack + DRC + report with caching and observability.
+
+:class:`STAAnalyzer` owns the expensive vectors for one design and
+memoizes them against a *fingerprint* of everything the math depends on:
+the COMM graph's mutation counter, the buffered tree's rebuild counter
+(see :attr:`repro.clocktree.buffered.BufferedClockTree.version` — this is
+what makes a ``resample()`` visible through the cache), the period, and
+the padding map.  Any change to those invalidates every derived quantity
+at the next query; nothing else can change them, so hits are safe.
+
+Instrumentation follows the repo convention — opt-in ``tracer=`` /
+``metrics=`` kwargs, zero overhead when absent:
+
+* trace events, category ``sta``: one ``analyze`` event per fresh
+  computation with the verdict and flag counts;
+* metrics: ``sta.runs`` / ``sta.cache_hits`` counters and an
+  ``sta.duration_s`` histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sta.design import Design
+from repro.sta.drc import RuleResult, run_drc
+from repro.sta.report import STAReport, build_report
+from repro.sta.slack import (
+    SlackAnalysis,
+    analyze_slack,
+    minimum_feasible_period,
+)
+
+_Fingerprint = Tuple[int, int, float, Tuple[Tuple[Any, float], ...]]
+
+
+class STAAnalyzer:
+    """Static timing analysis of one design, cached against its state."""
+
+    def __init__(
+        self,
+        design: Design,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.design = design
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics
+        self._fingerprint: Optional[_Fingerprint] = None
+        self._slack: Optional[SlackAnalysis] = None
+        self._drc: Optional[List[RuleResult]] = None
+        self._feasible: Dict[str, float] = {}
+        self._empirical: Optional[Dict[str, Any]] = None
+
+    def _current_fingerprint(self) -> _Fingerprint:
+        d = self.design
+        buffered_version = d.buffered.version if d.buffered is not None else -1
+        padding = tuple(
+            sorted(d.edge_padding.items(), key=lambda kv: repr(kv[0]))
+        )
+        return (d.array.comm.version, buffered_version, d.period, padding)
+
+    def _fresh(self) -> bool:
+        """Drop every memo if the design moved; report whether caches hold."""
+        fp = self._current_fingerprint()
+        if fp != self._fingerprint:
+            self._fingerprint = fp
+            self._slack = None
+            self._drc = None
+            self._feasible = {}
+            self._empirical = None
+            return False
+        return True
+
+    def slack(self) -> SlackAnalysis:
+        hit = self._fresh() and self._slack is not None
+        if self._slack is None:
+            t0 = time.perf_counter()
+            self._slack = analyze_slack(self.design)
+            self._observe(time.perf_counter() - t0, self._slack)
+        if hit and self._metrics is not None:
+            self._metrics.counter("sta.cache_hits").inc()
+        return self._slack
+
+    def drc(self) -> List[RuleResult]:
+        self._fresh()
+        if self._drc is None:
+            self._drc = run_drc(self.design, self.slack())
+        return self._drc
+
+    def minimum_feasible_period(self, mode: str = "exact") -> float:
+        self._fresh()
+        if mode not in self._feasible:
+            self._feasible[mode] = minimum_feasible_period(self.design, mode)
+        return self._feasible[mode]
+
+    def empirical(self) -> Optional[Dict[str, Any]]:
+        """Cross-check of the buffered realization against the abstract
+        model: the largest *measured* arrival-time skew over COMM edges vs
+        the model's largest upper bound.  ``within_model`` false means the
+        concrete tree drifted outside the model the rest of the analysis
+        assumed (bound-mode conclusions don't transfer to it)."""
+        self._fresh()
+        if self._empirical is None:
+            buffered = self.design.buffered
+            if buffered is None:
+                return None
+            edges = self.design.edges()
+            analysis = self.slack()
+            max_skew = buffered.max_skew(edges)
+            sigma_ub_max = (
+                float(analysis.sigma_ub.max()) if len(analysis.edges) else 0.0
+            )
+            self._empirical = {
+                "max_skew": max_skew,
+                "model_sigma_ub_max": sigma_ub_max,
+                "within_model": bool(max_skew <= sigma_ub_max + 1e-12),
+                "tree_version": buffered.version,
+            }
+        return self._empirical
+
+    def report(self) -> STAReport:
+        """The full report (slack + DRC + feasibility + empirical)."""
+        return build_report(
+            self.design,
+            self.slack(),
+            self.drc(),
+            self.minimum_feasible_period("exact"),
+            self.minimum_feasible_period("bound"),
+            self.empirical(),
+        )
+
+    def _observe(self, duration: float, analysis: SlackAnalysis) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("sta.runs").inc()
+            self._metrics.histogram("sta.duration_s").observe(duration)
+        if self._tracer.enabled:
+            self._tracer.event(
+                0.0,
+                "sta",
+                "analyze",
+                design=self.design.name,
+                edges=len(analysis.edges),
+                stale=int(analysis.stale_mask.sum()),
+                race=int(analysis.race_mask.sum()),
+                timing_clean=analysis.timing_clean,
+                duration_s=duration,
+            )
+
+
+def analyze(
+    design: Design,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> STAReport:
+    """One-shot convenience: analyze a design and return its report."""
+    return STAAnalyzer(design, tracer=tracer, metrics=metrics).report()

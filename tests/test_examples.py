@@ -21,6 +21,7 @@ EXAMPLES = [
     "tree_machine_search.py",
     "fault_injection_and_recovery.py",
     "design_advisor_tour.py",
+    "static_timing_gate.py",
 ]
 
 

@@ -1,0 +1,157 @@
+"""The repo-invariant AST linter: rule unit tests + the tree-wide gate."""
+
+import textwrap
+
+from tools.lint_repro import SRC_ROOT, lint_source, lint_tree
+
+
+def lint(code: str, rel: str = "core/example.py"):
+    return lint_source(textwrap.dedent(code), rel)
+
+
+# ----------------------------------------------------------------------
+# batch-oracle
+# ----------------------------------------------------------------------
+def test_batch_without_scalar_oracle_is_flagged():
+    violations = lint(
+        """
+        class Kernel:
+            def frob_batch(self, xs):
+                return xs
+        """
+    )
+    assert [v.rule for v in violations] == ["batch-oracle"]
+    assert "Kernel.frob_batch" in violations[0].message
+
+
+def test_batch_with_plain_scalar_counterpart_passes():
+    assert not lint(
+        """
+        class Kernel:
+            def frob(self, x):
+                return x
+
+            def frob_batch(self, xs):
+                return [self.frob(x) for x in xs]
+        """
+    )
+
+
+def test_batch_with_scalar_suffix_counterpart_passes():
+    assert not lint(
+        """
+        def frob_batch(xs):
+            return xs
+
+        def frob_scalar(x):
+            return x
+        """
+    )
+
+
+def test_module_level_batch_without_oracle_is_flagged():
+    violations = lint("def frob_batch(xs):\n    return xs\n")
+    assert [v.rule for v in violations] == ["batch-oracle"]
+
+
+def test_allowlisted_split_oracle_passes():
+    assert not lint(
+        """
+        class ClockTree:
+            def path_difference(self, a, b):
+                return 0.0
+
+            def path_length(self, a, b):
+                return 0.0
+
+            def path_metrics_batch(self, pairs):
+                return []
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# seeded-random
+# ----------------------------------------------------------------------
+def test_module_level_random_call_is_flagged():
+    violations = lint("import random\nx = random.random()\n")
+    assert [v.rule for v in violations] == ["seeded-random"]
+
+
+def test_owned_random_instance_passes():
+    assert not lint(
+        """
+        import random
+        rng = random.Random(7)
+        x = rng.random()
+        """
+    )
+
+
+def test_unseeded_numpy_random_is_flagged():
+    violations = lint("import numpy as np\nx = np.random.rand(4)\n")
+    assert [v.rule for v in violations] == ["seeded-random"]
+
+
+def test_seeded_default_rng_passes():
+    assert not lint("import numpy as np\nrng = np.random.default_rng(3)\n")
+
+
+def test_unseeded_default_rng_is_flagged():
+    violations = lint("import numpy as np\nrng = np.random.default_rng()\n")
+    assert [v.rule for v in violations] == ["seeded-random"]
+
+
+# ----------------------------------------------------------------------
+# simulator-kwargs
+# ----------------------------------------------------------------------
+SIM_WITHOUT_OBS = """
+class ToySimulator:
+    def __init__(self, program):
+        self.program = program
+"""
+
+SIM_WITH_OBS = """
+class ToySimulator:
+    def __init__(self, program, tracer=None, metrics=None):
+        self.program = program
+"""
+
+
+def test_simulator_without_obs_kwargs_is_flagged_in_sim():
+    violations = lint_source(SIM_WITHOUT_OBS, "sim/toy.py")
+    assert [v.rule for v in violations] == ["simulator-kwargs"]
+    assert "tracer/metrics" in violations[0].message
+
+
+def test_simulator_with_obs_kwargs_passes():
+    assert not lint_source(SIM_WITH_OBS, "sim/toy.py")
+
+
+def test_simulator_rule_scoped_to_sim_package():
+    # The same class outside repro/sim is not a public simulator.
+    assert not lint_source(SIM_WITHOUT_OBS, "analysis/toy.py")
+
+
+def test_private_simulator_is_exempt():
+    assert not lint_source(
+        "class _ScratchSimulator:\n    def __init__(self, p):\n        pass\n",
+        "sim/toy.py",
+    )
+
+
+# ----------------------------------------------------------------------
+# the actual gate
+# ----------------------------------------------------------------------
+def test_src_repro_is_lint_clean():
+    violations = lint_tree(SRC_ROOT)
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+def test_gate_actually_sees_the_simulators():
+    # Guard against the rule silently matching nothing (e.g. a path-prefix
+    # regression): the tree must contain public simulators in repro/sim.
+    sim_sources = list((SRC_ROOT / "sim").glob("*.py"))
+    assert sim_sources
+    names = "\n".join(p.read_text(encoding="utf-8") for p in sim_sources)
+    assert "class ClockedArraySimulator" in names

@@ -1,0 +1,66 @@
+"""CLI tests for ``python -m repro sta``: exit codes and JSON schema."""
+
+import json
+
+from repro.cli import main
+from repro.obs.schema import validate_sta_report
+
+
+def run_cli(argv):
+    try:
+        return main(argv)
+    except SystemExit as exc:  # argparse errors surface as SystemExit(2)
+        return int(exc.code or 0)
+
+
+def test_sta_clean_exits_zero_and_emits_schema_valid_json(tmp_path, capsys):
+    out = tmp_path / "sta.json"
+    code = run_cli(["sta", "--workload", "fir", "--size", "4", "--json", str(out)])
+    assert code == 0
+    reports = json.loads(out.read_text())
+    assert isinstance(reports, list) and len(reports) == 1
+    assert validate_sta_report(reports[0]) == []
+    assert reports[0]["verdict"] == "clean"
+    assert "fir" in capsys.readouterr().out
+
+
+def test_sta_all_workloads_emits_four_reports(tmp_path):
+    out = tmp_path / "sta.json"
+    code = run_cli(["sta", "--size", "3", "--json", str(out)])
+    assert code == 0
+    reports = json.loads(out.read_text())
+    assert len(reports) == 4
+    assert all(validate_sta_report(r) == [] for r in reports)
+
+
+def test_sta_infeasible_period_exits_one(tmp_path):
+    out = tmp_path / "sta.json"
+    code = run_cli(
+        ["sta", "--workload", "matmul", "--size", "3",
+         "--period", "1e-6", "--json", str(out)]
+    )
+    assert code == 1
+    (report,) = json.loads(out.read_text())
+    assert report["verdict"] == "violations"
+    assert report["counts"]["stale"] > 0
+    assert validate_sta_report(report) == []
+
+
+def test_sta_bad_configuration_exits_two():
+    assert run_cli(["sta", "--workload", "fir", "--delta", "-1.0"]) == 2
+
+
+def test_sta_unknown_workload_rejected():
+    assert run_cli(["sta", "--workload", "quantum"]) == 2
+
+
+def test_sta_renders_drc_and_flagged_edge_tables(capsys):
+    code = run_cli(
+        ["sta", "--workload", "matmul", "--size", "3",
+         "--period", "1e-6", "--verbose"]
+    )
+    assert code == 1
+    text = capsys.readouterr().out
+    assert "design rules" in text
+    assert "flags" in text  # the offending-edge table is shown
+    assert "stale" in text

@@ -1,0 +1,81 @@
+"""Property tests (hypothesis): static slack brackets the simulator.
+
+The contract under test, over randomized designs:
+
+* a design the analyzer certifies clean runs violation-free in
+  :class:`ClockedArraySimulator` (soundness);
+* clocking the same design below its minimum feasible period produces
+  simulator violations, every one of them on an edge the analyzer
+  flagged (the flagged set explains the observed set);
+* the bisection period matches the closed-form oracle.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sta.analyzer import STAAnalyzer
+from repro.sta.design import random_design
+from repro.sta.slack import (
+    analyze_slack,
+    minimum_feasible_period,
+    minimum_feasible_period_closed_form,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_clean_construction_is_timing_clean_and_simulates_clean(seed):
+    # Note: the full DRC verdict may still flag such a design (a star
+    # scheme breaks the binary-tree rule A4); timing cleanliness is the
+    # property the clean generator guarantees.
+    design = random_design(seed, clean=True)
+    report = STAAnalyzer(design).report()
+    assert report.counts["stale"] == 0 and report.counts["race"] == 0
+    result = design.simulator().run()
+    assert result.clean, f"timing-clean but {len(result.violations)} violations"
+
+
+@given(seed=seeds, shrink=st.floats(min_value=0.2, max_value=0.9))
+@settings(max_examples=40, deadline=None)
+def test_period_below_minimum_violates_on_flagged_edges(seed, shrink):
+    design = random_design(seed, clean=True)
+    need = minimum_feasible_period_closed_form(design, mode="exact")
+    assume(need > 1e-6)  # wave-pipelined designs have no positive floor
+    tight = design.with_period(need * shrink)
+    analysis = analyze_slack(tight)
+    stale = set(analysis.stale_edges())
+    assert stale, "below the exact minimum there must be a negative slack edge"
+    violated = {v.edge for v in tight.simulator().run().violations}
+    assert violated, "simulator saw no violation below the minimum period"
+    assert violated <= stale | set(analysis.race_edges())
+
+
+@given(seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_simulated_violations_have_nonpositive_static_slack(seed):
+    design = random_design(seed)  # clean or stressed, generator's choice
+    analysis = analyze_slack(design)
+    violated = {v.edge for v in design.simulator().run().violations}
+    flagged = set(analysis.stale_edges()) | set(analysis.race_edges())
+    assert violated <= flagged
+
+
+@given(seed=seeds, mode=st.sampled_from(["exact", "bound"]))
+@settings(max_examples=30, deadline=None)
+def test_bisection_matches_closed_form(seed, mode):
+    design = random_design(seed)
+    bisect = minimum_feasible_period(design, mode=mode)
+    closed = minimum_feasible_period_closed_form(design, mode=mode)
+    assert abs(bisect - closed) <= 1e-6 * max(1.0, closed)
+
+
+@given(seed=seeds, factor=st.floats(min_value=1.0, max_value=4.0))
+@settings(max_examples=30, deadline=None)
+def test_slack_monotone_in_period(seed, factor):
+    design = random_design(seed, clean=True)
+    wider = analyze_slack(design.with_period(design.period * factor))
+    base = analyze_slack(design)
+    assert (wider.setup_exact >= base.setup_exact - 1e-12).all()
+    assert wider.timing_clean

@@ -1,0 +1,132 @@
+"""Unit tests for the static slack kernel (repro.sta.slack)."""
+
+import numpy as np
+import pytest
+
+from repro.sta.design import design_for_workload, random_design
+from repro.sta.slack import (
+    FLAG_RACE,
+    FLAG_STALE,
+    SIM_TOL,
+    analyze_slack,
+    edge_lags,
+    minimum_feasible_period,
+    minimum_feasible_period_closed_form,
+    pad_for_races,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_design():
+    return design_for_workload("matvec", size=4, seed=11)
+
+
+def test_slack_matches_schedule_arithmetic(clean_design):
+    d = clean_design
+    a = analyze_slack(d)
+    for i, (u, v) in enumerate(a.edges):
+        lead = d.schedule.offset(u) - d.schedule.offset(v)
+        lag = d.edge_lag((u, v))
+        assert a.setup_exact[i] == pytest.approx(d.period - (lead + lag), abs=1e-12)
+        assert a.hold_exact[i] == pytest.approx(lead + lag, abs=1e-12)
+        # bound mode is independent of the schedule offsets
+        assert a.setup_bound[i] == pytest.approx(d.period - (a.sigma_ub[i] + lag))
+        assert a.hold_bound[i] == pytest.approx(lag - a.sigma_ub[i])
+
+
+def test_clean_design_is_clean_and_simulates_clean(clean_design):
+    a = analyze_slack(clean_design)
+    assert a.timing_clean
+    assert not a.stale_edges() and not a.race_edges()
+    assert clean_design.simulator().run().clean
+
+
+def test_edge_lags_bit_identical_to_simulator(clean_design):
+    sim_lags = clean_design.simulator().edge_lags()
+    lags = edge_lags(clean_design)
+    for edge, lag in zip(clean_design.edges(), lags):
+        assert lag == sim_lags[edge]  # exact, not approx — shared arithmetic
+
+
+def test_bisection_matches_closed_form(clean_design):
+    for mode in ("exact", "bound"):
+        bisect = minimum_feasible_period(clean_design, mode=mode)
+        closed = minimum_feasible_period_closed_form(clean_design, mode=mode)
+        assert bisect == pytest.approx(closed, rel=1e-6, abs=1e-6)
+
+
+def test_unknown_mode_rejected(clean_design):
+    with pytest.raises(ValueError, match="unknown slack mode"):
+        minimum_feasible_period(clean_design, mode="vibes")
+
+
+def test_below_minimum_period_goes_stale():
+    d = design_for_workload("matmul", size=3, seed=5)
+    need = minimum_feasible_period_closed_form(d, mode="exact")
+    assert need > 0
+    tight = d.with_period(need * 0.5)
+    a = analyze_slack(tight)
+    stale = a.stale_edges()
+    assert stale
+    rows = {r.edge: r for r in a.rows()}
+    assert all(FLAG_STALE in rows[e].flags for e in stale)
+    # the simulator violates on (a subset of) exactly those edges
+    violated = {v.edge for v in tight.simulator().run().violations}
+    assert violated and violated <= set(stale) | set(a.race_edges())
+
+
+def test_at_minimum_period_is_feasible():
+    d = design_for_workload("matmul", size=3, seed=5)
+    need = minimum_feasible_period_closed_form(d, mode="exact")
+    at = analyze_slack(d.with_period(need))
+    assert not at.stale_edges()
+
+
+def test_pad_for_races_clears_hold_hazards():
+    # Unpadded stressed designs race; padding must fix every one of them.
+    found = 0
+    for seed in range(40):
+        d = random_design(seed, clean=False)
+        a = analyze_slack(d)
+        if not a.race_edges():
+            continue
+        found += 1
+        padded_design = d.with_period(d.period)
+        padded_design.edge_padding = pad_for_races(padded_design)
+        padded = analyze_slack(padded_design)
+        assert not padded.race_edges()
+        assert not padded_design.simulator().hold_hazards()
+        rows = {r.edge: r for r in padded.rows()}
+        assert all(FLAG_RACE not in rows[e].flags for e in padded.edges)
+    assert found >= 3, "stressed generator produced too few racy designs"
+
+
+def test_padding_never_negative(clean_design):
+    assert all(p > 0 for p in pad_for_races(clean_design).values())
+
+
+def test_race_floor_needs_padding():
+    # An edge whose lag sits under the model's skew floor is flagged even
+    # when the concrete schedule happens to be safe.
+    for seed in range(60):
+        d = random_design(seed, clean=False)
+        a = analyze_slack(d)
+        floor = a.race_floor_mask
+        if floor.any():
+            idx = int(np.argmax(floor))
+            assert a.sigma_lb[idx] >= a.lag[idx] - SIM_TOL
+            return
+    pytest.skip("no floor-limited edge in the sampled designs")
+
+
+def test_slack_monotone_in_period(clean_design):
+    a1 = analyze_slack(clean_design)
+    a2 = analyze_slack(clean_design.with_period(clean_design.period * 2))
+    assert (a2.setup_exact >= a1.setup_exact).all()
+    assert np.array_equal(a2.hold_exact, a1.hold_exact)  # period-independent
+
+
+def test_arrays_are_read_only(clean_design):
+    a = analyze_slack(clean_design)
+    with pytest.raises(ValueError):
+        a.setup_exact[0] = 0.0

@@ -1,0 +1,221 @@
+"""Repo-specific static lint: invariants generic linters can't know.
+
+Three rules, each an AST pass over ``src/repro``:
+
+* **batch-oracle** — every ``*_batch`` kernel must have a scalar oracle
+  counterpart in the same scope (``X`` or ``X_scalar`` next to
+  ``X_batch``), so the differential suites always have a reference to
+  compare the vectorized path against.  A small allowlist maps kernels
+  whose oracle is split across differently-named scalars.
+* **seeded-random** — no unseeded randomness outside ``tests/``: calls
+  like ``random.random()`` / ``np.random.rand()`` draw from ambient
+  global state and break run-to-run determinism (A8 in spirit).
+  ``random.Random(seed)`` instances and ``np.random.default_rng(seed)``
+  are the sanctioned forms.
+* **simulator-kwargs** — every public ``*Simulator`` class in
+  ``repro.sim`` must accept the opt-in ``tracer=`` and ``metrics=``
+  observability kwargs (the PR-1 convention).
+
+Run as a script (``python tools/lint_repro.py``) or via the pytest in
+``tests/test_lint_repro.py`` (part of the tier-1 suite, hence CI).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Batch kernels whose scalar oracle is split across differently-named
+#: functions; maps (scope, kernel) to the scalar names that must exist.
+BATCH_ORACLE_ALLOWLIST: Dict[Tuple[str, str], Tuple[str, ...]] = {
+    ("ClockTree", "path_metrics_batch"): ("path_difference", "path_length"),
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _iter_sources(root: Path) -> Iterable[Path]:
+    return sorted(root.rglob("*.py"))
+
+
+def _function_names(body: Sequence[ast.stmt]) -> List[ast.FunctionDef]:
+    return [
+        node
+        for node in body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+# ----------------------------------------------------------------------
+# rule: batch-oracle
+# ----------------------------------------------------------------------
+def _check_batch_scope(
+    scope_name: str,
+    body: Sequence[ast.stmt],
+    rel: str,
+    violations: List[LintViolation],
+) -> None:
+    functions = _function_names(body)
+    names = {f.name for f in functions}
+    for func in functions:
+        if not func.name.endswith("_batch"):
+            continue
+        base = func.name[: -len("_batch")]
+        required = BATCH_ORACLE_ALLOWLIST.get(
+            (scope_name, func.name), (base, base + "_scalar")
+        )
+        if not any(candidate in names for candidate in required):
+            violations.append(
+                LintViolation(
+                    "batch-oracle",
+                    rel,
+                    func.lineno,
+                    f"{scope_name}.{func.name} has no scalar oracle "
+                    f"(expected one of {', '.join(required)})",
+                )
+            )
+
+
+def check_batch_oracles(tree: ast.Module, rel: str) -> List[LintViolation]:
+    violations: List[LintViolation] = []
+    _check_batch_scope("<module>", tree.body, rel, violations)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _check_batch_scope(node.name, node.body, rel, violations)
+    return violations
+
+
+# ----------------------------------------------------------------------
+# rule: seeded-random
+# ----------------------------------------------------------------------
+def _attribute_chain(node: ast.expr) -> Optional[List[str]]:
+    """``np.random.rand`` -> ["np", "random", "rand"]; None if not a plain
+    name/attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def check_seeded_random(tree: ast.Module, rel: str) -> List[LintViolation]:
+    violations: List[LintViolation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            continue
+        if chain[0] == "random" and len(chain) == 2:
+            # random.Random(seed) builds an owned, seedable stream; every
+            # other module-level call draws from ambient global state.
+            if chain[1] != "Random":
+                violations.append(
+                    LintViolation(
+                        "seeded-random",
+                        rel,
+                        node.lineno,
+                        f"module-level random.{chain[1]}() draws from global "
+                        "state; use random.Random(seed)",
+                    )
+                )
+        elif chain[0] in ("np", "numpy") and len(chain) >= 2 and chain[1] == "random":
+            tail = chain[2] if len(chain) > 2 else ""
+            if tail == "default_rng" and node.args:
+                continue  # seeded generator — the sanctioned form
+            violations.append(
+                LintViolation(
+                    "seeded-random",
+                    rel,
+                    node.lineno,
+                    f"{'.'.join(chain)}() is unseeded global numpy "
+                    "randomness; use np.random.default_rng(seed)",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# rule: simulator-kwargs
+# ----------------------------------------------------------------------
+def check_simulator_kwargs(tree: ast.Module, rel: str) -> List[LintViolation]:
+    if not rel.replace("\\", "/").startswith("sim/"):
+        return []
+    violations: List[LintViolation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Simulator") or node.name.startswith("_"):
+            continue
+        init = next(
+            (f for f in _function_names(node.body) if f.name == "__init__"), None
+        )
+        if init is None:
+            continue
+        params = {a.arg for a in init.args.args} | {
+            a.arg for a in init.args.kwonlyargs
+        }
+        missing = [k for k in ("tracer", "metrics") if k not in params]
+        if missing:
+            violations.append(
+                LintViolation(
+                    "simulator-kwargs",
+                    rel,
+                    node.lineno,
+                    f"public simulator {node.name} lacks opt-in "
+                    f"{'/'.join(missing)} kwarg(s)",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def lint_source(source: str, rel: str) -> List[LintViolation]:
+    """All rules over one file's source text (``rel`` is the path relative
+    to ``src/repro``, used for rule scoping and messages)."""
+    tree = ast.parse(source, filename=rel)
+    violations = check_batch_oracles(tree, rel)
+    violations += check_seeded_random(tree, rel)
+    violations += check_simulator_kwargs(tree, rel)
+    return violations
+
+
+def lint_tree(root: Path = SRC_ROOT) -> List[LintViolation]:
+    violations: List[LintViolation] = []
+    for path in _iter_sources(root):
+        rel = str(path.relative_to(root))
+        violations.extend(lint_source(path.read_text(encoding="utf-8"), rel))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    root = Path(argv[0]) if argv else SRC_ROOT
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    print(f"{len(violations)} violation(s) in {root}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
