@@ -17,15 +17,17 @@ from __future__ import annotations
 
 import contextlib
 import math
+import pickle
 import statistics
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.profile import Profiler
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.spans import SpanTracer
+from repro.obs.trace import NULL_TRACER, RecordingTracer, TraceEvent, Tracer
 
 Trial = Callable[[int], float]
 
@@ -227,3 +229,236 @@ def run_trials(
             ci_low=summary.ci_low, ci_high=summary.ci_high,
         )
     return summary
+
+
+# ----------------------------------------------------------------------
+# phase-resolved (span-traced) execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChunkTelemetry:
+    """Phase accounting for one worker's chunk of the seed range.
+
+    ``compile_s`` is the first-trial overhead — the cost of building the
+    per-worker structure (a :class:`CompiledTrialContext` factory runs
+    once per worker), estimated as the excess of the first trial's wall
+    time over the cheapest later trial in the same chunk.  ``pickle_s``
+    is this chunk's share of shipping the trial callable to a process
+    worker (zero for threads, which share the heap).
+    """
+
+    worker: str
+    first_seed: int
+    trials: int
+    pickle_s: float
+    compile_s: float
+    run_s: float
+    wall_s: float
+
+
+@dataclass
+class MonteCarloTelemetry:
+    """Per-worker phase timings for one :func:`run_trials_traced` call —
+    the view that localizes pool overheads (e.g. the ``workers_4``
+    regression row in ``BENCH_perf.json``) to a phase instead of a
+    single opaque wall-clock number."""
+
+    executor: str
+    workers: int
+    wall_s: float = 0.0
+    chunks: List[ChunkTelemetry] = field(default_factory=list)
+
+    @property
+    def pickle_s(self) -> float:
+        return sum(c.pickle_s for c in self.chunks)
+
+    @property
+    def compile_s(self) -> float:
+        return sum(c.compile_s for c in self.chunks)
+
+    @property
+    def run_s(self) -> float:
+        return sum(c.run_s for c in self.chunks)
+
+
+def _split_chunk_phases(walls: Sequence[float]) -> Tuple[float, float]:
+    """``(compile_s, run_s)`` from per-trial wall times: the first trial
+    pays any per-worker structure build, so its excess over the cheapest
+    subsequent trial is attributed to compile."""
+    total = sum(walls)
+    if len(walls) < 2:
+        return 0.0, total
+    compile_s = max(0.0, walls[0] - min(walls[1:]))
+    return compile_s, total - compile_s
+
+
+def _run_chunk_spanned(
+    trial: Trial,
+    first_seed: int,
+    count: int,
+    worker: str,
+    parent_id: Optional[str],
+) -> Dict[str, Any]:
+    """The worker half of :func:`run_trials_traced`: run a chunk, span
+    every trial, and return the spans as JSON objects (a tracer cannot
+    cross a process-pool boundary, but its serialized events can).
+
+    ``parent_id`` is the coordinator's map-phase span id — the
+    context-propagation handle that grafts this worker's spans onto the
+    coordinator's tree when the streams merge.  ``None`` means tracing
+    is off and only timings are collected.
+    """
+    recorder: Optional[RecordingTracer] = None
+    spans: Optional[SpanTracer] = None
+    if parent_id is not None:
+        recorder = RecordingTracer()
+        spans = SpanTracer(recorder, worker=worker, parent_id=parent_id)
+    wall_t0 = time.time()
+    t_chunk = time.perf_counter()
+    timed: List[Tuple[float, float]] = []
+    ctx = (
+        spans.span("montecarlo.chunk", first_seed=first_seed, count=count)
+        if spans is not None
+        else contextlib.nullcontext()
+    )
+    with ctx:
+        for seed in range(first_seed, first_seed + count):
+            if spans is not None:
+                with spans.span("montecarlo.trial", seed=seed) as h:
+                    t0 = time.perf_counter()
+                    value = trial(seed)
+                    wall = time.perf_counter() - t0
+                    h.annotate(value=value)
+            else:
+                t0 = time.perf_counter()
+                value = trial(seed)
+                wall = time.perf_counter() - t0
+            timed.append((value, wall))
+    return {
+        "timed": timed,
+        "worker": worker,
+        "wall_t0": wall_t0,
+        "wall_s": time.perf_counter() - t_chunk,
+        "events": (
+            [e.to_json_obj() for e in recorder.events]
+            if recorder is not None
+            else []
+        ),
+    }
+
+
+def run_trials_traced(
+    trial: Trial,
+    n_trials: int,
+    base_seed: int = 0,
+    z: float = 1.96,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[Profiler] = None,
+    workers: Optional[int] = None,
+    executor: str = "thread",
+) -> Tuple[MonteCarloSummary, MonteCarloTelemetry]:
+    """:func:`run_trials` with phase-resolved telemetry and causal spans.
+
+    Identical seed partitioning and seed-order reassembly, so the
+    returned summary is bit-identical to :func:`run_trials`.  On top,
+    the run is decomposed into pickle / map / reduce phases; with an
+    enabled ``tracer`` the whole run is one span tree —
+    ``montecarlo.run_trials`` at the root, one ``montecarlo.chunk`` per
+    worker (propagated across the pool boundary via
+    :class:`~repro.obs.spans.SpanContext`-style parent ids), one
+    ``montecarlo.trial`` per seed — plus the PR-1 ``montecarlo/trial``
+    and ``montecarlo/summary`` progress events, unchanged.
+    """
+    if n_trials < 2:
+        raise ValueError("need at least two trials")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    spans = SpanTracer(tracer)
+    parallel = workers is not None and workers > 1
+    n_workers = workers if parallel else 1
+    telemetry = MonteCarloTelemetry(
+        executor=executor if parallel else "serial", workers=n_workers
+    )
+    run_t0 = time.perf_counter()
+    with (profiler.profiled("montecarlo") if profiler is not None
+          else contextlib.nullcontext()):
+        with spans.span(
+            "montecarlo.run_trials",
+            trials=n_trials, workers=n_workers,
+            executor=telemetry.executor,
+        ):
+            pickle_s = 0.0
+            if parallel and executor == "process":
+                with spans.span("montecarlo.pickle") as h:
+                    t0 = time.perf_counter()
+                    payload = pickle.dumps(trial)
+                    pickle_s = time.perf_counter() - t0
+                    h.annotate(bytes=len(payload))
+            chunks = _seed_chunks(base_seed, n_trials, n_workers)
+            with spans.span("montecarlo.map") as map_handle:
+                parent_id = map_handle.span_id if spans.enabled else None
+                if parallel:
+                    if executor == "thread":
+                        pool_cls = ThreadPoolExecutor
+                    elif executor == "process":
+                        pool_cls = ProcessPoolExecutor
+                    else:
+                        raise ValueError(f"unknown executor {executor!r}")
+                    with pool_cls(max_workers=n_workers) as pool:
+                        results = list(
+                            pool.map(
+                                _run_chunk_spanned,
+                                [trial] * len(chunks),
+                                [first for first, _ in chunks],
+                                [count for _, count in chunks],
+                                [f"w{i}" for i in range(len(chunks))],
+                                [parent_id] * len(chunks),
+                            )
+                        )
+                else:
+                    results = [
+                        _run_chunk_spanned(
+                            trial, chunks[0][0], chunks[0][1], "w0", parent_id
+                        )
+                    ]
+            # Merge the workers' span streams into the coordinator's
+            # trace; assemble_spans is arrival-order independent, so
+            # interleaving per chunk is fine.
+            if tracer.enabled:
+                for result in results:
+                    for obj in result["events"]:
+                        tracer.record(TraceEvent.from_json_obj(obj))
+            per_chunk_pickle = pickle_s / len(chunks) if chunks else 0.0
+            for (first, count), result in zip(chunks, results):
+                walls = [wall for _, wall in result["timed"]]
+                compile_s, run_s = _split_chunk_phases(walls)
+                telemetry.chunks.append(
+                    ChunkTelemetry(
+                        worker=result["worker"],
+                        first_seed=first,
+                        trials=count,
+                        pickle_s=per_chunk_pickle,
+                        compile_s=compile_s,
+                        run_s=run_s,
+                        wall_s=result["wall_s"],
+                    )
+                )
+            with spans.span("montecarlo.reduce"):
+                timed = [item for r in results for item in r["timed"]]
+                values = [value for value, _ in timed]
+                if tracer.enabled:
+                    for i, (value, wall_s) in enumerate(timed):
+                        tracer.event(
+                            float(i), "montecarlo", "trial",
+                            seed=base_seed + i, value=value, wall_s=wall_s,
+                            completed=i + 1, total=n_trials,
+                        )
+                summary = summarize(values, z=z)
+    telemetry.wall_s = time.perf_counter() - run_t0
+    if tracer.enabled:
+        tracer.event(
+            float(n_trials), "montecarlo", "summary",
+            trials=n_trials, mean=summary.mean, stdev=summary.stdev,
+            ci_low=summary.ci_low, ci_high=summary.ci_high,
+        )
+    return summary, telemetry

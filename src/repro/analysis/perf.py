@@ -37,7 +37,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.analysis.montecarlo import CompiledTrialContext, run_trials
+from repro.analysis.montecarlo import (
+    CompiledTrialContext,
+    run_trials,
+    run_trials_traced,
+)
 from repro.arrays.topologies import mesh
 from repro.clocktree.buffered import BufferedClockTree
 from repro.clocktree.htree import htree_for_array
@@ -60,6 +64,9 @@ BENCH_HEADERS = [
     "optimized_s",
     "speedup",
     "max_abs_diff",
+    "pickle_s",
+    "compile_s",
+    "run_s",
 ]
 
 
@@ -71,6 +78,13 @@ class KernelTiming:
     Monte-Carlo), ``items`` the inner quantity (communicating pairs, or
     pool workers), and ``max_abs_diff`` the largest observed output
     discrepancy between the two paths (0.0 when bit-identical).
+
+    The phase columns (``pickle_s``/``compile_s``/``run_s``) decompose
+    the *optimized* side's wall clock where the harness can measure it —
+    currently the Monte-Carlo rows, via
+    :func:`repro.analysis.montecarlo.run_trials_traced` — and stay
+    ``None`` (JSON ``null``) for kernels without a phase split, keeping
+    every BENCH row schema-uniform.
     """
 
     kernel: str
@@ -79,6 +93,9 @@ class KernelTiming:
     baseline_s: float
     optimized_s: float
     max_abs_diff: float
+    pickle_s: Optional[float] = None
+    compile_s: Optional[float] = None
+    run_s: Optional[float] = None
 
     @property
     def speedup(self) -> float:
@@ -93,6 +110,9 @@ class KernelTiming:
             self.optimized_s,
             self.speedup,
             self.max_abs_diff,
+            self.pickle_s,
+            self.compile_s,
+            self.run_s,
         ]
 
 
@@ -348,6 +368,9 @@ def bench_montecarlo_cached(trials: int = 32) -> KernelTiming:
     t0 = time.perf_counter()
     cached = run_trials(_mc_cached_trial, trials, base_seed=0)
     cached_s = time.perf_counter() - t0
+    # Phase split from the instrumented runner (summary bit-identical to
+    # run_trials, so reusing its result for the diff check is sound).
+    _, telemetry = run_trials_traced(_mc_cached_trial, trials, base_seed=0)
     diff = max(
         abs(uncached.mean - cached.mean),
         abs(uncached.stdev - cached.stdev),
@@ -356,7 +379,10 @@ def bench_montecarlo_cached(trials: int = 32) -> KernelTiming:
         abs(uncached.ci_half_width - cached.ci_half_width),
     )
     return KernelTiming(
-        "montecarlo_cached", trials, trials, uncached_s, cached_s, diff
+        "montecarlo_cached", trials, trials, uncached_s, cached_s, diff,
+        pickle_s=telemetry.pickle_s,
+        compile_s=telemetry.compile_s,
+        run_s=telemetry.run_s,
     )
 
 
@@ -382,6 +408,12 @@ def bench_montecarlo(
         _montecarlo_trial, trials, base_seed=0, workers=workers, executor=executor
     )
     parallel_s = time.perf_counter() - t0
+    # Phase decomposition of the pooled run (per-worker pickle/compile/run
+    # seconds): the columns that localize a pool regression to its phase
+    # instead of leaving one opaque wall-clock number.
+    _, telemetry = run_trials_traced(
+        _montecarlo_trial, trials, base_seed=0, workers=workers, executor=executor
+    )
     diff = max(
         abs(serial.mean - parallel.mean),
         abs(serial.stdev - parallel.stdev),
@@ -390,7 +422,10 @@ def bench_montecarlo(
         abs(serial.ci_half_width - parallel.ci_half_width),
     )
     return KernelTiming(
-        f"montecarlo_workers_{workers}", trials, workers, serial_s, parallel_s, diff
+        f"montecarlo_workers_{workers}", trials, workers, serial_s, parallel_s, diff,
+        pickle_s=telemetry.pickle_s,
+        compile_s=telemetry.compile_s,
+        run_s=telemetry.run_s,
     )
 
 
@@ -423,6 +458,7 @@ def run_perf_suite(
                 kernel=r.kernel, size=r.size, items=r.items,
                 baseline_s=r.baseline_s, optimized_s=r.optimized_s,
                 speedup=r.speedup, max_abs_diff=r.max_abs_diff,
+                pickle_s=r.pickle_s, compile_s=r.compile_s, run_s=r.run_s,
             )
     return results
 

@@ -174,48 +174,62 @@ class CheckRegistry:
             if unknown:
                 raise KeyError(f"unknown checks: {sorted(unknown)}")
             selected = [c for c in selected if c.name in wanted]
+        from repro.obs.spans import SpanTracer
+
+        spans = SpanTracer(ctx.tracer)
         results: List[CheckResult] = []
-        for i, check in enumerate(selected):
-            if ctx.tracer.enabled:
-                ctx.tracer.event(
-                    float(i), "check", "start",
-                    name=check.name, check_kind=check.kind,
-                )
-            t0 = _time.perf_counter()
-            details: Dict[str, Any] = {}
-            error: Optional[str] = None
-            passed = True
-            try:
-                details = check.func(ctx) or {}
-            except CheckFailure as exc:
-                passed = False
-                error = str(exc)
-                details = dict(exc.details)
-            except Exception as exc:  # a broken check is a failed check
-                passed = False
-                error = f"{type(exc).__name__}: {exc}"
-            duration = _time.perf_counter() - t0
-            if ctx.tracer.enabled:
-                ctx.tracer.event(
-                    float(i), "check", "pass" if passed else "fail",
-                    name=check.name, check_kind=check.kind,
-                    duration_s=duration, error=error,
-                )
-            if ctx.metrics is not None:
-                ctx.metrics.counter("check.runs").inc()
+        with spans.span(
+            "check.suite", suite=suite, seed=seed, checks=len(selected)
+        ) as suite_handle:
+            failures = 0
+            for i, check in enumerate(selected):
+                if ctx.tracer.enabled:
+                    ctx.tracer.event(
+                        float(i), "check", "start",
+                        name=check.name, check_kind=check.kind,
+                    )
+                t0 = _time.perf_counter()
+                details: Dict[str, Any] = {}
+                error: Optional[str] = None
+                passed = True
+                with spans.span(
+                    f"check.{check.name}", t=float(i), check_kind=check.kind
+                ) as check_handle:
+                    try:
+                        details = check.func(ctx) or {}
+                    except CheckFailure as exc:
+                        passed = False
+                        error = str(exc)
+                        details = dict(exc.details)
+                    except Exception as exc:  # a broken check is a failed check
+                        passed = False
+                        error = f"{type(exc).__name__}: {exc}"
+                    check_handle.annotate(passed=passed)
+                duration = _time.perf_counter() - t0
                 if not passed:
-                    ctx.metrics.counter("check.failures").inc()
-                ctx.metrics.histogram("check.duration_s").observe(duration)
-            results.append(
-                CheckResult(
-                    name=check.name,
-                    kind=check.kind,
-                    passed=passed,
-                    duration_s=duration,
-                    details=details,
-                    error=error,
+                    failures += 1
+                if ctx.tracer.enabled:
+                    ctx.tracer.event(
+                        float(i), "check", "pass" if passed else "fail",
+                        name=check.name, check_kind=check.kind,
+                        duration_s=duration, error=error,
+                    )
+                if ctx.metrics is not None:
+                    ctx.metrics.counter("check.runs").inc()
+                    if not passed:
+                        ctx.metrics.counter("check.failures").inc()
+                    ctx.metrics.histogram("check.duration_s").observe(duration)
+                results.append(
+                    CheckResult(
+                        name=check.name,
+                        kind=check.kind,
+                        passed=passed,
+                        duration_s=duration,
+                        details=details,
+                        error=error,
+                    )
                 )
-            )
+            suite_handle.annotate(failures=failures)
         return results
 
 

@@ -10,14 +10,16 @@ Run ``python -m repro <command> --help``.  Commands:
 * ``hybrid``       — hybrid cycle time vs the global equipotential clock;
 * ``bench``        — microbenchmark the hot kernels, write BENCH_perf.json;
 * ``check``        — run the invariant/differential/metamorphic check suite;
-* ``trace``        — replay and summarise a recorded JSONL trace.
+* ``trace``        — replay and summarise a recorded JSONL trace;
+* ``dashboard``    — render a trace as a terminal or HTML report.
 
 Every command prints a small table; nothing is written to disk unless
 observability is asked for: ``--trace FILE`` streams structured events to
 a JSONL file (replay with ``repro trace FILE``) and ``--metrics`` prints
 collected counters/gauges/histograms plus wall-clock phase timings after
-the command.  Without those flags, output is byte-identical to the
-uninstrumented CLI.
+the command (``--metrics-json`` / ``--metrics-prom`` export the registry
+as a schema-valid snapshot or Prometheus text).  Without those flags,
+output is byte-identical to the uninstrumented CLI.
 """
 
 from __future__ import annotations
@@ -378,6 +380,8 @@ def cmd_sta(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     """Replay a JSONL trace: counts, skew histogram, violation timeline."""
     events = load_trace(args.file)
+    if getattr(args, "critical_path", False):
+        return _print_critical_path(args.file, events)
     summary = summarize_trace(events, skew_buckets=args.buckets)
     print(
         f"trace {args.file}: {summary.events} events, "
@@ -407,6 +411,67 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_critical_path(path: str, events) -> int:
+    """The ``trace --critical-path`` view: reconstruct the dependency chain
+    behind the recorded run's makespan and blame it per cell."""
+    from repro.obs.critpath import critical_path_from_trace
+
+    try:
+        cp = critical_path_from_trace(events)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    exactness = (
+        "exact" if cp.exact
+        else f"reported {cp.reported!r}" if cp.reported is not None
+        else "unverified (no run summary in trace)"
+    )
+    print(
+        f"critical path of {path} ({cp.engine} engine): "
+        f"makespan {cp.makespan:.6g}, {len(cp.steps)} steps, {exactness}"
+    )
+    print()
+    print("chain (cause before effect):")
+    _print_table(
+        ["#", "step", "kind", "start", "end", "duration"],
+        [
+            (i, step.label(), step.kind,
+             f"{step.t_start:.6g}", f"{step.t_end:.6g}",
+             f"{step.duration:.6g}")
+            for i, step in enumerate(cp.steps)
+        ],
+    )
+    print()
+    print("blame (time on the critical path, by cell):")
+    _print_table(
+        ["where", "kind", "seconds", "share"],
+        [
+            (label, kind, f"{seconds:.6g}", f"{share:6.1%}")
+            for label, kind, seconds, share in cp.blame()
+        ],
+    )
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render a recorded trace as a dashboard: span waterfall, phase
+    totals, worker utilization, skew histogram, violation timeline."""
+    from repro.obs.dashboard import (
+        build_dashboard,
+        render_dashboard_text,
+        write_dashboard_html,
+    )
+
+    events = load_trace(args.file)
+    dash = build_dashboard(events)
+    if args.html:
+        write_dashboard_html(dash, args.html, title=f"repro trace — {args.file}")
+        print(f"wrote {args.html}")
+        return 0
+    print(render_dashboard_text(dash))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # observability plumbing
 # ----------------------------------------------------------------------
@@ -416,7 +481,11 @@ def _attach_observability(args: argparse.Namespace) -> None:
     use ``args.tracer`` unconditionally."""
     trace_path = getattr(args, "trace", None)
     args.tracer = JsonlTracer(trace_path) if trace_path else NULL_TRACER
-    want_metrics = getattr(args, "metrics", False)
+    want_metrics = bool(
+        getattr(args, "metrics", False)
+        or getattr(args, "metrics_json", None)
+        or getattr(args, "metrics_prom", None)
+    )
     args.metrics_registry = MetricsRegistry() if want_metrics else None
     args.profiler = Profiler() if want_metrics else None
 
@@ -429,22 +498,35 @@ def _maybe_profiled(args: argparse.Namespace, name: str):
 
 
 def _print_observability(args: argparse.Namespace) -> None:
-    """After a ``--metrics`` run: the collected registry and phase table."""
+    """After a ``--metrics`` run: the collected registry and phase table,
+    plus any requested exports (JSON snapshot / Prometheus text)."""
     metrics = args.metrics_registry
     if metrics is None:
         return
-    rows = metrics.render_rows()
-    print()
-    print("metrics:")
-    if rows:
-        _print_table(["name", "type", "summary"], rows)
-    else:
-        print("  (no instruments touched by this command)")
-    prof_rows = args.profiler.render_rows()
-    if prof_rows:
+    if getattr(args, "metrics", False):
+        rows = metrics.render_rows()
         print()
-        print("phases:")
-        _print_table(["phase", "calls", "total s", "mean s"], prof_rows)
+        print("metrics:")
+        if rows:
+            _print_table(["name", "type", "summary"], rows)
+        else:
+            print("  (no instruments touched by this command)")
+        prof_rows = args.profiler.render_rows()
+        if prof_rows:
+            print()
+            print("phases:")
+            _print_table(["phase", "calls", "total s", "mean s"], prof_rows)
+    json_path = getattr(args, "metrics_json", None)
+    prom_path = getattr(args, "metrics_prom", None)
+    if json_path or prom_path:
+        from repro.obs.export import write_metrics_json, write_metrics_prometheus
+
+        if json_path:
+            write_metrics_json(metrics, json_path)
+            print(f"wrote {json_path} (schema-validated metrics snapshot)")
+        if prom_path:
+            write_metrics_prometheus(metrics, prom_path)
+            print(f"wrote {prom_path} (Prometheus exposition text)")
 
 
 # ----------------------------------------------------------------------
@@ -469,6 +551,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="collect counters/gauges/histograms and print them after the command",
+    )
+    obs_flags.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        default=None,
+        help="write a schema-valid JSON metrics snapshot (implies collection)",
+    )
+    obs_flags.add_argument(
+        "--metrics-prom",
+        metavar="FILE",
+        default=None,
+        help="write the metrics as Prometheus exposition text (implies collection)",
     )
 
     def add_command(name, **kwargs):
@@ -576,7 +670,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--buckets", type=int, default=8, help="skew histogram bucket count"
     )
+    p.add_argument(
+        "--critical-path", action="store_true",
+        help="reconstruct the dependency chain behind the run's makespan "
+        "with per-cell blame (needs a causal trace: tick/fire, "
+        "dataflow/fire, or engine events)",
+    )
     p.set_defaults(func=cmd_trace, trace=None, metrics=False)
+
+    p = sub.add_parser(
+        "dashboard", help="render a recorded trace as a terminal or HTML report"
+    )
+    p.add_argument("file", help="trace file written by a --trace run")
+    p.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="write a self-contained HTML dashboard instead of terminal text",
+    )
+    p.set_defaults(func=cmd_dashboard, trace=None, metrics=False)
 
     return parser
 
@@ -599,7 +709,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     finally:
         args.tracer.close()
-    if code == 0:
+    # Diagnostic exits (1: violations/failed checks found) still print the
+    # collected metrics — those runs are exactly the ones worth inspecting;
+    # 2 means the command itself broke, so nothing trustworthy to print.
+    if code in (0, 1):
         _print_observability(args)
     return code
 

@@ -1,19 +1,26 @@
-"""Observability: tracing, metrics, and profiling for the simulators.
+"""Observability: tracing, spans, metrics, and profiling for the simulators.
 
-Three independent instruments, all zero-overhead when left at their
-defaults (every instrumented surface takes ``tracer=None`` /
-``metrics=None`` and default runs stay byte-identical):
+Independent instruments, all zero-overhead when left at their defaults
+(every instrumented surface takes ``tracer=None`` / ``metrics=None`` and
+default runs stay byte-identical):
 
 * :mod:`repro.obs.trace` — structured event recording
   (:class:`NullTracer`, :class:`RecordingTracer`, :class:`JsonlTracer`);
+* :mod:`repro.obs.spans` — hierarchical causal spans layered on the
+  event stream (:class:`SpanTracer`, :func:`assemble_spans`), with a
+  picklable :class:`SpanContext` that survives process-pool boundaries;
 * :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
-  behind a :class:`MetricsRegistry`;
+  behind a :class:`MetricsRegistry` (labelled series supported);
 * :mod:`repro.obs.profile` — nested wall-clock phase timers
   (:class:`Profiler` / :func:`profiled`).
 
 Plus the consumers: :mod:`repro.obs.replay` summarises a recorded trace
-(the ``python -m repro trace`` command) and :mod:`repro.obs.schema`
-validates the JSON artifacts the layer emits.
+(the ``python -m repro trace`` command), :mod:`repro.obs.critpath`
+reconstructs the causal chain behind a reported makespan,
+:mod:`repro.obs.dashboard` renders a trace as a terminal/HTML report,
+:mod:`repro.obs.export` exposes metrics as Prometheus text or JSON
+snapshots, and :mod:`repro.obs.schema` validates every JSON artifact the
+layer emits.
 """
 
 from repro.obs.trace import (
@@ -35,11 +42,42 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import PhaseStat, Profiler, profiled
 from repro.obs.replay import TraceSummary, summarize_trace
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    SpanTracer,
+    assemble_spans,
+    iter_spans,
+    span_index,
+)
+from repro.obs.critpath import (
+    CriticalPath,
+    PathStep,
+    clocked_critical_path,
+    critical_path_from_trace,
+    selftimed_critical_path,
+)
+from repro.obs.dashboard import (
+    Dashboard,
+    build_dashboard,
+    render_dashboard,
+    render_dashboard_html,
+    render_dashboard_text,
+)
+from repro.obs.export import (
+    metrics_snapshot,
+    render_prometheus,
+    snapshot_delta,
+)
 from repro.obs.schema import (
     BENCHMARK_RESULT_SCHEMA,
+    METRICS_SNAPSHOT_SCHEMA,
+    SPAN_EVENT_SCHEMA,
     TRACE_EVENT_SCHEMA,
     validate,
     validate_benchmark_result,
+    validate_metrics_snapshot,
+    validate_span_event,
     validate_trace_event,
 )
 
@@ -52,6 +90,12 @@ __all__ = [
     "TraceEvent",
     "read_trace",
     "load_trace",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "assemble_spans",
+    "iter_spans",
+    "span_index",
     "Counter",
     "Gauge",
     "Histogram",
@@ -62,9 +106,26 @@ __all__ = [
     "profiled",
     "TraceSummary",
     "summarize_trace",
+    "CriticalPath",
+    "PathStep",
+    "clocked_critical_path",
+    "critical_path_from_trace",
+    "selftimed_critical_path",
+    "Dashboard",
+    "build_dashboard",
+    "render_dashboard",
+    "render_dashboard_html",
+    "render_dashboard_text",
+    "metrics_snapshot",
+    "render_prometheus",
+    "snapshot_delta",
     "validate",
     "validate_trace_event",
+    "validate_span_event",
+    "validate_metrics_snapshot",
     "validate_benchmark_result",
     "TRACE_EVENT_SCHEMA",
+    "SPAN_EVENT_SCHEMA",
+    "METRICS_SNAPSHOT_SCHEMA",
     "BENCHMARK_RESULT_SCHEMA",
 ]

@@ -1,0 +1,372 @@
+"""Render a recorded trace as a self-contained report.
+
+``python -m repro dashboard TRACE [--html FILE]`` funnels through
+:func:`build_dashboard`: one pass over a JSONL trace produces
+
+* the **span waterfall** — the reassembled span forest with per-span
+  wall time, nested and (for multi-worker Monte-Carlo traces) grouped
+  so each worker's pickle/compile/run phases line up side by side;
+* **phase totals** — wall seconds aggregated per span name;
+* **worker utilization** — per worker, busy wall time over the trace's
+  wall-clock window;
+* the PR-1 **replay views** — event counts, the skew-over-time
+  histogram, and the violation timeline — so one artifact answers both
+  "what happened" and "where did the time go".
+
+:func:`render_dashboard_text` prints it to a terminal;
+:func:`render_dashboard_html` emits a single HTML file with no external
+assets (inline CSS only — it must render from a file:// URL in CI).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.replay import TraceSummary, summarize_trace
+from repro.obs.spans import Span, assemble_spans, iter_spans
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "Dashboard",
+    "WorkerRow",
+    "build_dashboard",
+    "render_dashboard",
+    "render_dashboard_html",
+    "render_dashboard_text",
+    "write_dashboard_html",
+]
+
+
+@dataclass
+class WorkerRow:
+    """One worker's share of the trace's wall-clock window."""
+
+    worker: str
+    spans: int
+    busy_s: float
+    utilization: float  # busy_s / window_s, 0 when the window is empty
+
+
+@dataclass
+class Dashboard:
+    """Everything the dashboard renders, precomputed."""
+
+    summary: TraceSummary
+    roots: List[Span] = field(default_factory=list)
+    #: (name, calls, total wall seconds), sorted by descending total.
+    phase_rows: List[Tuple[str, int, float]] = field(default_factory=list)
+    workers: List[WorkerRow] = field(default_factory=list)
+    wall_window_s: float = 0.0
+
+
+def _wall_bounds(spans: Sequence[Span]) -> Tuple[float, float]:
+    starts = [s.wall_t0 for s in spans if s.wall_t0 > 0.0]
+    ends = [
+        s.wall_t0 + s.wall_s
+        for s in spans
+        if s.wall_t0 > 0.0 and s.wall_s is not None
+    ]
+    if not starts:
+        return 0.0, 0.0
+    return min(starts), max(ends) if ends else max(starts)
+
+
+def build_dashboard(events: List[TraceEvent]) -> Dashboard:
+    """One pass over a trace: replay summary plus span analytics."""
+    summary = summarize_trace(events)
+    roots = assemble_spans(events)
+    spans = list(iter_spans(roots))
+    phases: Dict[str, List[float]] = {}
+    per_worker: Dict[str, List[Span]] = {}
+    for s in spans:
+        row = phases.setdefault(s.name, [0, 0.0])
+        row[0] += 1
+        row[1] += s.wall_s or 0.0
+        per_worker.setdefault(s.worker, []).append(s)
+    phase_rows = sorted(
+        ((name, int(n), total) for name, (n, total) in phases.items()),
+        key=lambda r: (-r[2], r[0]),
+    )
+    t0, t1 = _wall_bounds(spans)
+    window = max(0.0, t1 - t0)
+    workers: List[WorkerRow] = []
+    for worker in sorted(per_worker):
+        # Busy time counts only spans with no parent *in the same worker*
+        # (a worker's own nesting must not double-count).
+        own = per_worker[worker]
+        ids = {s.span_id for s in own}
+        busy = sum(
+            s.wall_s or 0.0 for s in own if s.parent_id not in ids
+        )
+        # busy comes from perf_counter deltas, the window from wall-clock
+        # (time.time) bounds — two different clocks, so the ratio can
+        # stray a hair past 1; clamp, since >100% utilization is noise.
+        workers.append(
+            WorkerRow(
+                worker=worker,
+                spans=len(own),
+                busy_s=busy,
+                utilization=min(1.0, busy / window) if window > 0 else 0.0,
+            )
+        )
+    return Dashboard(
+        summary=summary,
+        roots=roots,
+        phase_rows=phase_rows,
+        workers=workers,
+        wall_window_s=window,
+    )
+
+
+def _flatten(roots: Sequence[Span]) -> List[Tuple[int, Span]]:
+    out: List[Tuple[int, Span]] = []
+
+    def visit(span: Span, depth: int) -> None:
+        out.append((depth, span))
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return out
+
+
+def _span_label(span: Span) -> str:
+    extras = []
+    if span.worker and span.worker != "main":
+        extras.append(span.worker)
+    if span.open:
+        extras.append("open")
+    elif span.status != "ok":
+        extras.append(span.status)
+    suffix = f" [{', '.join(extras)}]" if extras else ""
+    return f"{span.name}{suffix}"
+
+
+# ----------------------------------------------------------------------
+# terminal rendering
+# ----------------------------------------------------------------------
+def render_dashboard_text(dash: Dashboard, width: int = 72) -> str:
+    lines: List[str] = []
+    s = dash.summary
+    lines.append(f"{s.events} events, t in [{s.t_min:g}, {s.t_max:g}]")
+    lines.append("")
+    lines.append("events by category:")
+    for cat, kind, n, first, last in s.category_rows:
+        lines.append(f"  {cat}/{kind:<24} {n:>7}  [{first:g}, {last:g}]")
+    if dash.roots:
+        lines.append("")
+        lines.append("span waterfall (wall time):")
+        flat = _flatten(dash.roots)
+        t0, _t1 = _wall_bounds([sp for _d, sp in flat])
+        scale = dash.wall_window_s or 1.0
+        bar_w = max(10, width - 46)
+        for depth, span in flat:
+            wall = span.wall_s or 0.0
+            label = ("  " * depth + _span_label(span))[:40]
+            if span.wall_t0 > 0.0 and dash.wall_window_s > 0:
+                lead = int(bar_w * (span.wall_t0 - t0) / scale)
+                fill = max(1, int(bar_w * wall / scale))
+            else:
+                lead, fill = 0, 1
+            bar = " " * min(lead, bar_w - 1) + "#" * min(fill, bar_w)
+            lines.append(f"  {label:<40} {wall:>9.4f}s |{bar[:bar_w]}")
+        lines.append("")
+        lines.append("phase totals:")
+        for name, n, total in dash.phase_rows:
+            lines.append(f"  {name:<40} x{n:<5} {total:>9.4f}s")
+    if dash.workers:
+        lines.append("")
+        lines.append("worker utilization:")
+        for w in dash.workers:
+            lines.append(
+                f"  {w.worker:<12} spans={w.spans:<5} busy={w.busy_s:.4f}s"
+                f"  util={w.utilization:6.1%}"
+            )
+    if s.skew_histogram:
+        lines.append("")
+        lines.append(
+            f"skew histogram ({s.skew_samples} samples, max {s.max_skew:g}):"
+        )
+        for label, count in s.skew_histogram:
+            lines.append(f"  {label:<16} {count}")
+    lines.append("")
+    if s.violation_timeline:
+        lines.append("violation timeline (tick: stale/race):")
+        for tick, stale, race in s.violation_timeline:
+            lines.append(f"  {tick:>6}: {stale}/{race}")
+    else:
+        lines.append("violation timeline: the run was clean")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+th, td { padding: 0.25rem 0.75rem; border-bottom: 1px solid #ddd;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #eee; }
+.lane { position: relative; height: 1.15rem; background: #eef;
+        min-width: 24rem; }
+.bar { position: absolute; top: 15%; height: 70%; background: #4a7abc;
+       border-radius: 2px; min-width: 2px; }
+.bar.err { background: #c0504d; }
+.name { white-space: pre; }
+.util { display: inline-block; height: 0.7rem; background: #6aa84f; }
+"""
+
+
+def _html_rows(cells_list: List[List[str]]) -> str:
+    return "\n".join(
+        "<tr>" + "".join(f"<td>{c}</td>" for c in cells) + "</tr>"
+        for cells in cells_list
+    )
+
+
+def render_dashboard_html(
+    dash: Dashboard, title: str = "repro trace dashboard"
+) -> str:
+    """A single self-contained HTML document (inline CSS, no scripts)."""
+    esc = _html.escape
+    s = dash.summary
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+        f"<p>{s.events} events, t in [{s.t_min:g}, {s.t_max:g}], "
+        f"wall window {dash.wall_window_s:.4f}s</p>",
+    ]
+
+    parts.append("<h2>Events by category</h2>")
+    parts.append(
+        "<table><tr><th>cat/kind</th><th>count</th><th>first t</th>"
+        "<th>last t</th></tr>"
+    )
+    parts.append(
+        _html_rows(
+            [
+                [esc(f"{cat}/{kind}"), str(n), f"{first:g}", f"{last:g}"]
+                for cat, kind, n, first, last in s.category_rows
+            ]
+        )
+    )
+    parts.append("</table>")
+
+    flat = _flatten(dash.roots)
+    if flat:
+        parts.append("<h2>Span waterfall</h2>")
+        t0, _t1 = _wall_bounds([sp for _d, sp in flat])
+        scale = dash.wall_window_s or 1.0
+        parts.append(
+            "<table><tr><th>span</th><th>wall s</th><th>timeline</th></tr>"
+        )
+        rows = []
+        for depth, span in flat:
+            wall = span.wall_s or 0.0
+            if span.wall_t0 > 0.0 and dash.wall_window_s > 0:
+                left = 100.0 * (span.wall_t0 - t0) / scale
+                width = max(0.5, 100.0 * wall / scale)
+            else:
+                left, width = 0.0, 0.5
+            cls = "bar err" if span.status == "error" else "bar"
+            bar = (
+                f'<div class="lane"><div class="{cls}" '
+                f'style="left:{left:.2f}%;width:{min(width, 100.0 - left):.2f}%">'
+                "</div></div>"
+            )
+            rows.append(
+                [
+                    f'<span class="name">{esc("  " * depth + _span_label(span))}</span>',
+                    f"{wall:.4f}",
+                    bar,
+                ]
+            )
+        parts.append(_html_rows(rows))
+        parts.append("</table>")
+
+        parts.append("<h2>Phase totals</h2>")
+        parts.append(
+            "<table><tr><th>phase</th><th>calls</th><th>total wall s</th></tr>"
+        )
+        parts.append(
+            _html_rows(
+                [
+                    [esc(name), str(n), f"{total:.4f}"]
+                    for name, n, total in dash.phase_rows
+                ]
+            )
+        )
+        parts.append("</table>")
+
+    if dash.workers:
+        parts.append("<h2>Worker utilization</h2>")
+        parts.append(
+            "<table><tr><th>worker</th><th>spans</th><th>busy s</th>"
+            "<th>utilization</th></tr>"
+        )
+        rows = []
+        for w in dash.workers:
+            pct = max(0.0, min(1.0, w.utilization))
+            rows.append(
+                [
+                    esc(w.worker),
+                    str(w.spans),
+                    f"{w.busy_s:.4f}",
+                    f'<span class="util" style="width:{6.0 * pct:.2f}rem">'
+                    f"</span> {w.utilization:.1%}",
+                ]
+            )
+        parts.append(_html_rows(rows))
+        parts.append("</table>")
+
+    if s.skew_histogram:
+        parts.append(
+            f"<h2>Skew over time ({s.skew_samples} samples, "
+            f"max {s.max_skew:g})</h2>"
+        )
+        parts.append("<table><tr><th>bucket</th><th>count</th></tr>")
+        parts.append(
+            _html_rows([[esc(lbl), str(n)] for lbl, n in s.skew_histogram])
+        )
+        parts.append("</table>")
+
+    parts.append("<h2>Violation timeline</h2>")
+    if s.violation_timeline:
+        parts.append(
+            "<table><tr><th>tick</th><th>stale</th><th>race</th></tr>"
+        )
+        parts.append(
+            _html_rows(
+                [
+                    [str(tick), str(stale), str(race)]
+                    for tick, stale, race in s.violation_timeline
+                ]
+            )
+        )
+        parts.append("</table>")
+    else:
+        parts.append("<p>the run was clean</p>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard_html(
+    dash: Dashboard, path: str, title: str = "repro trace dashboard"
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_dashboard_html(dash, title))
+
+
+def render_dashboard(events: List[TraceEvent]) -> str:
+    """Convenience: build + render the terminal report in one call."""
+    return render_dashboard_text(build_dashboard(events))

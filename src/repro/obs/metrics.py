@@ -17,7 +17,26 @@ zero-overhead switch).  Registered instruments:
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Sorted ``(key, value)`` label pairs, as carried by every instrument.
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _labelled_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    """The registry key for a (name, labels) series: the bare name when
+    unlabelled (so pre-existing flat names are untouched), else the
+    Prometheus-style ``name{k="v",...}`` with keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _label_pairs(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple((k, str(labels[k])) for k in sorted(labels))
 
 #: Geometric default edges spanning the time scales the simulators emit
 #: (sub-millisecond handshake wires up to 1e4-unit makespans).
@@ -30,11 +49,12 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 class Counter:
     """A monotone counter."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
         self.name = name
         self.value = 0
+        self.labels: LabelPairs = labels
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
@@ -45,14 +65,15 @@ class Counter:
 class Gauge:
     """Last set value, with the min/max envelope seen so far."""
 
-    __slots__ = ("name", "value", "minimum", "maximum", "samples")
+    __slots__ = ("name", "value", "minimum", "maximum", "samples", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
         self.name = name
         self.value: Optional[float] = None
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
         self.samples = 0
+        self.labels: LabelPairs = labels
 
     def set(self, value: float) -> None:
         self.value = value
@@ -69,9 +90,11 @@ class Histogram:
     strictly above the final edge.
     """
 
-    __slots__ = ("name", "edges", "counts", "total", "sum")
+    __slots__ = ("name", "edges", "counts", "total", "sum", "labels")
 
-    def __init__(self, name: str, edges: Sequence[float]) -> None:
+    def __init__(
+        self, name: str, edges: Sequence[float], labels: LabelPairs = ()
+    ) -> None:
         if not edges:
             raise ValueError("histogram needs at least one bucket edge")
         ordered = list(edges)
@@ -82,6 +105,7 @@ class Histogram:
         self.counts: List[int] = [0] * (len(ordered) + 1)
         self.total = 0
         self.sum = 0.0
+        self.labels: LabelPairs = labels
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.edges, value)] += 1
@@ -118,7 +142,10 @@ class MetricsRegistry:
 
     Names are namespaced by convention (``"engine.queue_depth"``,
     ``"handshake.stall_time"``); re-requesting a name returns the same
-    instrument, so producers never need to coordinate setup.
+    instrument, so producers never need to coordinate setup.  An optional
+    ``labels`` mapping makes a distinct series per label set (stored
+    under the Prometheus-style ``name{k="v"}`` key); unlabelled series
+    keep their bare name, so PR-1 snapshot consumers are unaffected.
     """
 
     def __init__(self) -> None:
@@ -126,22 +153,42 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = _labelled_key(name, labels)
+        if key not in self._counters:
+            self._counters[key] = Counter(name, _label_pairs(labels))
+        return self._counters[key]
 
-    def gauge(self, name: str) -> Gauge:
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        key = _labelled_key(name, labels)
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name, _label_pairs(labels))
+        return self._gauges[key]
 
     def histogram(
-        self, name: str, edges: Sequence[float] = DEFAULT_TIME_BUCKETS
+        self,
+        name: str,
+        edges: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name, edges)
-        return self._histograms[name]
+        key = _labelled_key(name, labels)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(name, edges, _label_pairs(labels))
+        return self._histograms[key]
+
+    def counters(self) -> Dict[str, Counter]:
+        """``series key -> Counter`` (keys carry the label suffix)."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
 
     def __bool__(self) -> bool:
         return bool(self._counters or self._gauges or self._histograms)
@@ -161,8 +208,10 @@ class MetricsRegistry:
             },
             "histograms": {
                 n: {
-                    "edges": h.edges,
-                    "counts": h.counts,
+                    # Copies, not the live lists: a snapshot must stay
+                    # frozen when the instrument keeps observing.
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
                     "total": h.total,
                     "mean": h.mean,
                 }

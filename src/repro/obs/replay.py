@@ -42,16 +42,45 @@ class TraceSummary:
         return sum(s + r for _t, s, r in self.violation_timeline)
 
 
+def _as_int(value: object) -> "int | None":
+    """A lenient integer read: ints (not bools) and integral floats/strings
+    pass; anything else — including a missing key's ``None`` — is ``None``.
+    Replay must digest traces from other versions, so malformed payloads
+    degrade to "not part of this view" instead of crashing the command."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return value
+    try:
+        f = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+    return int(f) if f.is_integer() else None
+
+
+def _as_float(value: object) -> "float | None":
+    if isinstance(value, bool):
+        return None
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
 def _firing_groups(events: Iterable[TraceEvent]) -> Dict[Tuple[str, int], List[float]]:
-    """Group firing times by tick/step so per-group spread is the skew."""
+    """Group firing times by tick/step so per-group spread is the skew.
+    Events missing the expected payload keys are skipped, not fatal."""
     groups: Dict[Tuple[str, int], List[float]] = {}
     for e in events:
         if e.cat == "tick" and e.kind == "fire":
-            key = ("tick", int(e.data["tick"]))
-            groups.setdefault(key, []).append(e.t)
+            tick = _as_int(e.data.get("tick"))
+            if tick is not None:
+                groups.setdefault(("tick", tick), []).append(e.t)
         elif e.cat == "hybrid" and e.kind == "step":
-            key = ("step", int(e.data["step"]))
-            groups.setdefault(key, []).append(float(e.data["start"]))
+            step = _as_int(e.data.get("step"))
+            start = _as_float(e.data.get("start"))
+            if step is not None and start is not None:
+                groups.setdefault(("step", step), []).append(start)
     return groups
 
 
@@ -95,7 +124,9 @@ def summarize_trace(events: List[TraceEvent], skew_buckets: int = 8) -> TraceSum
     for e in events:
         if e.cat != "violation":
             continue
-        tick = int(e.data.get("receiver_tick", e.data.get("tick", -1)))
+        tick = _as_int(e.data.get("receiver_tick", e.data.get("tick", -1)))
+        if tick is None:
+            tick = -1  # malformed payload: bucket under the sentinel tick
         row = timeline.setdefault(tick, [0, 0])
         if e.kind == "race":
             row[1] += 1

@@ -236,6 +236,55 @@ STA_REPORT_SCHEMA: Dict[str, Any] = {
 }
 
 
+#: Shape of one serialised span event (a TraceEvent with ``cat ==
+#: "span"``); the per-kind payload requirements live in
+#: :func:`validate_span_event` (the mini-schema has no conditionals).
+SPAN_EVENT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["t", "cat", "kind", "cell", "data"],
+    "properties": {
+        "t": {"type": "number"},
+        "cat": {"type": "string"},
+        "kind": {"type": "string"},
+        "data": {
+            "type": "object",
+            "required": ["id"],
+            "properties": {
+                "id": {"type": "string"},
+                "parent": {"type": ["string", "null"]},
+                "name": {"type": "string"},
+                "worker": {"type": "string"},
+                "wall_t0": {"type": "number"},
+                "wall_s": {"type": "number"},
+                "status": {"type": "string"},
+                "attrs": {"type": "object"},
+            },
+        },
+    },
+}
+
+#: Shape of :func:`repro.obs.export.metrics_snapshot` output; the
+#: per-series payload requirements live in
+#: :func:`validate_metrics_snapshot`.
+METRICS_SNAPSHOT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["counters", "gauges", "histograms", "meta"],
+    "properties": {
+        "counters": {"type": "object"},
+        "gauges": {"type": "object"},
+        "histograms": {"type": "object"},
+        "meta": {
+            "type": "object",
+            "required": ["emitted_at", "repro_version"],
+            "properties": {
+                "emitted_at": {"type": "number"},
+                "repro_version": {"type": "string"},
+            },
+        },
+    },
+}
+
+
 #: Shape of ``ViolationSummary.to_dict()`` (repro.sim.faults).
 VIOLATION_SUMMARY_SCHEMA: Dict[str, Any] = {
     "type": "object",
@@ -260,6 +309,90 @@ VIOLATION_SUMMARY_SCHEMA: Dict[str, Any] = {
 
 def validate_trace_event(obj: Any) -> List[str]:
     return validate(obj, TRACE_EVENT_SCHEMA)
+
+
+def validate_span_event(obj: Any) -> List[str]:
+    """Schema check for one span start/end event, including the per-kind
+    payload the mini-schema cannot express: starts need ``parent``,
+    ``name``, ``worker``, ``wall_t0``, and ``attrs``; ends need
+    ``wall_s``, a known ``status``, and ``attrs``."""
+    errors = validate(obj, SPAN_EVENT_SCHEMA)
+    if errors:
+        return errors
+    if obj["cat"] != "span":
+        errors.append(f"$.cat: expected 'span', got {obj['cat']!r}")
+    kind = obj["kind"]
+    data = obj["data"]
+    if kind == "start":
+        for key, types in (
+            ("parent", (str, type(None))),
+            ("name", (str,)),
+            ("worker", (str,)),
+            ("wall_t0", (int, float)),
+            ("attrs", (dict,)),
+        ):
+            if key not in data:
+                errors.append(f"$.data: missing required key {key!r}")
+            elif not isinstance(data[key], types) or isinstance(data[key], bool):
+                errors.append(
+                    f"$.data.{key}: wrong type {type(data[key]).__name__}"
+                )
+    elif kind == "end":
+        for key, types in (
+            ("wall_s", (int, float)),
+            ("status", (str,)),
+            ("attrs", (dict,)),
+        ):
+            if key not in data:
+                errors.append(f"$.data: missing required key {key!r}")
+            elif not isinstance(data[key], types) or isinstance(data[key], bool):
+                errors.append(
+                    f"$.data.{key}: wrong type {type(data[key]).__name__}"
+                )
+        if isinstance(data.get("status"), str) and data["status"] not in (
+            "ok",
+            "error",
+        ):
+            errors.append(f"$.data.status: unknown status {data['status']!r}")
+    else:
+        errors.append(f"$.kind: expected 'start' or 'end', got {kind!r}")
+    return errors
+
+
+def validate_metrics_snapshot(obj: Any) -> List[str]:
+    """Schema check for a metrics snapshot, including the per-series
+    invariants: counters are non-bool integers, gauges carry their
+    value/min/max/samples envelope, and each histogram has exactly one
+    more count than it has edges."""
+    errors = validate(obj, METRICS_SNAPSHOT_SCHEMA)
+    if errors:
+        return errors
+    for name, value in obj["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"$.counters.{name}: expected integer")
+    for name, g in obj["gauges"].items():
+        if not isinstance(g, dict):
+            errors.append(f"$.gauges.{name}: expected object")
+            continue
+        missing = [k for k in ("value", "min", "max", "samples") if k not in g]
+        if missing:
+            errors.append(f"$.gauges.{name}: missing {missing}")
+    for name, h in obj["histograms"].items():
+        if not isinstance(h, dict):
+            errors.append(f"$.histograms.{name}: expected object")
+            continue
+        missing = [k for k in ("edges", "counts", "total", "mean") if k not in h]
+        if missing:
+            errors.append(f"$.histograms.{name}: missing {missing}")
+            continue
+        if not isinstance(h["edges"], list) or not isinstance(h["counts"], list):
+            errors.append(f"$.histograms.{name}: edges/counts must be arrays")
+        elif len(h["counts"]) != len(h["edges"]) + 1:
+            errors.append(
+                f"$.histograms.{name}: {len(h['counts'])} counts for "
+                f"{len(h['edges'])} edges (expected edges + 1)"
+            )
+    return errors
 
 
 def validate_check_report(obj: Any) -> List[str]:

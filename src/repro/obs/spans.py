@@ -1,0 +1,314 @@
+"""Hierarchical spans layered on the flat :class:`TraceEvent` stream.
+
+PR 1 gave the repo a flat, append-only JSONL trace; this module adds
+*causality* on top of it without changing the wire format.  A span is a
+named interval with a parent, so a recorded trace can be reassembled into
+a forest: ``run_trials`` > per-worker chunk > per-trial, or ``check.suite``
+> one span per oracle.  Each span is encoded as exactly two ordinary
+trace events that any PR-1 consumer can already read (and skip):
+
+* ``("span", "start")`` with ``data = {id, parent, name, worker, wall_t0,
+  attrs}`` — ``t`` is the simulated/logical start time;
+* ``("span", "end")`` with ``data = {id, wall_s, status, attrs}`` —
+  ``t`` is the logical end time (defaults to the start time for spans
+  that measure wall clock only).
+
+Span ids are ``"{worker}:{n}"`` with a per-tracer counter, so streams
+from independent workers never collide and :func:`assemble_spans` can
+merge them into one forest regardless of arrival order — the property
+the multi-worker ``run_trials`` trace relies on.  A
+:class:`SpanContext` is a frozen, picklable handle that carries the
+current span id across a process-pool boundary; the worker side builds
+its own :class:`SpanTracer` from it and every span it emits parents
+correctly into the coordinator's tree.
+
+Everything here follows the PR-1 opt-in discipline: a ``SpanTracer``
+wrapping :data:`~repro.obs.trace.NULL_TRACER` is ``enabled == False``
+and its ``span()`` context manager is a no-op that allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanHandle",
+    "SpanTracer",
+    "assemble_spans",
+    "iter_spans",
+    "span_index",
+]
+
+
+# ----------------------------------------------------------------------
+# emission
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanContext:
+    """A picklable capture of "where we are" in a span tree.
+
+    Ship one of these to a worker process, rebuild a tracer with
+    ``SpanTracer(local_tracer, worker="w3", parent_id=ctx.parent_id)``,
+    and the worker's spans graft onto the coordinator's tree when the
+    two event streams are merged.
+    """
+
+    parent_id: Optional[str]
+    worker: str
+
+
+class SpanHandle:
+    """What ``SpanTracer.span(...)`` yields: the live span's identity plus
+    an escape hatch to attach attributes discovered mid-span."""
+
+    __slots__ = ("span_id", "_attrs", "_end_t")
+
+    def __init__(self, span_id: str) -> None:
+        self.span_id = span_id
+        self._attrs: Dict[str, Any] = {}
+        self._end_t: Optional[float] = None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the span's *end* event (e.g. a result
+        computed inside the span)."""
+        self._attrs.update(attrs)
+
+    def set_end_t(self, t: float) -> None:
+        """Record a logical (simulated-time) end distinct from the start."""
+        self._end_t = float(t)
+
+
+class _NullSpanHandle:
+    """Shared no-op handle yielded when tracing is disabled."""
+
+    __slots__ = ()
+    span_id = ""
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def set_end_t(self, t: float) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullSpanHandle()
+
+
+class SpanTracer:
+    """Emit hierarchical spans through any PR-1 :class:`Tracer`.
+
+    Purely additive: the underlying tracer still accepts ordinary
+    ``event()`` calls, and the span machinery only runs when the tracer
+    is enabled.  Nesting is tracked with an explicit stack, so
+    ``current_id`` always names the innermost open span and
+    ``context()`` can be captured at any depth.
+    """
+
+    __slots__ = ("tracer", "worker", "_root_parent", "_stack", "_next")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        worker: str = "main",
+        parent_id: Optional[str] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.worker = worker
+        self._root_parent = parent_id
+        self._stack: List[str] = []
+        self._next = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    @property
+    def current_id(self) -> Optional[str]:
+        """The innermost open span id (or the inherited parent, if none)."""
+        return self._stack[-1] if self._stack else self._root_parent
+
+    def context(self) -> SpanContext:
+        """Freeze the current position for propagation (picklable)."""
+        return SpanContext(parent_id=self.current_id, worker=self.worker)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        t: float = 0.0,
+        cell: Optional[Hashable] = None,
+        **attrs: Any,
+    ) -> Iterator["SpanHandle | _NullSpanHandle"]:
+        """Open a span; emits the start event now and the end event on
+        exit (status ``"error"`` if the body raised).  No-op when the
+        underlying tracer is disabled."""
+        if not self.tracer.enabled:
+            yield _NULL_HANDLE
+            return
+        span_id = f"{self.worker}:{self._next}"
+        self._next += 1
+        self.tracer.event(
+            t,
+            "span",
+            "start",
+            cell=cell,
+            id=span_id,
+            parent=self.current_id,
+            name=name,
+            worker=self.worker,
+            wall_t0=time.time(),
+            attrs=dict(attrs),
+        )
+        self._stack.append(span_id)
+        handle = SpanHandle(span_id)
+        wall_start = time.perf_counter()
+        status = "ok"
+        try:
+            yield handle
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            wall_s = time.perf_counter() - wall_start
+            self._stack.pop()
+            end_t = handle._end_t if handle._end_t is not None else t
+            self.tracer.event(
+                end_t,
+                "span",
+                "end",
+                cell=cell,
+                id=span_id,
+                wall_s=wall_s,
+                status=status,
+                attrs=dict(handle._attrs),
+            )
+
+
+# ----------------------------------------------------------------------
+# reassembly
+# ----------------------------------------------------------------------
+@dataclass
+class Span:
+    """One reassembled span: identity, interval, and children."""
+
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    worker: str
+    t_start: float
+    t_end: float
+    wall_t0: float
+    wall_s: Optional[float] = None
+    status: str = "open"
+    cell: Optional[Hashable] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def open(self) -> bool:
+        """True when the trace holds a start but no matching end (a
+        crashed or truncated recording)."""
+        return self.wall_s is None
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _seq(span_id: str) -> Tuple[str, int]:
+    """Sort key component: split ``"worker:7"`` into its worker and
+    counter so ordering is numeric, not lexicographic."""
+    worker, _, n = span_id.rpartition(":")
+    try:
+        return (worker, int(n))
+    except ValueError:
+        return (span_id, -1)
+
+
+def assemble_spans(events: Iterable[TraceEvent]) -> List[Span]:
+    """Reassemble span start/end events into a forest of root spans.
+
+    Deliberately forgiving: non-span events are skipped, an end without
+    a start is dropped, a start without an end yields an *open* span,
+    and a child whose parent never appears is promoted to a root.  The
+    result is a pure function of the event *set* — interleaved
+    multi-worker streams produce the same forest regardless of arrival
+    order, because children are sorted by ``(t_start, wall_t0, id)``
+    rather than stream position.
+    """
+    # Two passes: all starts first, then all ends.  A merged multi-worker
+    # stream can deliver an end before its start; matching ends against
+    # the complete start set keeps the forest a function of the event set.
+    span_events = [
+        e
+        for e in events
+        if e.cat == "span" and isinstance(e.data.get("id"), str)
+    ]
+    by_id: Dict[str, Span] = {}
+    order: List[Span] = []
+    for e in span_events:
+        if e.kind != "start":
+            continue
+        data = e.data
+        span_id = data["id"]
+        if span_id in by_id:  # duplicate start: keep the first
+            continue
+        raw_attrs = data.get("attrs")
+        span = Span(
+            span_id=span_id,
+            parent_id=data.get("parent"),
+            name=str(data.get("name", "")),
+            worker=str(data.get("worker", "")),
+            t_start=float(e.t),
+            t_end=float(e.t),
+            wall_t0=float(data.get("wall_t0", 0.0)),
+            cell=e.cell,
+            attrs=dict(raw_attrs) if isinstance(raw_attrs, dict) else {},
+        )
+        by_id[span_id] = span
+        order.append(span)
+    for e in span_events:
+        if e.kind != "end":
+            continue
+        data = e.data
+        span = by_id.get(data["id"])
+        if span is None or span.wall_s is not None:
+            continue  # orphan or duplicate end
+        span.wall_s = float(data.get("wall_s", 0.0))
+        span.status = str(data.get("status", "ok"))
+        span.t_end = float(e.t)
+        end_attrs = data.get("attrs")
+        if isinstance(end_attrs, dict):
+            span.attrs.update(end_attrs)
+    roots: List[Span] = []
+    for span in order:
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None or parent is span:
+            roots.append(span)
+        else:
+            parent.children.append(span)
+    key = lambda s: (s.t_start, s.wall_t0, _seq(s.span_id))  # noqa: E731
+    for span in by_id.values():
+        span.children.sort(key=key)
+    roots.sort(key=key)
+    return roots
+
+
+def iter_spans(roots: Iterable[Span]) -> Iterator[Span]:
+    """Depth-first over a forest."""
+    for root in roots:
+        yield from root.walk()
+
+
+def span_index(roots: Iterable[Span]) -> Dict[str, Span]:
+    """Flat ``id -> span`` lookup over a forest."""
+    return {s.span_id: s for s in iter_spans(roots)}

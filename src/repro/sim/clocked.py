@@ -169,6 +169,27 @@ class ClockedArraySimulator:
             return self.compiled().run(ticks)
         return self.run_scalar(ticks)
 
+    def run_compiled(self, ticks: Optional[int] = None) -> ClockedRunResult:
+        """Run the array-compiled kernel explicitly, with this simulator's
+        tracer attached: the kernel emits per-phase spans (tick-matrix,
+        latch-scan, violations, execute) instead of per-event ticks.  The
+        result is byte-identical to :meth:`run` either way."""
+        return self.compiled().run(ticks, tracer=self._tracer)
+
+    def critical_path(self, ticks: Optional[int] = None):
+        """The dependency chain behind this run's makespan (see
+        :func:`repro.obs.critpath.clocked_critical_path`): the latest
+        (cell, tick) firing's clock history, with the argmax tie broken
+        exactly like the scalar event loop.  Its endpoint equals the
+        makespan :meth:`run` reports, bit for bit, on both the scalar
+        and compiled engines."""
+        from repro.obs.critpath import clocked_critical_path
+
+        n_ticks = ticks if ticks is not None else self._program.cycles
+        return clocked_critical_path(
+            self._schedule, self._comm.nodes(), n_ticks
+        )
+
     def run_scalar(self, ticks: Optional[int] = None) -> ClockedRunResult:
         """The reference interpreter: one Python event per (cell, tick),
         exactly as specified — kept as the oracle for the compiled kernel."""

@@ -132,12 +132,16 @@ class CompiledClockedKernel:
                 row[k] = tick_time(c, k)
         return T
 
-    def latch_matrix(self, n_ticks: int) -> Tuple[np.ndarray, np.ndarray]:
+    def latch_matrix(
+        self, n_ticks: int, T: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """``(T, g)``: the tick-time matrix and, per (edge, receiver tick),
         the latched sender generation — the vectorized
         ``_latched_sender_tick`` (identical floor estimate, identical
-        downward scan with the same tolerance)."""
-        T = self._tick_matrix(n_ticks)
+        downward scan with the same tolerance).  Pass a precomputed ``T``
+        (from :meth:`_tick_matrix`) to skip rebuilding it."""
+        if T is None:
+            T = self._tick_matrix(n_ticks)
         if not len(self._src):
             return T, np.empty((0, n_ticks), dtype=np.int64)
         t_latch = T[self._dst]                      # (E, K)
@@ -256,18 +260,66 @@ class CompiledClockedKernel:
                 history[e][k] = outputs.get(v) if outputs else None
         return self._program.read_result(_ExecutorFacade(pes))
 
-    def run(self, ticks: Optional[int] = None) -> ClockedRunResult:
+    def run(
+        self, ticks: Optional[int] = None, tracer: Optional[Any] = None
+    ) -> ClockedRunResult:
         """Byte-identical to the scalar ``ClockedArraySimulator.run``:
         same result payload, same violation list (contents *and* order),
-        same makespan."""
+        same makespan.
+
+        An enabled ``tracer`` adds per-phase spans (tick-matrix, latch
+        scan, violation extraction, execute) around the same arithmetic;
+        the default path allocates nothing and is untouched.
+        """
         n_ticks = ticks if ticks is not None else self._program.cycles
         if n_ticks < 1:
             raise ValueError("need at least one tick")
+        spans = None
+        if tracer is not None and tracer.enabled:
+            from repro.obs.spans import SpanTracer
+
+            spans = tracer if isinstance(tracer, SpanTracer) else SpanTracer(tracer)
         pes = self._program.pes
         for pe in pes.values():
             pe.reset()
-        T, g = self.latch_matrix(n_ticks)
-        violations = self.violations(T, g, n_ticks)
+        if spans is None:
+            T, g = self.latch_matrix(n_ticks)
+            violations = self.violations(T, g, n_ticks)
+        else:
+            with spans.span("compiled.run", ticks=n_ticks, cells=len(self._cells)):
+                with spans.span("compiled.tick_matrix"):
+                    T = self._tick_matrix(n_ticks)
+                with spans.span("compiled.latch_scan"):
+                    T, g = self.latch_matrix(n_ticks, T=T)
+                with spans.span("compiled.violations") as h:
+                    violations = self.violations(T, g, n_ticks)
+                    h.annotate(count=len(violations))
+                with spans.span("compiled.execute"):
+                    result0, makespan0 = self._execute(pes, T, g, n_ticks, violations)
+            return ClockedRunResult(
+                result=result0,
+                violations=violations,
+                ticks=n_ticks,
+                makespan=makespan0,
+            )
+        result, makespan = self._execute(pes, T, g, n_ticks, violations)
+        return ClockedRunResult(
+            result=result,
+            violations=violations,
+            ticks=n_ticks,
+            makespan=makespan,
+        )
+
+    def _execute(
+        self,
+        pes: Mapping[CellId, Any],
+        T: np.ndarray,
+        g: np.ndarray,
+        n_ticks: int,
+        violations: List[TimingViolation],
+    ) -> Tuple[Any, float]:
+        """The functional half of :meth:`run`: stream-execute clean runs,
+        replay dirty ones; returns ``(result, makespan)``."""
         makespan = max(0.0, float(T.max())) if T.size else 0.0
         result: Any = None
         ran = False
@@ -286,12 +338,7 @@ class CompiledClockedKernel:
                         pe.reset()  # discard any partial stream state
         if not ran:
             result = self._replay(T, g, n_ticks)
-        return ClockedRunResult(
-            result=result,
-            violations=violations,
-            ticks=n_ticks,
-            makespan=makespan,
-        )
+        return result, makespan
 
 
 def compile_clocked(simulator: Any) -> CompiledClockedKernel:

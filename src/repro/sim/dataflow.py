@@ -172,7 +172,13 @@ class SelfTimedProgramSimulator:
             pending = inbox[cell].get(k - 1, {})
             return all(src in pending for src in preds[cell])
 
-        def try_fire(cell: CellId) -> None:
+        def try_fire(
+            cell: CellId, cause: str = "init", src: Optional[CellId] = None
+        ) -> None:
+            # ``cause``/``src`` name the state change that made this call:
+            # the *last* enabling event is the binding constraint, so a
+            # successful fire's cause is its critical dependency — exactly
+            # what trace-driven critical-path extraction walks back over.
             if not ready(cell):
                 return
             k = next_wave[cell]
@@ -181,7 +187,7 @@ class SelfTimedProgramSimulator:
             )
             # Lockstep semantics: an input edge with no token yet written
             # reads as None (the empty register before the first latch).
-            fire_inputs = {src: inputs.get(src) for src in preds[cell]}
+            fire_inputs = {src_c: inputs.get(src_c) for src_c in preds[cell]}
             outputs = pes[cell].fire(fire_inputs)
             duration = self._service(cell, k)
             if duration < 0:
@@ -189,13 +195,20 @@ class SelfTimedProgramSimulator:
             if service_hist is not None:
                 service_hist.observe(duration)
             if tracer.enabled:
-                tracer.event(sim.now, "dataflow", "fire", cell=cell, wave=k)
+                # ``finish`` is the same float expression the engine uses
+                # to schedule ``done`` (now + delay), so the recorded
+                # chain telescopes to the reported makespan bit for bit.
+                tracer.event(
+                    sim.now, "dataflow", "fire", cell=cell, wave=k,
+                    start=sim.now, service=duration,
+                    finish=sim.now + duration, cause=cause, src=src,
+                )
             next_wave[cell] = k + 1
             busy[cell] = True
 
             def deliver(dst: CellId, value: Any, gen: int = k) -> None:
                 inbox[dst].setdefault(gen, {})[cell] = value
-                try_fire(dst)
+                try_fire(dst, "token", cell)
 
             def done() -> None:
                 busy[cell] = False
@@ -206,7 +219,7 @@ class SelfTimedProgramSimulator:
                         self._wire_delay,
                         (lambda d=dst, v=value: deliver(d, v)),
                     )
-                try_fire(cell)
+                try_fire(cell, "self")
 
             sim.schedule(duration, done)
 
@@ -266,6 +279,23 @@ class SelfTimedProgramSimulator:
         n_waves = waves if waves is not None else self._program.cycles
         return self.compiled_recurrence().makespan(
             self._service, self._wire_delay, n_waves
+        )
+
+    def critical_path(self, waves: Optional[int] = None):
+        """The dependency chain behind this program's self-timed makespan
+        (see :func:`repro.obs.critpath.selftimed_critical_path`): the same
+        tandem recurrence, replayed with argmax bookkeeping, so the
+        chain's endpoint equals :meth:`recurrence_makespan` — and the
+        engine-driven :meth:`run` makespan — bit for bit."""
+        from repro.obs.critpath import selftimed_critical_path
+
+        n_waves = waves if waves is not None else self._program.cycles
+        return selftimed_critical_path(
+            self._comm,
+            self._service,
+            self._wire_delay,
+            n_waves,
+            reported=self.recurrence_makespan(n_waves),
         )
 
     def recurrence_makespan_scalar(self, waves: Optional[int] = None) -> float:

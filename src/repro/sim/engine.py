@@ -94,6 +94,7 @@ class Simulator:
         if metrics is not None:
             event_counter = metrics.counter("engine.events")
             depth_gauge = metrics.gauge("engine.queue_depth")
+        run_t0 = _time.perf_counter()
         try:
             while self._queue:
                 next_time = self._queue.peek_time()
@@ -141,6 +142,18 @@ class Simulator:
                         depth_gauge.set(len(self._queue))
                         if failed:
                             metrics.counter("engine.dispatch_errors").inc()
+            if tracer.enabled:
+                # End-of-run summary so a trace shows where the engine
+                # stopped (drained vs. guard/until) without replaying
+                # every dispatch.
+                tracer.event(
+                    self.now,
+                    "engine",
+                    "run",
+                    processed=processed,
+                    pending=len(self._queue),
+                    wall_s=_time.perf_counter() - run_t0,
+                )
         finally:
             self.events_processed += processed
         return processed

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 Sampler = Callable[[random.Random], float]
 
@@ -85,6 +86,7 @@ def simulate_selftimed_line(
     seed: int = 0,
     worst_time: Optional[float] = None,
     blocking: bool = True,
+    tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> SelfTimedResult:
     """Run ``waves`` computation waves through ``n_cells`` self-timed cells.
@@ -113,11 +115,15 @@ def simulate_selftimed_line(
     the previous token — only possible when ``blocking``) lands in
     ``selftimed.stall_time``: the distributions behind the paper's
     worst-case-speed argument.
+
+    With a ``tracer``, each wave emits a ``selftimed/wave`` event at its
+    completion time and the run closes with a ``selftimed/run`` summary.
     """
     if n_cells < 1 or waves < 2:
         raise ValueError("need at least one cell and two waves")
     if wire_delay < 0:
         raise ValueError("wire delay must be non-negative")
+    tracer = tracer if tracer is not None else NULL_TRACER
     rng = random.Random(seed)
 
     finish_prev_wave = [0.0] * n_cells  # finish[i][w-1]
@@ -167,6 +173,11 @@ def simulate_selftimed_line(
         start_prev_wave = starts
         wave_finish.append(finish_prev_wave[-1])
         wave_hits.append(hit)
+        if tracer.enabled:
+            tracer.event(
+                finish_prev_wave[-1], "selftimed", "wave",
+                wave=w, hit_worst_case=hit,
+            )
 
     half = waves // 2
     steady = wave_finish[half:]
@@ -174,6 +185,12 @@ def simulate_selftimed_line(
         mean_cycle = (steady[-1] - steady[0]) / (len(steady) - 1)
     else:
         mean_cycle = wave_finish[-1] / waves
+    if tracer.enabled:
+        tracer.event(
+            wave_finish[-1], "selftimed", "run",
+            cells=n_cells, waves=waves, makespan=wave_finish[-1],
+            blocking=blocking,
+        )
     return SelfTimedResult(
         n_cells=n_cells,
         waves=waves,
@@ -192,6 +209,7 @@ def simulate_selftimed_wavefront(
     sampler: Sampler,
     seed: int = 0,
     worst_time: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> SelfTimedResult:
     """A two-dimensional self-timed *wavefront array* (meshes are the 2D
@@ -210,6 +228,7 @@ def simulate_selftimed_wavefront(
     """
     if rows < 1 or cols < 1 or waves < 2:
         raise ValueError("need a non-empty mesh and at least two waves")
+    tracer = tracer if tracer is not None else NULL_TRACER
     rng = random.Random(seed)
 
     finish_prev = [[0.0] * cols for _ in range(rows)]
@@ -261,6 +280,11 @@ def simulate_selftimed_wavefront(
         finish_prev = finish
         wave_finish.append(finish[rows - 1][cols - 1])
         wave_hits.append(hit)
+        if tracer.enabled:
+            tracer.event(
+                wave_finish[-1], "selftimed", "wave",
+                wave=w, hit_worst_case=hit,
+            )
 
     half = waves // 2
     steady = wave_finish[half:]
@@ -268,6 +292,11 @@ def simulate_selftimed_wavefront(
         mean_cycle = (steady[-1] - steady[0]) / (len(steady) - 1)
     else:
         mean_cycle = wave_finish[-1] / waves
+    if tracer.enabled:
+        tracer.event(
+            wave_finish[-1], "selftimed", "run",
+            cells=rows * cols, waves=waves, makespan=wave_finish[-1],
+        )
     return SelfTimedResult(
         n_cells=rows * cols,
         waves=waves,

@@ -78,10 +78,23 @@ class STAAnalyzer:
         hit = self._fresh() and self._slack is not None
         if self._slack is None:
             t0 = time.perf_counter()
-            self._slack = analyze_slack(self.design)
+            if self._tracer.enabled:
+                from repro.obs.spans import SpanTracer
+
+                spans = SpanTracer(self._tracer)
+                with spans.span("sta.slack", design=self.design.name) as h:
+                    self._slack = analyze_slack(self.design)
+                    h.annotate(edges=len(self._slack.edges))
+            else:
+                self._slack = analyze_slack(self.design)
             self._observe(time.perf_counter() - t0, self._slack)
-        if hit and self._metrics is not None:
-            self._metrics.counter("sta.cache_hits").inc()
+        if hit:
+            if self._metrics is not None:
+                self._metrics.counter("sta.cache_hits").inc()
+            if self._tracer.enabled:
+                self._tracer.event(
+                    0.0, "sta", "cache_hit", design=self.design.name
+                )
         return self._slack
 
     def drc(self) -> List[RuleResult]:

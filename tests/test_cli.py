@@ -230,3 +230,103 @@ class TestTraceCommand:
         )
         assert code == 2
         assert "error" in err
+
+
+def _record_clocked_trace(path):
+    from repro.obs.trace import JsonlTracer
+    from repro.sta.design import random_design
+
+    with JsonlTracer(path) as tracer:
+        sim = random_design(0, clean=True).simulator(tracer=tracer)
+        run = sim.run()
+        sim.run_compiled()  # adds compiled-phase spans to the same trace
+    return run
+
+
+class TestCriticalPathCommand:
+    def test_exact_chain_from_clocked_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "clocked.jsonl")
+        run = _record_clocked_trace(path)
+        code, out, _ = run_cli(capsys, "trace", path, "--critical-path")
+        assert code == 0
+        assert "(clocked engine)" in out
+        assert f"makespan {run.makespan:.6g}" in out
+        assert "exact" in out
+        assert "blame" in out
+
+    def test_non_causal_trace_errors(self, capsys, tmp_path):
+        path = str(tmp_path / "hybrid.jsonl")
+        code, _out, _ = run_cli(capsys, "hybrid", "--size", "8", "--trace", path)
+        assert code == 0
+        code, _out, err = run_cli(capsys, "trace", path, "--critical-path")
+        assert code == 2
+        assert "error" in err
+
+
+class TestDashboardCommand:
+    def test_text_dashboard(self, capsys, tmp_path):
+        path = str(tmp_path / "clocked.jsonl")
+        _record_clocked_trace(path)
+        code, out, _ = run_cli(capsys, "dashboard", path)
+        assert code == 0
+        assert "events by category:" in out
+        assert "span waterfall" in out
+        assert "violation timeline" in out
+
+    def test_html_dashboard(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "clocked.jsonl")
+        _record_clocked_trace(trace_path)
+        html_path = str(tmp_path / "dash.html")
+        code, out, _ = run_cli(capsys, "dashboard", trace_path, "--html", html_path)
+        assert code == 0
+        assert "wrote" in out
+        with open(html_path) as fh:
+            html = fh.read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Span waterfall" in html
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "dashboard", str(tmp_path / "absent.jsonl")
+        )
+        assert code == 2
+        assert "error" in err
+
+
+class TestMetricsExports:
+    def test_metrics_print_on_diagnostic_exit(self, capsys):
+        # A dirty design exits 1 (violations found) — exactly the run
+        # worth inspecting, so the metrics table must still print.
+        code, out, _ = run_cli(
+            capsys, "sta", "--workload", "fir", "--size", "4", "--no-pad",
+            "--metrics",
+        )
+        assert code == 1
+        assert "metrics:" in out
+        assert "sta.runs" in out
+
+    def test_metrics_json_export(self, capsys, tmp_path):
+        from repro.obs.schema import validate_metrics_snapshot
+        import json
+
+        path = str(tmp_path / "m.json")
+        code, out, _ = run_cli(
+            capsys, "hybrid", "--size", "8", "--metrics-json", path
+        )
+        assert code == 0
+        assert "metrics:" not in out  # table only under --metrics
+        with open(path) as fh:
+            snapshot = json.load(fh)
+        assert validate_metrics_snapshot(snapshot) == []
+        assert "hybrid.steps" in snapshot["counters"]
+
+    def test_metrics_prometheus_export(self, capsys, tmp_path):
+        path = str(tmp_path / "m.prom")
+        code, _out, _ = run_cli(
+            capsys, "hybrid", "--size", "8", "--metrics-prom", path
+        )
+        assert code == 0
+        with open(path) as fh:
+            text = fh.read()
+        assert "# TYPE repro_hybrid_steps counter" in text
+        assert "repro_hybrid_steps_total" in text

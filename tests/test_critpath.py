@@ -1,0 +1,141 @@
+"""Critical-path forensics: the reconstructed dependency chain must end
+exactly (bit for bit) at the makespan the simulators report, on every
+engine, and the per-step arithmetic must account for the whole path."""
+
+import pytest
+
+from repro.obs.critpath import (
+    clocked_critical_path,
+    critical_path_from_trace,
+    selftimed_critical_path,
+)
+from repro.obs.trace import RecordingTracer
+from repro.sim.dataflow import SelfTimedProgramSimulator, hashed_service
+from repro.sta.design import random_design
+
+SEEDS = [0, 1, 2, 5]
+
+
+def _chain_is_contiguous(cp):
+    for prev, step in zip(cp.steps, cp.steps[1:]):
+        assert step.t_start == prev.t_end, (prev, step)
+
+
+class TestClockedCriticalPath:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_scalar_and_compiled_makespans(self, seed):
+        design = random_design(seed)
+        sim = design.simulator()
+        scalar = sim.run_scalar()
+        compiled = sim.compiled().run()
+        cp = sim.critical_path()
+        assert cp.engine == "clocked"
+        assert cp.makespan == scalar.makespan  # bitwise
+        assert cp.makespan == compiled.makespan
+
+    def test_chain_is_contiguous_and_starts_at_zero(self):
+        design = random_design(3)
+        cp = design.simulator().critical_path()
+        assert cp.steps[0].t_start == 0.0
+        assert cp.steps[-1].t_end == cp.makespan
+        _chain_is_contiguous(cp)
+
+    def test_blame_shares_sum_to_one(self):
+        cp = random_design(4).simulator().critical_path()
+        rows = cp.blame()
+        assert rows
+        assert sum(share for _, _, _, share in rows) == pytest.approx(1.0)
+        seconds = [s for _, _, s, _ in rows]
+        assert seconds == sorted(seconds, reverse=True)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reported_makespan_marks_exact(self, seed):
+        design = random_design(seed)
+        sim = design.simulator()
+        run = sim.run()
+        cp = clocked_critical_path(
+            sim._schedule, sim._comm.nodes(), run.ticks, reported=run.makespan
+        )
+        assert cp.exact
+
+
+class TestSelfTimedCriticalPath:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_recurrence_makespans(self, seed):
+        design = random_design(seed)
+        service = hashed_service(1.0, 3.0, 0.3, seed)
+        sim = SelfTimedProgramSimulator(
+            design.program, service=service, wire_delay=0.25
+        )
+        cp = sim.critical_path()
+        assert cp.engine == "selftimed"
+        assert cp.makespan == sim.recurrence_makespan_scalar()  # bitwise
+        assert cp.makespan == sim.recurrence_makespan()
+        assert cp.exact
+
+    def test_chain_alternates_compute_and_wire(self):
+        design = random_design(1)
+        sim = SelfTimedProgramSimulator(
+            design.program, service=hashed_service(1.0, 3.0, 0.3, 1),
+            wire_delay=0.25,
+        )
+        cp = sim.critical_path()
+        _chain_is_contiguous(cp)
+        assert cp.steps[-1].kind == "compute"
+        assert all(step.kind in ("compute", "wire") for step in cp.steps)
+
+
+class TestCriticalPathFromTrace:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clocked_trace_reproduces_makespan(self, seed):
+        design = random_design(seed)
+        tracer = RecordingTracer()
+        run = design.simulator(tracer=tracer).run()
+        cp = critical_path_from_trace(tracer.events)
+        assert cp.engine == "clocked"
+        assert cp.makespan == run.makespan  # bitwise
+        assert cp.exact
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dataflow_trace_reproduces_makespan(self, seed):
+        design = random_design(seed)
+        tracer = RecordingTracer()
+        sim = SelfTimedProgramSimulator(
+            design.program,
+            service=hashed_service(1.0, 3.0, 0.3, seed),
+            wire_delay=0.25,
+            tracer=tracer,
+        )
+        run = sim.run()
+        cp = critical_path_from_trace(tracer.events)
+        assert cp.engine == "selftimed"
+        assert cp.makespan == run.makespan  # bitwise
+        assert cp.exact
+        # Every step must be a real interval ending at the makespan.
+        assert cp.steps[-1].t_end == run.makespan
+        _chain_is_contiguous(cp)
+
+    def test_dataflow_blame_names_cells(self):
+        design = random_design(2)
+        tracer = RecordingTracer()
+        sim = SelfTimedProgramSimulator(
+            design.program,
+            service=hashed_service(1.0, 3.0, 0.3, 2),
+            wire_delay=0.25,
+            tracer=tracer,
+        )
+        sim.run()
+        cp = critical_path_from_trace(tracer.events)
+        rows = cp.blame()
+        assert rows
+        assert sum(share for _, _, _, share in rows) == pytest.approx(1.0)
+
+    def test_non_causal_trace_raises(self):
+        tracer = RecordingTracer()
+        tracer.event(0.0, "hybrid", "step", element=0)
+        with pytest.raises(ValueError):
+            critical_path_from_trace(tracer.events)
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            critical_path_from_trace([])

@@ -1,0 +1,120 @@
+"""Metrics exposition: labeled series, schema-valid JSON snapshots,
+snapshot deltas, and the Prometheus text rendering."""
+
+import json
+
+from repro.obs.export import (
+    metrics_snapshot,
+    render_prometheus,
+    snapshot_delta,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_metrics_snapshot
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("events").inc(2)
+    registry.counter("trials", labels={"phase": "run"}).inc(5)
+    registry.gauge("queue_depth").set(3.0)
+    registry.histogram("wall_s", edges=(0.1, 1.0)).observe(0.5)
+    return registry
+
+
+class TestLabeledSeries:
+    def test_unlabelled_keys_are_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2)
+        assert registry.to_dict()["counters"] == {"events": 2}
+
+    def test_labelled_key_is_name_brace_sorted_pairs(self):
+        registry = MetricsRegistry()
+        registry.counter("t", labels={"b": "2", "a": "1"}).inc()
+        assert list(registry.to_dict()["counters"]) == ['t{a="1",b="2"}']
+
+    def test_same_labels_reuse_the_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("t", labels={"p": "x"}).inc()
+        registry.counter("t", labels={"p": "x"}).inc()
+        registry.counter("t", labels={"p": "y"}).inc()
+        counters = registry.to_dict()["counters"]
+        assert counters['t{p="x"}'] == 2
+        assert counters['t{p="y"}'] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_schema_valid(self):
+        snapshot = metrics_snapshot(_populated_registry())
+        assert validate_metrics_snapshot(snapshot) == []
+        assert snapshot["counters"]["events"] == 2
+        assert "emitted_at" in snapshot["meta"]
+
+    def test_snapshot_delta_reports_increments(self):
+        registry = _populated_registry()
+        before = metrics_snapshot(registry)
+        registry.counter("events").inc(3)
+        registry.histogram("wall_s", edges=(0.1, 1.0)).observe(2.0)
+        after = metrics_snapshot(registry)
+        delta = snapshot_delta(before, after)
+        assert delta["counters"]["events"] == 3
+        assert "trials" not in str(delta["counters"])  # unchanged series omitted
+        assert delta["histograms"]["wall_s"]["new_total"] == 1
+        assert sum(delta["histograms"]["wall_s"]["counts"]) == 1
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        written = write_metrics_json(_populated_registry(), path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded == written
+        assert validate_metrics_snapshot(loaded) == []
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        text = render_prometheus(_populated_registry())
+        assert "# TYPE repro_events counter" in text
+        assert "repro_events_total 2" in text
+        assert 'repro_trials_total{phase="run"} 5' in text
+
+    def test_gauge_min_max(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.set(1.0)
+        g.set(9.0)
+        text = render_prometheus(registry)
+        assert "repro_depth 9.0" in text
+        assert "repro_depth_min 1.0" in text
+        assert "repro_depth_max 9.0" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", edges=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = render_prometheus(registry)
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("sta.cache_hits").inc()
+        text = render_prometheus(registry)
+        assert "repro_sta_cache_hits_total 1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"k": 'va"l\\ue'}).inc()
+        text = render_prometheus(registry)
+        assert 'k="va\\"l\\\\ue"' in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        text = write_metrics_prometheus(_populated_registry(), path)
+        with open(path) as fh:
+            assert fh.read() == text

@@ -141,6 +141,90 @@ def test_private_simulator_is_exempt():
 
 
 # ----------------------------------------------------------------------
+# guarded-trace-event
+# ----------------------------------------------------------------------
+def test_unguarded_tracer_event_is_flagged():
+    violations = lint(
+        """
+        def run(tracer):
+            tracer.event(0.0, "cat", "kind", cell=1)
+        """
+    )
+    assert [v.rule for v in violations] == ["guarded-trace-event"]
+    assert "tracer.event" in violations[0].message
+
+
+def test_guarded_tracer_event_passes():
+    assert not lint(
+        """
+        def run(tracer):
+            if tracer.enabled:
+                tracer.event(0.0, "cat", "kind", cell=1)
+        """
+    )
+
+
+def test_guard_on_attribute_tracer_passes():
+    assert not lint(
+        """
+        class Sim:
+            def run(self):
+                if self._tracer.enabled:
+                    self._tracer.event(0.0, "cat", "kind")
+        """
+    )
+
+
+def test_unguarded_attribute_tracer_is_flagged():
+    violations = lint(
+        """
+        class Sim:
+            def run(self):
+                self._tracer.event(0.0, "cat", "kind")
+        """
+    )
+    assert [v.rule for v in violations] == ["guarded-trace-event"]
+
+
+def test_else_branch_of_enabled_guard_is_not_covered():
+    violations = lint(
+        """
+        def run(tracer):
+            if tracer.enabled:
+                pass
+            else:
+                tracer.event(0.0, "cat", "kind")
+        """
+    )
+    assert [v.rule for v in violations] == ["guarded-trace-event"]
+
+
+def test_obs_package_is_exempt():
+    assert not lint_source(
+        "def emit(tracer):\n    tracer.event(0.0, 'c', 'k')\n",
+        "obs/spans.py",
+    )
+
+
+def test_non_tracer_event_call_is_ignored():
+    # .event() on something not named like a tracer (e.g. a GUI emitter)
+    # is out of the rule's scope.
+    assert not lint("def f(bus):\n    bus.event(0.0, 'c', 'k')\n")
+
+
+def test_span_calls_are_exempt():
+    # SpanTracer.span checks enabled internally; only raw .event needs
+    # a lexical guard.
+    assert not lint(
+        """
+        def run(spans):
+            with spans.span("phase"):
+                pass
+        """
+    )
+
+
+# ----------------------------------------------------------------------
 # the actual gate
 # ----------------------------------------------------------------------
 def test_src_repro_is_lint_clean():

@@ -10,10 +10,13 @@ import pytest
 
 from repro.analysis.montecarlo import (
     MonteCarloSummary,
+    MonteCarloTelemetry,
     _seed_chunks,
     run_trials,
+    run_trials_traced,
     summarize,
 )
+from repro.obs.spans import assemble_spans
 from repro.obs.trace import RecordingTracer
 
 
@@ -103,3 +106,71 @@ class TestValidationAndSummarize:
         assert isinstance(summary, MonteCarloSummary)
         assert summary.trials == 5
         assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+class TestTracedRuns:
+    def test_traced_summary_is_bit_identical_to_untraced(self):
+        plain = run_trials(_trial, 16, base_seed=4, workers=3)
+        traced, _telemetry = run_trials_traced(
+            _trial, 16, base_seed=4, workers=3, tracer=RecordingTracer()
+        )
+        assert plain == traced
+
+    def test_traced_process_pool_matches_serial(self):
+        plain = run_trials(_trial, 8, base_seed=1)
+        traced, _telemetry = run_trials_traced(
+            _trial, 8, base_seed=1, workers=2, executor="process",
+            tracer=RecordingTracer(),
+        )
+        assert plain == traced
+
+    def test_multi_worker_trace_is_one_span_forest(self):
+        tracer = RecordingTracer()
+        run_trials_traced(_trial, 12, base_seed=0, workers=3, tracer=tracer)
+        roots = assemble_spans(tracer.events)
+        assert len(roots) == 1  # one coherent trace, not per-worker shards
+        root = roots[0]
+        assert root.name == "montecarlo.run_trials"
+        child_names = [c.name for c in root.children]
+        assert "montecarlo.map" in child_names
+        assert "montecarlo.reduce" in child_names
+        chunks = [
+            s for s in root.walk() if s.name == "montecarlo.chunk"
+        ]
+        assert {c.worker for c in chunks} == {"w0", "w1", "w2"}
+        trials = [s for s in root.walk() if s.name == "montecarlo.trial"]
+        assert len(trials) == 12
+        assert all(s.wall_s is not None for s in root.walk())  # no open spans
+
+    def test_trial_events_stay_in_seed_order(self):
+        tracer = RecordingTracer()
+        summary, _ = run_trials_traced(
+            _trial, 9, base_seed=2, workers=3, tracer=tracer
+        )
+        trials = [e for e in tracer.events if e.kind == "trial"]
+        assert [e.data["seed"] for e in trials] == list(range(2, 11))
+        (final,) = [e for e in tracer.events if e.kind == "summary"]
+        assert final.data["mean"] == summary.mean
+
+    def test_telemetry_chunk_accounting(self):
+        _, telemetry = run_trials_traced(
+            _trial, 10, base_seed=0, workers=4, tracer=RecordingTracer()
+        )
+        assert isinstance(telemetry, MonteCarloTelemetry)
+        assert telemetry.workers == 4
+        assert len(telemetry.chunks) == 4
+        assert sum(c.trials for c in telemetry.chunks) == 10
+        assert all(c.run_s >= 0.0 for c in telemetry.chunks)
+        assert telemetry.run_s >= 0.0
+        assert telemetry.wall_s > 0.0
+
+    def test_untraced_call_still_returns_telemetry(self):
+        summary, telemetry = run_trials_traced(_trial, 6, workers=2)
+        assert summary == run_trials(_trial, 6, workers=2)
+        assert len(telemetry.chunks) == 2
+
+    def test_traced_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_trials_traced(_trial, 1)
+        with pytest.raises(ValueError):
+            run_trials_traced(_trial, 4, workers=0)

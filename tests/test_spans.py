@@ -1,0 +1,171 @@
+"""Unit tests for the span layer: emission, nesting, context propagation,
+and forest reassembly from the flat event stream."""
+
+import pickle
+
+import pytest
+
+from repro.obs.spans import (
+    SpanContext,
+    SpanTracer,
+    assemble_spans,
+    iter_spans,
+    span_index,
+)
+from repro.obs.trace import NULL_TRACER, RecordingTracer, TraceEvent
+
+
+class TestSpanTracer:
+    def test_disabled_tracer_emits_nothing(self):
+        spans = SpanTracer(NULL_TRACER)
+        assert not spans.enabled
+        with spans.span("root") as handle:
+            handle.annotate(ignored=True)  # the null handle swallows this
+        assert spans.current_id is None
+
+    def test_default_tracer_is_the_null_tracer(self):
+        assert not SpanTracer().enabled
+
+    def test_start_and_end_events_emitted(self):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer)
+        with spans.span("compile", t=1.5, foo=7):
+            pass
+        start, end = tracer.events
+        assert (start.cat, start.kind) == ("span", "start")
+        assert (end.cat, end.kind) == ("span", "end")
+        assert start.data["name"] == "compile"
+        assert start.data["attrs"] == {"foo": 7}
+        assert start.t == 1.5
+        assert end.data["id"] == start.data["id"]
+        assert end.data["status"] == "ok"
+        assert end.data["wall_s"] >= 0.0
+
+    def test_nesting_sets_parent(self):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer)
+        with spans.span("outer"):
+            outer_id = spans.current_id
+            with spans.span("inner"):
+                assert spans.current_id != outer_id
+        starts = [e for e in tracer.events if e.kind == "start"]
+        assert starts[0].data["parent"] is None
+        assert starts[1].data["parent"] == starts[0].data["id"]
+
+    def test_error_status_on_raise(self):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer)
+        with pytest.raises(RuntimeError):
+            with spans.span("doomed"):
+                raise RuntimeError("boom")
+        end = [e for e in tracer.events if e.kind == "end"][0]
+        assert end.data["status"] == "error"
+
+    def test_annotate_lands_in_end_event(self):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer)
+        with spans.span("work", first=1) as handle:
+            handle.annotate(second=2)
+        start = tracer.events[0]
+        end = tracer.events[1]
+        assert start.data["attrs"] == {"first": 1}
+        assert end.data["attrs"] == {"second": 2}
+
+    def test_context_is_picklable_and_seeds_parent(self):
+        tracer = RecordingTracer()
+        parent = SpanTracer(tracer, worker="main")
+        with parent.span("root"):
+            ctx = parent.context()
+        ctx = pickle.loads(pickle.dumps(ctx))
+        assert isinstance(ctx, SpanContext)
+        child = SpanTracer(RecordingTracer(), worker="w0", parent_id=ctx.parent_id)
+        with child.span("chunk"):
+            pass
+        start = child.tracer.events[0]
+        assert start.data["parent"] == ctx.parent_id
+        assert start.data["worker"] == "w0"
+
+    def test_ids_are_worker_scoped(self):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer, worker="w3")
+        with spans.span("a"):
+            pass
+        with spans.span("b"):
+            pass
+        ids = [e.data["id"] for e in tracer.events if e.kind == "start"]
+        assert ids == ["w3:0", "w3:1"]
+
+
+class TestAssembleSpans:
+    def _events(self, spans_fn):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer)
+        spans_fn(spans)
+        return tracer.events
+
+    def test_round_trip_tree(self):
+        def build(spans):
+            with spans.span("root", t=0.0):
+                with spans.span("left", t=1.0):
+                    pass
+                with spans.span("right", t=2.0):
+                    pass
+
+        roots = assemble_spans(self._events(build))
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["left", "right"]
+        assert all(not span.open for span in root.walk())
+
+    def test_non_span_events_are_ignored(self):
+        tracer = RecordingTracer()
+        tracer.event(0.0, "tick", "fire", cell=0, tick=0)
+        spans = SpanTracer(tracer)
+        with spans.span("only"):
+            pass
+        tracer.event(9.0, "clocked", "run", makespan=9.0)
+        roots = assemble_spans(tracer.events)
+        assert [r.name for r in roots] == ["only"]
+
+    def test_missing_end_yields_open_span(self):
+        tracer = RecordingTracer()
+        spans = SpanTracer(tracer)
+        with spans.span("crashed"):
+            events = list(tracer.events)  # snapshot before the end lands
+        roots = assemble_spans(events)
+        assert len(roots) == 1 and roots[0].open
+        assert roots[0].status == "open"
+
+    def test_orphan_end_is_dropped(self):
+        orphan = TraceEvent(
+            t=1.0, cat="span", kind="end", cell=None,
+            data={"id": "ghost:0", "wall_s": 0.1, "status": "ok", "attrs": {}},
+        )
+        assert assemble_spans([orphan]) == []
+
+    def test_orphan_child_is_promoted_to_root(self):
+        # A child whose parent never appears in the stream (e.g. the
+        # coordinator's file was truncated) must still be visible.
+        start = TraceEvent(
+            t=0.0, cat="span", kind="start", cell=None,
+            data={
+                "id": "w0:5", "parent": "main:99", "name": "stranded",
+                "worker": "w0", "wall_t0": 0.0, "attrs": {},
+            },
+        )
+        roots = assemble_spans([start])
+        assert [r.name for r in roots] == ["stranded"]
+
+    def test_iter_spans_and_index(self):
+        def build(spans):
+            with spans.span("root"):
+                with spans.span("child"):
+                    pass
+
+        roots = assemble_spans(self._events(build))
+        names = [s.name for s in iter_spans(roots)]
+        assert names == ["root", "child"]
+        index = span_index(roots)
+        assert set(index) == {"main:0", "main:1"}
+        assert index["main:1"].name == "child"

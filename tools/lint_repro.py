@@ -1,6 +1,6 @@
 """Repo-specific static lint: invariants generic linters can't know.
 
-Three rules, each an AST pass over ``src/repro``:
+Four rules, each an AST pass over ``src/repro``:
 
 * **batch-oracle** — every ``*_batch`` kernel must have a scalar oracle
   counterpart in the same scope (``X`` or ``X_scalar`` next to
@@ -15,6 +15,12 @@ Three rules, each an AST pass over ``src/repro``:
 * **simulator-kwargs** — every public ``*Simulator`` class in
   ``repro.sim`` must accept the opt-in ``tracer=`` and ``metrics=``
   observability kwargs (the PR-1 convention).
+* **guarded-trace-event** — outside ``repro.obs`` itself, every
+  ``<tracer>.event(...)`` call must sit inside an ``if ....enabled:``
+  guard: constructing event payloads unconditionally makes disabled
+  tracing cost real time on hot paths, which breaks the
+  zero-overhead-when-off contract.  (``SpanTracer.span`` is exempt —
+  the span layer checks ``enabled`` internally.)
 
 Run as a script (``python tools/lint_repro.py``) or via the pytest in
 ``tests/test_lint_repro.py`` (part of the tier-1 suite, hence CI).
@@ -188,6 +194,65 @@ def check_simulator_kwargs(tree: ast.Module, rel: str) -> List[LintViolation]:
 
 
 # ----------------------------------------------------------------------
+# rule: guarded-trace-event
+# ----------------------------------------------------------------------
+def _test_mentions_enabled(test: ast.expr) -> bool:
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "enabled":
+            return True
+    return False
+
+
+def check_guarded_trace_events(tree: ast.Module, rel: str) -> List[LintViolation]:
+    """Flag ``<tracer>.event(...)`` calls not lexically inside an
+    ``if ... .enabled`` test (``repro.obs`` itself is exempt: the tracer
+    implementations and the span layer are where the checks live)."""
+    if rel.replace("\\", "/").startswith("obs/"):
+        return []
+    violations: List[LintViolation] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "event":
+                chain = _attribute_chain(node.func)
+                if (
+                    chain is not None
+                    and any("tracer" in part.lower() for part in chain[:-1])
+                    and not guarded
+                ):
+                    violations.append(
+                        LintViolation(
+                            "guarded-trace-event",
+                            rel,
+                            node.lineno,
+                            f"{'.'.join(chain)}(...) builds a trace event "
+                            "outside an 'if ... .enabled' guard; disabled "
+                            "tracing must cost nothing",
+                        )
+                    )
+        if isinstance(node, ast.If):
+            body_guarded = guarded or _test_mentions_enabled(node.test)
+            visit(node.test, guarded)
+            for child in node.body:
+                visit(child, body_guarded)
+            for child in node.orelse:
+                visit(child, guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            visit(node.test, guarded)
+            visit(node.body, guarded or _test_mentions_enabled(node.test))
+            visit(node.orelse, guarded)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    visit(tree, False)
+    return violations
+
+
+# ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
 def lint_source(source: str, rel: str) -> List[LintViolation]:
@@ -197,6 +262,7 @@ def lint_source(source: str, rel: str) -> List[LintViolation]:
     violations = check_batch_oracles(tree, rel)
     violations += check_seeded_random(tree, rel)
     violations += check_simulator_kwargs(tree, rel)
+    violations += check_guarded_trace_events(tree, rel)
     return violations
 
 
