@@ -16,7 +16,12 @@ enforces the PR's acceptance bar:
   scalar path;
 * the ``CompiledTrialContext`` Monte-Carlo cache is >= 3x over the
   rebuild-per-trial formulation, with bit-identical summaries;
-* the parallel Monte-Carlo backend returns bit-identical summaries.
+* the shared-memory Monte-Carlo pool returns bit-identical summaries
+  and never loses to the serial rebuild-per-trial loop (>= 1x even on a
+  one-core runner — the win is algorithmic, not core-count);
+* the chunked tick-matrix scale rows (``REPRO_PERF_SCALE_SIDES``) agree
+  exactly with the monolithic evaluation and, where it runs, the
+  per-event scalar oracle.
 
 The suite writes the repo-root ``BENCH_perf.json`` perf-trajectory
 artifact (schema-validated before writing) exactly like
@@ -27,6 +32,9 @@ Environment knobs for CI / quick local runs:
 * ``REPRO_PERF_SIDES`` — comma-separated mesh sides
   (default ``16,32,64``; the >= 5x assertions only apply to sides with
   >= 4096 cells, so a small-sides run still checks equivalence);
+* ``REPRO_PERF_SCALE_SIDES`` — comma-separated grid sides for the
+  large-scale timing rows (default: none; ``256`` is the 65,536-cell CI
+  smoke row, ``256,1024`` adds the million-cell row);
 * ``REPRO_PERF_OUT`` — artifact path (default: repo-root
   ``BENCH_perf.json``; empty string skips writing).
 """
@@ -49,6 +57,10 @@ SIM_KERNELS = ("clocked_run", "selftimed_makespan")
 SIM_SPEEDUP = 10.0
 # Monte-Carlo structure cache: >= 3x over rebuild-per-trial.
 MC_CACHED_SPEEDUP = 3.0
+# Shared-memory Monte-Carlo pool: must never lose to the serial loop.
+MC_POOL_FLOOR = 1.0
+# Scale rows stream violations per block and must stay exact.
+SCALE_KERNELS = ("mesh_csr_build", "clocked_timing_blocked", "clocked_timing")
 EQUIVALENCE_TOL = 1e-9
 
 
@@ -57,10 +69,18 @@ def _sides():
     return [int(s) for s in raw.split(",") if s.strip()]
 
 
+def _scale_sides():
+    raw = os.environ.get("REPRO_PERF_SCALE_SIDES", "")
+    return [int(s) for s in raw.split(",") if s.strip()]
+
+
 def test_perf_suite_speedup_and_equivalence():
     sides = _sides()
+    scale_sides = _scale_sides()
     t0 = time.perf_counter()
-    results = run_perf_suite(sides=sides, trials=16, workers=4, repeats=3)
+    results = run_perf_suite(
+        sides=sides, trials=16, workers=4, repeats=3, scale_sides=scale_sides
+    )
     wall_s = time.perf_counter() - t0
 
     for r in results:
@@ -80,6 +100,20 @@ def test_perf_suite_speedup_and_equivalence():
         if r.kernel == "montecarlo_cached":
             assert r.speedup >= MC_CACHED_SPEEDUP, (
                 f"montecarlo_cached: {r.speedup:.1f}x < {MC_CACHED_SPEEDUP}x"
+            )
+        if r.kernel.startswith("montecarlo_workers_"):
+            assert r.max_abs_diff == 0.0, (
+                f"{r.kernel}: shared-memory pool summary not bit-identical "
+                f"(diff {r.max_abs_diff})"
+            )
+            assert r.speedup >= MC_POOL_FLOOR, (
+                f"{r.kernel}: {r.speedup:.2f}x — the zero-pickle pool lost "
+                f"to the serial rebuild-per-trial loop"
+            )
+        if r.kernel in SCALE_KERNELS:
+            assert r.max_abs_diff == 0.0, (
+                f"{r.kernel} at {r.size} cells: streamed path not exact "
+                f"(diff {r.max_abs_diff})"
             )
 
     checked = 0

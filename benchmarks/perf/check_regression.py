@@ -19,9 +19,9 @@ SLOWDOWN_FACTOR = 5.0
 
 # Kernels whose batch-vs-scalar ratio the gate enforces — the warm skew
 # kernels, the cold path (now required to beat scalar), and the compiled
-# simulation kernels.  Monte-Carlo pool rows are tracked in the artifact
-# but not gated here: they are core-count bound (the cache row has its
-# own absolute >= 3x gate in bench_perf_kernels.py).
+# simulation kernels.  Monte-Carlo pool rows are gated by the absolute
+# floors below instead of a baseline ratio (the cache row has its own
+# absolute >= 3x gate in bench_perf_kernels.py).
 GATED_KERNELS = (
     "max_skew_bound",
     "max_skew_lower_bound",
@@ -30,6 +30,15 @@ GATED_KERNELS = (
     "clocked_run",
     "selftimed_makespan",
 )
+
+# Absolute speedup floors, independent of any baseline: the shared-memory
+# Monte-Carlo pool must never *lose* to the serial rebuild-per-trial loop
+# again (the regression this gate exists for), even on a one-core runner
+# where the win is purely algorithmic.  Matched by kernel-name prefix so
+# any worker count is covered.
+ABSOLUTE_FLOOR_PREFIXES = {
+    "montecarlo_workers_": 1.0,
+}
 
 
 def speedups(path):
@@ -65,6 +74,17 @@ def main(argv):
         )
         if fresh[kernel] < floor:
             failures.append(kernel)
+    for kernel, speedup in sorted(fresh.items()):
+        for prefix, floor in ABSOLUTE_FLOOR_PREFIXES.items():
+            if not kernel.startswith(prefix):
+                continue
+            status = "ok" if speedup >= floor else "REGRESSION"
+            print(
+                f"{kernel}: fresh {speedup:.1f}x, absolute floor {floor:.1f}x "
+                f"-> {status}"
+            )
+            if speedup < floor:
+                failures.append(kernel)
     if failures:
         print(f"perf regression in: {', '.join(failures)}")
         return 1

@@ -242,8 +242,10 @@ class ChunkTelemetry:
     per-worker structure (a :class:`CompiledTrialContext` factory runs
     once per worker), estimated as the excess of the first trial's wall
     time over the cheapest later trial in the same chunk.  ``pickle_s``
-    is this chunk's share of shipping the trial callable to a process
-    worker (zero for threads, which share the heap).
+    is marshalling work attributable to *this chunk specifically*; the
+    coordinator's one-time serialization of the trial callable is
+    recorded once on :attr:`MonteCarloTelemetry.pickle_once_s`, not
+    smeared across chunks.
     """
 
     worker: str
@@ -265,11 +267,16 @@ class MonteCarloTelemetry:
     executor: str
     workers: int
     wall_s: float = 0.0
+    #: One-time cost of serializing the trial callable for a process
+    #: pool (paid once by the coordinator, not per chunk).
+    pickle_once_s: float = 0.0
     chunks: List[ChunkTelemetry] = field(default_factory=list)
 
     @property
     def pickle_s(self) -> float:
-        return sum(c.pickle_s for c in self.chunks)
+        """Total marshalling cost: the coordinator's one-time dump plus
+        any genuinely per-chunk shares."""
+        return self.pickle_once_s + sum(c.pickle_s for c in self.chunks)
 
     @property
     def compile_s(self) -> float:
@@ -428,7 +435,7 @@ def run_trials_traced(
                 for result in results:
                     for obj in result["events"]:
                         tracer.record(TraceEvent.from_json_obj(obj))
-            per_chunk_pickle = pickle_s / len(chunks) if chunks else 0.0
+            telemetry.pickle_once_s = pickle_s
             for (first, count), result in zip(chunks, results):
                 walls = [wall for _, wall in result["timed"]]
                 compile_s, run_s = _split_chunk_phases(walls)
@@ -437,7 +444,7 @@ def run_trials_traced(
                         worker=result["worker"],
                         first_seed=first,
                         trials=count,
-                        pickle_s=per_chunk_pickle,
+                        pickle_s=0.0,
                         compile_s=compile_s,
                         run_s=run_s,
                         wall_s=result["wall_s"],

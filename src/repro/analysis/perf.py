@@ -32,19 +32,25 @@ drivers over this module.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
+import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.montecarlo import (
     CompiledTrialContext,
     run_trials,
     run_trials_traced,
 )
+from repro.analysis.shared import SharedTrialArena
 from repro.arrays.topologies import mesh
 from repro.clocktree.buffered import BufferedClockTree
 from repro.clocktree.htree import htree_for_array
+from repro.clocktree.sampler import CompiledSkewSampler
 from repro.core.models import (
     PhysicalModel,
     SkewModel,
@@ -53,8 +59,10 @@ from repro.core.models import (
     max_skew_lower_bound,
     max_skew_lower_bound_scalar,
 )
+from repro.graphs.csr import csr_from_comm, grid_csr
 from repro.obs.schema import validate_benchmark_result
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.sim.compiled import CompiledTimingKernel
 
 BENCH_HEADERS = [
     "kernel",
@@ -67,6 +75,7 @@ BENCH_HEADERS = [
     "pickle_s",
     "compile_s",
     "run_s",
+    "peak_mem_bytes",
 ]
 
 
@@ -84,7 +93,11 @@ class KernelTiming:
     currently the Monte-Carlo rows, via
     :func:`repro.analysis.montecarlo.run_trials_traced` — and stay
     ``None`` (JSON ``null``) for kernels without a phase split, keeping
-    every BENCH row schema-uniform.
+    every BENCH row schema-uniform.  ``peak_mem_bytes`` is the optimized
+    path's peak traced allocation (``tracemalloc``; numpy buffers
+    included), filled only when the suite runs with memory measurement
+    on (``--mem``) — it is the column that makes a memory regression as
+    visible as a slowdown.
     """
 
     kernel: str
@@ -96,6 +109,7 @@ class KernelTiming:
     pickle_s: Optional[float] = None
     compile_s: Optional[float] = None
     run_s: Optional[float] = None
+    peak_mem_bytes: Optional[int] = None
 
     @property
     def speedup(self) -> float:
@@ -113,7 +127,34 @@ class KernelTiming:
             self.pickle_s,
             self.compile_s,
             self.run_s,
+            self.peak_mem_bytes,
         ]
+
+
+def peak_mem_bytes(fn: Callable[[], object]) -> int:
+    """Peak traced allocation of one call to ``fn`` (bytes).
+
+    ``tracemalloc`` sees numpy's buffers (numpy registers its allocator
+    domain), so this captures exactly the tick-matrix/latch-scan arrays
+    the streaming kernels exist to bound.  Tracing multiplies allocation
+    cost, so memory is measured on a *separate* call from the timed one.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def _with_mem(
+    timing: KernelTiming, fn: Callable[[], object], measure: bool
+) -> KernelTiming:
+    """Attach the optimized path's peak memory to a finished row."""
+    if not measure:
+        return timing
+    return dataclasses.replace(timing, peak_mem_bytes=peak_mem_bytes(fn))
 
 
 def _best_time(fn: Callable[[], object], repeats: int) -> float:
@@ -130,6 +171,7 @@ def bench_skew_kernels(
     side: int,
     model: Optional[SkewModel] = None,
     repeats: int = 3,
+    measure_mem: bool = False,
 ) -> List[KernelTiming]:
     """Time the skew-bound kernels on a ``side x side`` mesh under an
     H-tree clock (the Fig. 3 workload every sweep repeats)."""
@@ -152,41 +194,57 @@ def bench_skew_kernels(
         cold_s = min(cold_s, time.perf_counter() - t0)
         scalar_value = max_skew_bound_scalar(cold_tree, pairs, model)
     results.append(
-        KernelTiming(
-            "max_skew_bound_cold", n, len(pairs), scalar_s, cold_s,
-            abs(cold_value - scalar_value),
+        _with_mem(
+            KernelTiming(
+                "max_skew_bound_cold", n, len(pairs), scalar_s, cold_s,
+                abs(cold_value - scalar_value),
+            ),
+            lambda: max_skew_bound(htree_for_array(array), pairs, model),
+            measure_mem,
         )
     )
 
     # Warm: index built and memo populated — the steady state.
     batch_value = max_skew_bound(tree, pairs, model)
     results.append(
-        KernelTiming(
-            "max_skew_bound", n, len(pairs),
-            _best_time(lambda: max_skew_bound_scalar(tree, pairs, model), repeats),
-            _best_time(lambda: max_skew_bound(tree, pairs, model), repeats),
-            abs(batch_value - max_skew_bound_scalar(tree, pairs, model)),
+        _with_mem(
+            KernelTiming(
+                "max_skew_bound", n, len(pairs),
+                _best_time(lambda: max_skew_bound_scalar(tree, pairs, model), repeats),
+                _best_time(lambda: max_skew_bound(tree, pairs, model), repeats),
+                abs(batch_value - max_skew_bound_scalar(tree, pairs, model)),
+            ),
+            lambda: max_skew_bound(tree, pairs, model),
+            measure_mem,
         )
     )
 
     floor_value = max_skew_lower_bound(tree, pairs, model)
     results.append(
-        KernelTiming(
-            "max_skew_lower_bound", n, len(pairs),
-            _best_time(lambda: max_skew_lower_bound_scalar(tree, pairs, model), repeats),
-            _best_time(lambda: max_skew_lower_bound(tree, pairs, model), repeats),
-            abs(floor_value - max_skew_lower_bound_scalar(tree, pairs, model)),
+        _with_mem(
+            KernelTiming(
+                "max_skew_lower_bound", n, len(pairs),
+                _best_time(lambda: max_skew_lower_bound_scalar(tree, pairs, model), repeats),
+                _best_time(lambda: max_skew_lower_bound(tree, pairs, model), repeats),
+                abs(floor_value - max_skew_lower_bound_scalar(tree, pairs, model)),
+            ),
+            lambda: max_skew_lower_bound(tree, pairs, model),
+            measure_mem,
         )
     )
 
     buffered = BufferedClockTree(tree)
     buffered_value = buffered.max_skew(pairs)
     results.append(
-        KernelTiming(
-            "buffered_max_skew", n, len(pairs),
-            _best_time(lambda: buffered.max_skew_scalar(pairs), repeats),
-            _best_time(lambda: buffered.max_skew(pairs), repeats),
-            abs(buffered_value - buffered.max_skew_scalar(pairs)),
+        _with_mem(
+            KernelTiming(
+                "buffered_max_skew", n, len(pairs),
+                _best_time(lambda: buffered.max_skew_scalar(pairs), repeats),
+                _best_time(lambda: buffered.max_skew(pairs), repeats),
+                abs(buffered_value - buffered.max_skew_scalar(pairs)),
+            ),
+            lambda: buffered.max_skew(pairs),
+            measure_mem,
         )
     )
     return results
@@ -231,7 +289,9 @@ def _clocked_diff(a, b) -> float:
     return diff
 
 
-def bench_sim_kernels(side: int, repeats: int = 3) -> List[KernelTiming]:
+def bench_sim_kernels(
+    side: int, repeats: int = 3, measure_mem: bool = False
+) -> List[KernelTiming]:
     """Time the compiled simulation kernels against their scalar oracles
     on the mesh-matmul workload:
 
@@ -260,11 +320,15 @@ def bench_sim_kernels(side: int, repeats: int = 3) -> List[KernelTiming]:
     compiled_run = sim.run()  # pre-warm: compile + stream plan
     scalar_run = sim.run_scalar()
     results.append(
-        KernelTiming(
-            "clocked_run", n, program.cycles,
-            _best_time(lambda: sim.run_scalar(), repeats),
-            _best_time(lambda: sim.run(), repeats),
-            _clocked_diff(compiled_run, scalar_run),
+        _with_mem(
+            KernelTiming(
+                "clocked_run", n, program.cycles,
+                _best_time(lambda: sim.run_scalar(), repeats),
+                _best_time(lambda: sim.run(), repeats),
+                _clocked_diff(compiled_run, scalar_run),
+            ),
+            lambda: sim.run(),
+            measure_mem,
         )
     )
 
@@ -272,11 +336,15 @@ def bench_sim_kernels(side: int, repeats: int = 3) -> List[KernelTiming]:
     compiled_span = selftimed.recurrence_makespan()  # pre-warm the kernel
     scalar_span = selftimed.recurrence_makespan_scalar()
     results.append(
-        KernelTiming(
-            "selftimed_makespan", n, program.cycles,
-            _best_time(lambda: selftimed.recurrence_makespan_scalar(), repeats),
-            _best_time(lambda: selftimed.recurrence_makespan(), repeats),
-            abs(compiled_span - scalar_span),
+        _with_mem(
+            KernelTiming(
+                "selftimed_makespan", n, program.cycles,
+                _best_time(lambda: selftimed.recurrence_makespan_scalar(), repeats),
+                _best_time(lambda: selftimed.recurrence_makespan(), repeats),
+                abs(compiled_span - scalar_span),
+            ),
+            lambda: selftimed.recurrence_makespan(),
+            measure_mem,
         )
     )
     return results
@@ -297,7 +365,9 @@ def _drive_engine(sim, n_events: int) -> int:
     return count[0]
 
 
-def bench_engine_dispatch(n_events: int = 100_000, repeats: int = 3) -> KernelTiming:
+def bench_engine_dispatch(
+    n_events: int = 100_000, repeats: int = 3, measure_mem: bool = False
+) -> KernelTiming:
     """Time the engine's uninstrumented dispatch fast path against the
     instrumented loop structure (a disabled ``NullTracer`` *instance*
     forces the per-event bookkeeping branch without emitting anything, so
@@ -311,11 +381,15 @@ def bench_engine_dispatch(n_events: int = 100_000, repeats: int = 3) -> KernelTi
         return _drive_engine(Simulator(), n_events)
 
     diff = float(abs(instrumented() - fast()))
-    return KernelTiming(
-        "engine_dispatch", n_events, 1,
-        _best_time(instrumented, repeats),
-        _best_time(fast, repeats),
-        diff,
+    return _with_mem(
+        KernelTiming(
+            "engine_dispatch", n_events, 1,
+            _best_time(instrumented, repeats),
+            _best_time(fast, repeats),
+            diff,
+        ),
+        fast,
+        measure_mem,
     )
 
 
@@ -352,7 +426,9 @@ def _mc_cached_trial(seed: int) -> float:
     return buffered.max_skew(pairs)
 
 
-def bench_montecarlo_cached(trials: int = 32) -> KernelTiming:
+def bench_montecarlo_cached(
+    trials: int = 32, measure_mem: bool = False
+) -> KernelTiming:
     """Time ``run_trials`` with the per-trial rebuild-everything
     formulation against the :class:`CompiledTrialContext` cache (compile
     structure once per worker, resample only noise per seed).
@@ -378,42 +454,92 @@ def bench_montecarlo_cached(trials: int = 32) -> KernelTiming:
         abs(uncached.maximum - cached.maximum),
         abs(uncached.ci_half_width - cached.ci_half_width),
     )
-    return KernelTiming(
-        "montecarlo_cached", trials, trials, uncached_s, cached_s, diff,
-        pickle_s=telemetry.pickle_s,
-        compile_s=telemetry.compile_s,
-        run_s=telemetry.run_s,
+    return _with_mem(
+        KernelTiming(
+            "montecarlo_cached", trials, trials, uncached_s, cached_s, diff,
+            pickle_s=telemetry.pickle_s,
+            compile_s=telemetry.compile_s,
+            run_s=telemetry.run_s,
+        ),
+        lambda: run_trials(_mc_cached_trial, trials, base_seed=0),
+        measure_mem,
     )
+
+
+def _sampler_structure() -> CompiledSkewSampler:
+    """The Monte-Carlo workload compiled once: the mesh(16, 16) H-tree
+    with its communicating pairs as a :class:`CompiledSkewSampler`."""
+    array = mesh(16, 16)
+    tree = htree_for_array(array)
+    return CompiledSkewSampler.from_tree(tree, array.communicating_pairs())
+
+
+def _sampler_rebuild_trial(seed: int) -> float:
+    """The serial baseline: recompile the structure and walk the trial
+    with the scalar per-node loops — the pay-everything-per-seed
+    formulation the arena path is measured against."""
+    return _sampler_structure().sample_max_skew_scalar(seed)
+
+
+def _sampler_build(arrays) -> CompiledSkewSampler:
+    """Arena ``build`` hook: sampler from attached shared-memory views
+    (module-level so :class:`SharedMemoryTrial` stays picklable)."""
+    return CompiledSkewSampler.from_arrays(arrays)
+
+
+def _sampler_run(state: CompiledSkewSampler, seed: int) -> float:
+    """Arena ``run`` hook: one vectorized trial on the cached state."""
+    return state.sample_max_skew(seed)
 
 
 def bench_montecarlo(
     trials: int = 32,
     workers: int = 4,
-    executor: str = "thread",
+    executor: str = "process",
+    measure_mem: bool = False,
 ) -> KernelTiming:
-    """Time the serial Monte-Carlo loop against the parallel backend.
+    """Time the rebuild-per-trial serial Monte-Carlo loop against the
+    zero-pickle shared-memory pool.
 
-    ``max_abs_diff`` is the largest difference across all summary
-    fields — the parallel path is bit-identical by construction, so any
-    non-zero value is a determinism bug surfacing as a perf row.  The
-    measured speedup is hardware-honest: on a single-core box the pool
-    cannot win, and the row records that rather than hiding it
-    (``executor="process"`` measures the multi-core backend).
+    The baseline recompiles the H-tree structure and runs the scalar
+    sampler per seed; the optimized path ships the compiled arrays once
+    through a :class:`SharedTrialArena` and lets worker processes attach
+    and run the vectorized sampler.  Both consume the identical seeded
+    uniform vector per trial, so ``max_abs_diff`` across all summary
+    fields must be exactly 0.0 — any non-zero value is a determinism bug
+    surfacing as a perf row.  The arena trial is deliberately *not*
+    pre-warmed in the coordinator: under fork that would hand workers a
+    built state and hide the attach+build cost the row exists to price.
     """
     t0 = time.perf_counter()
-    serial = run_trials(_montecarlo_trial, trials, base_seed=0)
+    serial = run_trials(_sampler_rebuild_trial, trials, base_seed=0)
     serial_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    parallel = run_trials(
-        _montecarlo_trial, trials, base_seed=0, workers=workers, executor=executor
-    )
-    parallel_s = time.perf_counter() - t0
-    # Phase decomposition of the pooled run (per-worker pickle/compile/run
-    # seconds): the columns that localize a pool regression to its phase
-    # instead of leaving one opaque wall-clock number.
-    _, telemetry = run_trials_traced(
-        _montecarlo_trial, trials, base_seed=0, workers=workers, executor=executor
-    )
+    arena = SharedTrialArena(_sampler_structure().arrays())
+    try:
+        trial = arena.trial(_sampler_build, _sampler_run)
+        t0 = time.perf_counter()
+        parallel = run_trials(
+            trial, trials, base_seed=0, workers=workers, executor=executor
+        )
+        parallel_s = time.perf_counter() - t0
+        # Phase decomposition of the pooled run (one-time pickle +
+        # per-chunk compile/run seconds): the columns that localize a
+        # pool regression to its phase instead of leaving one opaque
+        # wall-clock number.
+        _, telemetry = run_trials_traced(
+            trial, trials, base_seed=0, workers=workers, executor=executor
+        )
+        peak = (
+            peak_mem_bytes(
+                lambda: run_trials(
+                    trial, trials, base_seed=0, workers=workers, executor=executor
+                )
+            )
+            if measure_mem
+            else None
+        )
+    finally:
+        arena.close()
     diff = max(
         abs(serial.mean - parallel.mean),
         abs(serial.stdev - parallel.stdev),
@@ -426,7 +552,130 @@ def bench_montecarlo(
         pickle_s=telemetry.pickle_s,
         compile_s=telemetry.compile_s,
         run_s=telemetry.run_s,
+        peak_mem_bytes=peak,
     )
+
+
+def _scale_offsets(n_cells: int, period: float) -> np.ndarray:
+    """Deterministic offsets for the scale rows: a bounded gradient (no
+    violations on its own — ``96 * 0.002 + lag/period`` stays inside one
+    period) plus 16 scattered hot cells pushed past the tolerance so the
+    violation machinery streams a small, fixed set of real events."""
+    ids = np.arange(n_cells, dtype=np.float64)
+    offsets = (ids % 97.0) * (period * 0.002)
+    hot = (np.arange(16, dtype=np.int64) * 2654435761) % n_cells
+    offsets[hot] += period * 0.6
+    return offsets
+
+
+def bench_scale_timing(
+    side: int,
+    ticks: int = 4,
+    edge_block: int = 65_536,
+    repeats: int = 1,
+    measure_mem: bool = False,
+    include_scalar: Optional[bool] = None,
+) -> List[KernelTiming]:
+    """Scale rows: static timing on a ``side x side`` grid at sizes the
+    object paths cannot reach (65,536 cells and 1,048,576 cells).
+
+    Three rows, each with an in-row equivalence check:
+
+    * ``mesh_csr_build`` — the O(n²)-prone ``CommGraph`` lowering vs the
+      closed-form :func:`~repro.graphs.csr.grid_csr` build (structures
+      compared exactly; only at sides where the object graph is
+      feasible);
+    * ``clocked_timing_blocked`` — monolithic tick-matrix timing vs the
+      chunked evaluation (``edge_block`` edges per block); violations,
+      order, and makespan must match bit for bit, at every side;
+    * ``clocked_timing`` — the per-event scalar oracle vs the streamed
+      kernel, at the largest co-runnable size (the differential row the
+      issue asks for).
+
+    ``include_scalar`` defaults to ``n <= 66_000``: beyond that the
+    Python oracle and the object graph are the bottleneck the kernels
+    exist to remove, so the million-cell rows are kernels-only.
+    """
+    n = side * side
+    if include_scalar is None:
+        include_scalar = n <= 66_000
+    period, lag = 1.0, 0.3
+    offsets = _scale_offsets(n, period)
+    results: List[KernelTiming] = []
+
+    if include_scalar:
+        t0 = time.perf_counter()
+        comm = mesh(side, side).comm
+        object_csr = csr_from_comm(comm)
+        object_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        grid = grid_csr(side, side)
+        grid_s = time.perf_counter() - t0
+        results.append(
+            _with_mem(
+                KernelTiming(
+                    "mesh_csr_build", n, grid.n_edges, object_s, grid_s,
+                    0.0 if object_csr.same_structure(grid) else float("inf"),
+                ),
+                lambda: grid_csr(side, side),
+                measure_mem,
+            )
+        )
+    else:
+        grid = grid_csr(side, side)
+
+    kernel = CompiledTimingKernel(grid, offsets, period=period, lag=lag)
+    mono = kernel.timing(ticks)
+    blocked = kernel.timing(ticks, edge_block=edge_block)
+    blocked_diff = (
+        0.0
+        if (
+            mono.violations == blocked.violations
+            and mono.makespan == blocked.makespan
+            and mono.ticks == blocked.ticks
+        )
+        else float("inf")
+    )
+    results.append(
+        _with_mem(
+            KernelTiming(
+                "clocked_timing_blocked", n, kernel.n_edges,
+                _best_time(lambda: kernel.timing(ticks), repeats),
+                _best_time(lambda: kernel.timing(ticks, edge_block=edge_block), repeats),
+                blocked_diff,
+            ),
+            lambda: kernel.timing(ticks, edge_block=edge_block),
+            measure_mem,
+        )
+    )
+
+    if include_scalar:
+        t0 = time.perf_counter()
+        scalar = kernel.timing_scalar(ticks)
+        scalar_s = time.perf_counter() - t0
+        scalar_diff = (
+            0.0
+            if (
+                scalar.violations == blocked.violations
+                and scalar.makespan == blocked.makespan
+                and scalar.ticks == blocked.ticks
+            )
+            else float("inf")
+        )
+        results.append(
+            _with_mem(
+                KernelTiming(
+                    "clocked_timing", n, kernel.n_edges, scalar_s,
+                    _best_time(
+                        lambda: kernel.timing(ticks, edge_block=edge_block), repeats
+                    ),
+                    scalar_diff,
+                ),
+                lambda: kernel.timing(ticks, edge_block=edge_block),
+                measure_mem,
+            )
+        )
+    return results
 
 
 def run_perf_suite(
@@ -436,21 +685,39 @@ def run_perf_suite(
     repeats: int = 3,
     tracer: Optional[Tracer] = None,
     include_montecarlo: bool = True,
+    scale_sides: Sequence[int] = (),
+    scale_ticks: int = 4,
+    edge_block: int = 65_536,
+    measure_mem: bool = False,
 ) -> List[KernelTiming]:
     """The full microbenchmark suite across array sizes.
 
-    With a ``tracer``, each finished timing emits a ``perf/kernel``
-    event (``t`` is the row index) carrying the whole row.
+    ``scale_sides`` appends the large-grid timing rows (65,536 cells at
+    side 256, 1,048,576 at side 1024); ``measure_mem`` fills the
+    ``peak_mem_bytes`` column on every row.  With a ``tracer``, each
+    finished timing emits a ``perf/kernel`` event (``t`` is the row
+    index) carrying the whole row.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     results: List[KernelTiming] = []
     for side in sides:
-        results.extend(bench_skew_kernels(side, repeats=repeats))
-        results.extend(bench_sim_kernels(side, repeats=repeats))
-    results.append(bench_engine_dispatch(repeats=repeats))
+        results.extend(bench_skew_kernels(side, repeats=repeats, measure_mem=measure_mem))
+        results.extend(bench_sim_kernels(side, repeats=repeats, measure_mem=measure_mem))
+    results.append(bench_engine_dispatch(repeats=repeats, measure_mem=measure_mem))
     if include_montecarlo:
-        results.append(bench_montecarlo(trials=trials, workers=workers))
-        results.append(bench_montecarlo_cached(trials=trials))
+        results.append(
+            bench_montecarlo(trials=trials, workers=workers, measure_mem=measure_mem)
+        )
+        results.append(bench_montecarlo_cached(trials=trials, measure_mem=measure_mem))
+    for side in scale_sides:
+        results.extend(
+            bench_scale_timing(
+                side,
+                ticks=scale_ticks,
+                edge_block=edge_block,
+                measure_mem=measure_mem,
+            )
+        )
     if tracer.enabled:
         for i, r in enumerate(results):
             tracer.event(
@@ -459,6 +726,7 @@ def run_perf_suite(
                 baseline_s=r.baseline_s, optimized_s=r.optimized_s,
                 speedup=r.speedup, max_abs_diff=r.max_abs_diff,
                 pickle_s=r.pickle_s, compile_s=r.compile_s, run_s=r.run_s,
+                peak_mem_bytes=r.peak_mem_bytes,
             )
     return results
 

@@ -225,6 +225,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.perf import run_perf_suite, write_bench_results
 
     sides = [int(s) for s in args.sides.split(",")]
+    scale_sides = (
+        [int(s) for s in args.scale_sides.split(",")] if args.scale_sides else []
+    )
     t0 = time.perf_counter()
     results = run_perf_suite(
         sides=sides,
@@ -233,18 +236,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         tracer=args.tracer,
         include_montecarlo=not args.no_montecarlo,
+        scale_sides=scale_sides,
+        edge_block=args.edge_block,
+        measure_mem=args.mem,
     )
     wall_s = time.perf_counter() - t0
     print(f"hot-kernel microbenchmarks (mesh sides {sides}):")
-    _print_table(
-        ["kernel", "size", "items", "baseline s", "optimized s", "speedup", "max |diff|"],
-        [
-            (r.kernel, r.size, r.items,
-             f"{r.baseline_s:.3e}", f"{r.optimized_s:.3e}",
-             f"{r.speedup:.1f}x", f"{r.max_abs_diff:.1e}")
-            for r in results
-        ],
-    )
+    headers = ["kernel", "size", "items", "baseline s", "optimized s", "speedup", "max |diff|"]
+    rows = [
+        [r.kernel, r.size, r.items,
+         f"{r.baseline_s:.3e}", f"{r.optimized_s:.3e}",
+         f"{r.speedup:.1f}x", f"{r.max_abs_diff:.1e}"]
+        for r in results
+    ]
+    if args.mem:
+        headers.append("peak mem")
+        for row, r in zip(rows, results):
+            row.append(
+                "-" if r.peak_mem_bytes is None
+                else f"{r.peak_mem_bytes / 1e6:.1f}MB"
+            )
+    _print_table(headers, rows)
+    if args.metrics_registry is not None:
+        for r in results:
+            args.metrics_registry.gauge(
+                "bench.speedup", labels={"kernel": r.kernel}
+            ).set(r.speedup)
+            if r.peak_mem_bytes is not None:
+                args.metrics_registry.gauge(
+                    "bench.peak_mem_bytes", labels={"kernel": r.kernel}
+                ).set(float(r.peak_mem_bytes))
     write_bench_results(results, args.out, wall_s=wall_s)
     print(f"\nwrote {args.out} ({len(results)} rows, schema-validated)")
     return 0
@@ -614,6 +635,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4, help="Monte-Carlo pool size")
     p.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
     p.add_argument("--no-montecarlo", action="store_true", help="skip the Monte-Carlo row")
+    p.add_argument(
+        "--scale-sides", default="", metavar="SIDES",
+        help="comma-separated grid sides for the large-scale timing rows "
+        "(e.g. 256,1024 for 65,536- and 1,048,576-cell grids)",
+    )
+    p.add_argument(
+        "--edge-block", type=int, default=65_536,
+        help="edges per block for the chunked tick-matrix evaluation",
+    )
+    p.add_argument(
+        "--mem", action="store_true",
+        help="measure peak traced allocation per row (fills peak_mem_bytes)",
+    )
     p.add_argument("--out", default="BENCH_perf.json", help="output artifact path")
     p.set_defaults(func=cmd_bench)
 

@@ -26,11 +26,25 @@ mutation (``add_child``).
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
 NodeId = Hashable
+
+
+def _gather_ids(idx: Dict[NodeId, int], nodes: Sequence[NodeId]) -> np.ndarray:
+    """Dense ids for ``nodes`` as int64 — ``operator.itemgetter`` resolves
+    the whole batch in one C call, several times faster than a Python
+    generator of dict lookups (this gather dominated the *cold*
+    build-and-query path at large pair counts)."""
+    count = len(nodes)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if count == 1:
+        return np.array([idx[nodes[0]]], dtype=np.int64)
+    return np.fromiter(itemgetter(*nodes)(idx), dtype=np.int64, count=count)
 
 
 class LiftingLCAIndex:
@@ -80,10 +94,7 @@ class LiftingLCAIndex:
 
     def node_ids(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """Vector of dense ids for a sequence of nodes."""
-        idx = self._id
-        return np.fromiter(
-            (idx[n] for n in nodes), dtype=np.int64, count=len(nodes)
-        )
+        return _gather_ids(self._id, nodes)
 
     def node(self, nid: int) -> NodeId:
         """The node with dense id ``nid``."""
@@ -139,10 +150,12 @@ class LiftingLCAIndex:
         self, pairs: Sequence[Tuple[NodeId, NodeId]]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """``(d, s)`` arrays for a sequence of node pairs."""
-        count = len(pairs)
-        idx = self._id
-        a_ids = np.fromiter((idx[a] for a, _ in pairs), dtype=np.int64, count=count)
-        b_ids = np.fromiter((idx[b] for _, b in pairs), dtype=np.int64, count=count)
+        if pairs:
+            a_nodes, b_nodes = zip(*pairs)
+        else:
+            a_nodes, b_nodes = (), ()
+        a_ids = _gather_ids(self._id, a_nodes)
+        b_ids = _gather_ids(self._id, b_nodes)
         return self.path_metrics_ids(a_ids, b_ids)
 
 
@@ -228,10 +241,7 @@ class EulerTourIndex:
 
     def node_ids(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """Vector of dense ids for a sequence of nodes."""
-        idx = self._id
-        return np.fromiter(
-            (idx[n] for n in nodes), dtype=np.int64, count=len(nodes)
-        )
+        return _gather_ids(self._id, nodes)
 
     def node(self, nid: int) -> NodeId:
         """The node with dense id ``nid``."""
@@ -287,8 +297,10 @@ class EulerTourIndex:
         self, pairs: Sequence[Tuple[NodeId, NodeId]]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """``(d, s)`` arrays for a sequence of node pairs."""
-        count = len(pairs)
-        idx = self._id
-        a_ids = np.fromiter((idx[a] for a, _ in pairs), dtype=np.int64, count=count)
-        b_ids = np.fromiter((idx[b] for _, b in pairs), dtype=np.int64, count=count)
+        if pairs:
+            a_nodes, b_nodes = zip(*pairs)
+        else:
+            a_nodes, b_nodes = (), ()
+        a_ids = _gather_ids(self._id, a_nodes)
+        b_ids = _gather_ids(self._id, b_nodes)
         return self.path_metrics_ids(a_ids, b_ids)

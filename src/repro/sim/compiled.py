@@ -31,12 +31,24 @@ matrix.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.arrays.systolic import SystolicProgram
 from repro.graphs.comm import CommGraph
+from repro.graphs.csr import CSRAdjacency
 from repro.sim import batch
 from repro.sim.clock_distribution import ClockSchedule
 from repro.sim.clocked import (
@@ -50,6 +62,42 @@ EdgeKey = Tuple[CellId, CellId]
 
 #: Matches the scalar latch scan's guard band (``clocked.py``).
 _LATCH_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Timing-only outcome of a clocked evaluation: the A5 violation set
+    (in exact scalar event order) plus the makespan — what the scaling
+    benches and the static analyses need when no payload execution is
+    wanted (or possible, at 10^6 cells)."""
+
+    violations: List[TimingViolation]
+    makespan: float
+    ticks: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _order_violation_entries(
+    slot: np.ndarray,
+    dst: np.ndarray,
+    e_idx: np.ndarray,
+    k_idx: np.ndarray,
+    t_vals: np.ndarray,
+) -> np.ndarray:
+    """Permutation putting violating (edge, tick) entries into exact
+    scalar order.
+
+    The scalar event loop visits events sorted by (time, tick, cell
+    insertion index) and, within an event, predecessors in captured slot
+    order.  Since (time, tick, cell) uniquely identifies an event, a
+    direct lexsort on (t, k, dst, slot) reproduces the rank-based
+    ordering of the monolithic path without materializing a global event
+    rank — which is what lets violation extraction stream per edge
+    block."""
+    return np.lexsort((slot[e_idx], dst[e_idx], k_idx, t_vals))
 
 
 class CompiledClockedKernel:
@@ -168,6 +216,180 @@ class CompiledClockedKernel:
                 g -= late
         return T, g
 
+    def _latch_block(
+        self,
+        lo: int,
+        hi: int,
+        n_ticks: int,
+        ks_time: Optional[np.ndarray] = None,
+        T: Optional[np.ndarray] = None,
+        Tall: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`latch_matrix` restricted to directed edges ``[lo, hi)``
+        — identical arithmetic on a slice, so streamed evaluation is
+        bit-identical to the monolithic matrix while touching only
+        O(block x ticks) memory.
+
+        Affine schedules pass ``ks_time`` (``arange(K) * period``); the
+        per-entry latch time ``offsets[dst] + ks_time[k]`` is then the
+        same float64 add that built ``T`` monolithically.  Non-affine
+        schedules pass the full ``T`` plus an oversized ``Tall`` covering
+        every reachable generation (the caller bounds it once)."""
+        dst = self._dst[lo:hi]
+        src = self._src[lo:hi]
+        lag = self._lag[lo:hi][:, None]
+        off_u = self._offsets[src][:, None]
+        if self._affine:
+            assert ks_time is not None
+            t_latch = self._offsets[dst][:, None] + ks_time[None, :]
+        else:
+            assert T is not None
+            t_latch = T[dst]
+        estimate = np.floor((t_latch - off_u - lag) / self._period)
+        g = estimate.astype(np.int64) + 3
+        thresh = t_latch + _LATCH_TOL
+        if self._affine:
+            while True:
+                late = (g >= 0) & (off_u + g * self._period + lag > thresh)
+                if not late.any():
+                    break
+                g -= late
+        else:
+            assert Tall is not None
+            src_col = src[:, None]
+            while True:
+                jj = np.maximum(g, 0)
+                late = (g >= 0) & (Tall[src_col, jj] + lag > thresh)
+                if not late.any():
+                    break
+                g -= late
+        return t_latch, g
+
+    def _violation_entries(
+        self,
+        n_ticks: int,
+        edge_block: int,
+        ks_time: Optional[np.ndarray] = None,
+        T: Optional[np.ndarray] = None,
+        Tall: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stream the latch scan per edge block, keeping only violating
+        (edge, tick, latch time, generation) entries — the full
+        ``(E, K)`` matrices never exist at once."""
+        expected = np.arange(n_ticks, dtype=np.int64) - 1
+        es: List[np.ndarray] = []
+        kss: List[np.ndarray] = []
+        ts: List[np.ndarray] = []
+        gs: List[np.ndarray] = []
+        n_edges = len(self._src)
+        for lo in range(0, n_edges, edge_block):
+            hi = min(lo + edge_block, n_edges)
+            t_latch, g = self._latch_block(
+                lo, hi, n_ticks, ks_time=ks_time, T=T, Tall=Tall
+            )
+            mask = g != expected[None, :]
+            mask[:, 0] &= g[:, 0] >= 0
+            if mask.any():
+                e_off, k_idx = np.nonzero(mask)
+                es.append(e_off + lo)
+                kss.append(k_idx)
+                ts.append(t_latch[e_off, k_idx])
+                gs.append(g[e_off, k_idx])
+        if not es:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0, dtype=np.float64), empty
+        return (
+            np.concatenate(es),
+            np.concatenate(kss),
+            np.concatenate(ts),
+            np.concatenate(gs),
+        )
+
+    def _materialize_violations(
+        self,
+        e_idx: np.ndarray,
+        k_idx: np.ndarray,
+        g_vals: np.ndarray,
+        perm: np.ndarray,
+    ) -> List[TimingViolation]:
+        cells = self._cells
+        src, dst = self._src, self._dst
+        out: List[TimingViolation] = []
+        for j in perm:
+            e = int(e_idx[j])
+            k = int(k_idx[j])
+            out.append(
+                TimingViolation(
+                    edge=(cells[src[e]], cells[dst[e]]),
+                    receiver_tick=k,
+                    expected_sender_tick=k - 1,
+                    actual_sender_tick=int(g_vals[j]),
+                )
+            )
+        return out
+
+    def timing(
+        self, ticks: Optional[int] = None, edge_block: Optional[int] = None
+    ) -> TimingResult:
+        """Violations + makespan without payload execution.
+
+        With ``edge_block=None`` this is the monolithic
+        :meth:`latch_matrix` / :meth:`violations` pair.  With an
+        ``edge_block``, the latch scan streams over edge blocks of that
+        size: peak memory is O(block x ticks) instead of O(edges x
+        ticks), and the result — violation list contents, order, and
+        makespan — is bit-identical (the property suite drives this
+        across random block sizes).
+        """
+        n_ticks = ticks if ticks is not None else self._program.cycles
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        if edge_block is not None and edge_block < 1:
+            raise ValueError("edge_block must be positive")
+        if edge_block is None:
+            T, g = self.latch_matrix(n_ticks)
+            makespan = max(0.0, float(T.max())) if T.size else 0.0
+            return TimingResult(
+                violations=self.violations(T, g, n_ticks),
+                makespan=makespan,
+                ticks=n_ticks,
+            )
+        ks_time: Optional[np.ndarray] = None
+        T = None
+        Tall = None
+        if self._affine:
+            ks_time = np.arange(n_ticks, dtype=np.float64) * self._period
+            # max over {offsets[c] + ks[k]} is attained at the argmax of
+            # each term and computed by the same float64 add, so the
+            # closed form equals float(T.max()) bit for bit.
+            makespan = (
+                max(0.0, float(self._offsets.max() + ks_time[-1]))
+                if len(self._cells)
+                else 0.0
+            )
+        else:
+            T = self._tick_matrix(n_ticks)
+            makespan = max(0.0, float(T.max())) if T.size else 0.0
+            if len(self._src):
+                # One generation bound for every block: the initial floor
+                # estimate is maximized by the latest latch and the
+                # smallest (sender offset + lag).  Tall entries at equal
+                # (cell, k) are identical whatever the matrix size.
+                head = (self._offsets[self._src] + self._lag).min()
+                bound = int(np.floor((T.max() - head) / self._period)) + 3
+                Tall = self._tick_matrix(max(bound, n_ticks - 1) + 1)
+        e_idx, k_idx, t_vals, g_vals = self._violation_entries(
+            n_ticks, edge_block, ks_time=ks_time, T=T, Tall=Tall
+        )
+        perm = _order_violation_entries(
+            self._slot, self._dst, e_idx, k_idx, t_vals
+        )
+        return TimingResult(
+            violations=self._materialize_violations(e_idx, k_idx, g_vals, perm),
+            makespan=makespan,
+            ticks=n_ticks,
+        )
+
     def _event_order(self, T: np.ndarray, n_ticks: int) -> np.ndarray:
         """Flat (cell * K + tick) event indices sorted exactly like the
         scalar event list: by time, then tick, then cell position."""
@@ -260,8 +482,29 @@ class CompiledClockedKernel:
                 history[e][k] = outputs.get(v) if outputs else None
         return self._program.read_result(_ExecutorFacade(pes))
 
+    def _finish_streamed(self, pes: Mapping[CellId, Any], n_ticks: int) -> Any:
+        """Functional half of a streamed run: stream-execute when clean
+        runs allow it, otherwise fall back to the monolithic latch matrix
+        for the exact event replay (dirty runs need the full ``g``)."""
+        order = self._try_stream_order()
+        if order is not False:
+            try:
+                batch.execute_streams(
+                    pes, order, self._preds, self._succs, n_ticks
+                )
+                return self._program.read_result(_ExecutorFacade(pes))
+            except batch.BatchUnsupported:
+                self._stream_order = False
+                for pe in pes.values():
+                    pe.reset()  # discard any partial stream state
+        T, g = self.latch_matrix(n_ticks)
+        return self._replay(T, g, n_ticks)
+
     def run(
-        self, ticks: Optional[int] = None, tracer: Optional[Any] = None
+        self,
+        ticks: Optional[int] = None,
+        tracer: Optional[Any] = None,
+        edge_block: Optional[int] = None,
     ) -> ClockedRunResult:
         """Byte-identical to the scalar ``ClockedArraySimulator.run``:
         same result payload, same violation list (contents *and* order),
@@ -270,6 +513,10 @@ class CompiledClockedKernel:
         An enabled ``tracer`` adds per-phase spans (tick-matrix, latch
         scan, violation extraction, execute) around the same arithmetic;
         the default path allocates nothing and is untouched.
+
+        ``edge_block`` streams the timing analysis per edge block (see
+        :meth:`timing`): same results, O(block x ticks) peak memory.
+        Dirty runs still build the full latch matrix for the replay.
         """
         n_ticks = ticks if ticks is not None else self._program.cycles
         if n_ticks < 1:
@@ -282,6 +529,36 @@ class CompiledClockedKernel:
         pes = self._program.pes
         for pe in pes.values():
             pe.reset()
+        if edge_block is not None:
+            if spans is None:
+                timing = self.timing(n_ticks, edge_block=edge_block)
+                if timing.clean:
+                    result = self._finish_streamed(pes, n_ticks)
+                else:
+                    T, g = self.latch_matrix(n_ticks)
+                    result = self._replay(T, g, n_ticks)
+            else:
+                with spans.span(
+                    "compiled.run",
+                    ticks=n_ticks,
+                    cells=len(self._cells),
+                    edge_block=edge_block,
+                ):
+                    with spans.span("compiled.timing_stream") as h:
+                        timing = self.timing(n_ticks, edge_block=edge_block)
+                        h.annotate(count=len(timing.violations))
+                    with spans.span("compiled.execute"):
+                        if timing.clean:
+                            result = self._finish_streamed(pes, n_ticks)
+                        else:
+                            T, g = self.latch_matrix(n_ticks)
+                            result = self._replay(T, g, n_ticks)
+            return ClockedRunResult(
+                result=result,
+                violations=timing.violations,
+                ticks=n_ticks,
+                makespan=timing.makespan,
+            )
         if spans is None:
             T, g = self.latch_matrix(n_ticks)
             violations = self.violations(T, g, n_ticks)
@@ -345,6 +622,236 @@ def compile_clocked(simulator: Any) -> CompiledClockedKernel:
     """Lower a :class:`~repro.sim.clocked.ClockedArraySimulator` into its
     array kernel (also available as ``simulator.compiled()``)."""
     return simulator.compiled()
+
+
+# ----------------------------------------------------------------------
+# array-only timing kernel (million-cell scale)
+# ----------------------------------------------------------------------
+class CompiledTimingKernel:
+    """Pure timing analysis straight from arrays — the large-N kernel.
+
+    :class:`CompiledClockedKernel` is lowered from a full
+    ``SystolicProgram`` (PEs, payload closures, hashable cell ids) and
+    pays a Python-speed walk of the object graph per compile.  At 10^6
+    cells that walk *is* the runtime, so this kernel skips the object
+    graph entirely: it is built from a
+    :class:`~repro.graphs.csr.CSRAdjacency` plus per-cell clock offsets
+    under an affine schedule (``offset + k * period``) and a per-edge
+    data-path lag.  Cells are the dense ints ``0..n-1``; reported
+    violation edges are ``(src, dst)`` int pairs.
+
+    The latch arithmetic is exactly the scalar simulator's
+    (``_latched_sender_tick``: floor estimate, +3 guard, downward scan
+    with the 1e-12 tolerance), evaluated monolithically or streamed per
+    edge block (:meth:`timing`); :meth:`timing_scalar` is the per-event
+    Python oracle the differential suites compare against at
+    co-runnable sizes.  :meth:`arrays` / :meth:`from_arrays` round-trip
+    the kernel through raw numpy buffers so
+    :class:`~repro.analysis.shared.SharedArena` can ship it to worker
+    processes without pickling.
+    """
+
+    def __init__(
+        self,
+        adjacency: CSRAdjacency,
+        offsets: Any,
+        period: float,
+        lag: Any = 0.0,
+    ) -> None:
+        offsets_arr = np.ascontiguousarray(np.asarray(offsets, dtype=np.float64))
+        n = adjacency.n_cells
+        if offsets_arr.shape != (n,):
+            raise ValueError(
+                f"offsets shape {offsets_arr.shape} != ({n},) cells"
+            )
+        if not period > 0:
+            raise ValueError("period must be positive")
+        indptr = np.ascontiguousarray(adjacency.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(adjacency.indices, dtype=np.int64)
+        counts = np.diff(indptr)
+        self._indptr = indptr
+        self._src = indices
+        self._dst = np.repeat(np.arange(n, dtype=np.int64), counts)
+        # Slot = position within the receiver's predecessor list (CSR
+        # row order), mirroring the captured-order tie-break of the
+        # program kernel.
+        self._slot = np.arange(len(indices), dtype=np.int64) - np.repeat(
+            indptr[:-1], counts
+        )
+        lag_arr = np.asarray(lag, dtype=np.float64)
+        if lag_arr.ndim == 0:
+            lag_arr = np.broadcast_to(lag_arr, indices.shape)
+        elif lag_arr.shape != indices.shape:
+            raise ValueError(
+                f"lag shape {lag_arr.shape} != ({len(indices)},) edges"
+            )
+        self._lag = np.ascontiguousarray(lag_arr)
+        self._offsets = offsets_arr
+        self._period = float(period)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._src)
+
+    def latch_block(
+        self, lo: int, hi: int, n_ticks: int, ks_time: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(t_latch, g)`` for directed edges ``[lo, hi)`` — the affine
+        latch scan of :meth:`CompiledClockedKernel.latch_matrix` on a
+        slice, identical float64 operations."""
+        if ks_time is None:
+            ks_time = np.arange(n_ticks, dtype=np.float64) * self._period
+        dst = self._dst[lo:hi]
+        src = self._src[lo:hi]
+        lag = self._lag[lo:hi][:, None]
+        off_u = self._offsets[src][:, None]
+        t_latch = self._offsets[dst][:, None] + ks_time[None, :]
+        estimate = np.floor((t_latch - off_u - lag) / self._period)
+        g = estimate.astype(np.int64) + 3
+        thresh = t_latch + _LATCH_TOL
+        while True:
+            late = (g >= 0) & (off_u + g * self._period + lag > thresh)
+            if not late.any():
+                break
+            g -= late
+        return t_latch, g
+
+    def timing(
+        self, n_ticks: int, edge_block: Optional[int] = None
+    ) -> TimingResult:
+        """The full violation set (exact scalar order) and makespan.
+
+        ``edge_block`` bounds peak memory at O(block x ticks); any block
+        size — including the default single monolithic block — yields a
+        bit-identical result."""
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        if edge_block is not None and edge_block < 1:
+            raise ValueError("edge_block must be positive")
+        n_edges = len(self._src)
+        block = edge_block if edge_block is not None else max(n_edges, 1)
+        ks_time = np.arange(n_ticks, dtype=np.float64) * self._period
+        makespan = (
+            max(0.0, float(self._offsets.max() + ks_time[-1]))
+            if len(self._offsets)
+            else 0.0
+        )
+        expected = np.arange(n_ticks, dtype=np.int64) - 1
+        es: List[np.ndarray] = []
+        kss: List[np.ndarray] = []
+        ts: List[np.ndarray] = []
+        gs: List[np.ndarray] = []
+        for lo in range(0, n_edges, block):
+            hi = min(lo + block, n_edges)
+            t_latch, g = self.latch_block(lo, hi, n_ticks, ks_time)
+            mask = g != expected[None, :]
+            mask[:, 0] &= g[:, 0] >= 0
+            if mask.any():
+                e_off, k_idx = np.nonzero(mask)
+                es.append(e_off + lo)
+                kss.append(k_idx)
+                ts.append(t_latch[e_off, k_idx])
+                gs.append(g[e_off, k_idx])
+        if not es:
+            return TimingResult(violations=[], makespan=makespan, ticks=n_ticks)
+        e_idx = np.concatenate(es)
+        k_idx_all = np.concatenate(kss)
+        t_vals = np.concatenate(ts)
+        g_vals = np.concatenate(gs)
+        perm = _order_violation_entries(
+            self._slot, self._dst, e_idx, k_idx_all, t_vals
+        )
+        src, dst = self._src, self._dst
+        out: List[TimingViolation] = []
+        for j in perm:
+            e = int(e_idx[j])
+            k = int(k_idx_all[j])
+            out.append(
+                TimingViolation(
+                    edge=(int(src[e]), int(dst[e])),
+                    receiver_tick=k,
+                    expected_sender_tick=k - 1,
+                    actual_sender_tick=int(g_vals[j]),
+                )
+            )
+        return TimingResult(violations=out, makespan=makespan, ticks=n_ticks)
+
+    def timing_scalar(self, n_ticks: int) -> TimingResult:
+        """Per-event Python reference: the scalar simulator's event loop
+        (events sorted by time, tick, cell; predecessors in CSR row
+        order) with the same latch scan — the oracle :meth:`timing` is
+        differentially tested against."""
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        offsets = self._offsets
+        period = self._period
+        indptr = self._indptr
+        indices = self._src
+        lag = self._lag
+        n = len(offsets)
+        events = sorted(
+            (offsets[i] + k * period, k, i)
+            for i in range(n)
+            for k in range(n_ticks)
+        )
+        violations: List[TimingViolation] = []
+        makespan = 0.0
+        for t_latch, k, v in events:
+            makespan = max(makespan, t_latch)
+            expected = k - 1
+            for e in range(indptr[v], indptr[v + 1]):
+                u = indices[e]
+                path_lag = lag[e]
+                estimate = int(
+                    math.floor((t_latch - offsets[u] - path_lag) / period)
+                )
+                kk = estimate + 3  # covers jitter up to ~1.5 periods
+                while kk >= 0 and offsets[u] + kk * period + path_lag > t_latch + _LATCH_TOL:
+                    kk -= 1
+                if kk != expected and (kk >= 0 or expected >= 0):
+                    violations.append(
+                        TimingViolation(
+                            edge=(int(u), int(v)),
+                            receiver_tick=k,
+                            expected_sender_tick=expected,
+                            actual_sender_tick=kk,
+                        )
+                    )
+        return TimingResult(
+            violations=violations, makespan=float(makespan), ticks=n_ticks
+        )
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The kernel's defining arrays, keyed for
+        :class:`~repro.analysis.shared.SharedArena` shipping.  Scalars
+        travel in ``params`` so the manifest stays arrays-only."""
+        return {
+            "indptr": self._indptr,
+            "indices": self._src,
+            "offsets": self._offsets,
+            "lag": self._lag,
+            "params": np.array([self._period], dtype=np.float64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "CompiledTimingKernel":
+        """Rebuild from :meth:`arrays` output (possibly views into a
+        shared-memory segment — the big buffers are used zero-copy; only
+        the derived ``dst``/``slot`` index arrays are recomputed)."""
+        adjacency = CSRAdjacency(
+            indptr=np.asarray(arrays["indptr"]),
+            indices=np.asarray(arrays["indices"]),
+        )
+        return cls(
+            adjacency,
+            arrays["offsets"],
+            float(np.asarray(arrays["params"])[0]),
+            lag=np.asarray(arrays["lag"]),
+        )
 
 
 # ----------------------------------------------------------------------

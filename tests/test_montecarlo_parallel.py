@@ -174,3 +174,37 @@ class TestTracedRuns:
             run_trials_traced(_trial, 1)
         with pytest.raises(ValueError):
             run_trials_traced(_trial, 4, workers=0)
+
+
+class TestPickleCostAttribution:
+    """Regression: the coordinator's one-time trial pickle used to be
+    smeared evenly across chunk telemetry (``pickle_s / len(chunks)``),
+    which misattributed a fixed coordinator cost as per-worker work."""
+
+    def test_process_pool_records_pickle_once_not_per_chunk(self):
+        _, telemetry = run_trials_traced(
+            _trial, 12, base_seed=0, workers=3, executor="process"
+        )
+        assert telemetry.pickle_once_s > 0.0
+        assert all(c.pickle_s == 0.0 for c in telemetry.chunks)
+
+    def test_aggregate_property_is_once_plus_chunks(self):
+        _, telemetry = run_trials_traced(
+            _trial, 12, base_seed=0, workers=3, executor="process"
+        )
+        assert telemetry.pickle_s == telemetry.pickle_once_s + sum(
+            c.pickle_s for c in telemetry.chunks
+        )
+        assert telemetry.pickle_s == telemetry.pickle_once_s
+
+    def test_thread_pool_pays_no_pickle(self):
+        _, telemetry = run_trials_traced(
+            _trial, 8, base_seed=0, workers=2, executor="thread"
+        )
+        assert telemetry.pickle_once_s == 0.0
+        assert telemetry.pickle_s == 0.0
+
+    def test_serial_path_pays_no_pickle(self):
+        _, telemetry = run_trials_traced(_trial, 4, base_seed=0)
+        assert telemetry.pickle_once_s == 0.0
+        assert telemetry.pickle_s == 0.0

@@ -1,0 +1,91 @@
+"""CompiledSkewSampler: vectorized Monte-Carlo trials vs the scalar walk.
+
+One seeded uniform vector feeds both paths, so agreement is required to
+be exact — which is what lets the shared-memory Monte-Carlo bench claim
+bit-identical summaries while replacing the whole execution stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays.topologies import mesh
+from repro.clocktree.htree import htree_for_array
+from repro.clocktree.sampler import CompiledSkewSampler
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    array = mesh(8, 8)
+    return CompiledSkewSampler.from_tree(
+        htree_for_array(array), array.communicating_pairs()
+    )
+
+
+class TestScalarAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 17, 1234])
+    def test_vector_equals_scalar(self, sampler, seed):
+        assert sampler.sample_max_skew(seed) == sampler.sample_max_skew_scalar(seed)
+
+    def test_different_seeds_differ(self, sampler):
+        assert sampler.sample_max_skew(0) != sampler.sample_max_skew(1)
+
+    def test_same_seed_is_deterministic(self, sampler):
+        assert sampler.sample_max_skew(42) == sampler.sample_max_skew(42)
+
+
+class TestStructure:
+    def test_counts(self, sampler):
+        assert sampler.n_nodes == len(htree_for_array(mesh(8, 8)).nodes())
+        assert sampler.n_pairs == len(mesh(8, 8).communicating_pairs())
+        # Zero-length edges contribute no segments, so the only structural
+        # guarantee is that positive-length edges were all sliced.
+        assert 0 < sampler.n_segments
+
+    def test_arrivals_root_zero_and_positive(self, sampler):
+        arrival = sampler.arrivals(3)
+        assert arrival[0] == 0.0
+        assert np.all(arrival[1:] > 0.0)
+
+    def test_no_pairs_gives_zero_skew(self):
+        array = mesh(2, 2)
+        sampler = CompiledSkewSampler.from_tree(htree_for_array(array), [])
+        assert sampler.sample_max_skew(0) == 0.0
+
+    def test_negative_epsilon_rejected(self):
+        array = mesh(2, 2)
+        with pytest.raises(ValueError):
+            CompiledSkewSampler.from_tree(
+                htree_for_array(array), [], epsilon=-0.1
+            )
+
+    def test_bad_buffer_spacing_rejected(self):
+        array = mesh(2, 2)
+        with pytest.raises(ValueError):
+            CompiledSkewSampler.from_tree(
+                htree_for_array(array), [], buffer_spacing=0.0
+            )
+
+
+class TestArenaRoundTrip:
+    def test_round_trip_is_bit_identical(self, sampler):
+        rebuilt = CompiledSkewSampler.from_arrays(sampler.arrays())
+        for seed in (0, 9, 100):
+            assert rebuilt.sample_max_skew(seed) == sampler.sample_max_skew(seed)
+
+    def test_arrays_are_numpy_only(self, sampler):
+        arrays = sampler.arrays()
+        assert set(arrays) == {
+            "parent", "depth", "seg_ptr", "seg_len", "pair_a", "pair_b", "params"
+        }
+        for value in arrays.values():
+            assert isinstance(value, np.ndarray)
+
+    def test_round_trip_from_read_only_views(self, sampler):
+        # SharedArena hands out read-only views; the sampler must accept them.
+        frozen = {}
+        for key, value in sampler.arrays().items():
+            view = value.view()
+            view.flags.writeable = False
+            frozen[key] = view
+        rebuilt = CompiledSkewSampler.from_arrays(frozen)
+        assert rebuilt.sample_max_skew(5) == sampler.sample_max_skew(5)
