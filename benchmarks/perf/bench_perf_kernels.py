@@ -53,7 +53,7 @@ ACCEPTANCE_KERNELS = ("max_skew_bound", "buffered_max_skew")
 ACCEPTANCE_CELLS = 4096
 ACCEPTANCE_SPEEDUP = 5.0
 # Compiled simulation kernels: >= 10x at >= 4096 cells, exact agreement.
-SIM_KERNELS = ("clocked_run", "selftimed_makespan")
+SIM_KERNELS = ("clocked_run", "selftimed_makespan", "selftimed_backpressure")
 SIM_SPEEDUP = 10.0
 # Monte-Carlo structure cache: >= 3x over rebuild-per-trial.
 MC_CACHED_SPEEDUP = 3.0

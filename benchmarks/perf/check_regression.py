@@ -29,6 +29,7 @@ GATED_KERNELS = (
     "max_skew_bound_cold",
     "clocked_run",
     "selftimed_makespan",
+    "selftimed_backpressure",
 )
 
 # Absolute speedup floors, independent of any baseline: the shared-memory

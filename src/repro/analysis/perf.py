@@ -299,7 +299,10 @@ def bench_sim_kernels(
       the array-compiled kernel (timing matrix + stream execution), both
       producing the full ``ClockedRunResult``;
     * ``selftimed_makespan`` — the per-cell tandem-recurrence loop vs the
-      wavefront array kernel, under the default constant service.
+      wavefront array kernel, under the default constant service;
+    * ``selftimed_backpressure`` — the same pair at a finite channel
+      capacity (2), where both sides additionally carry the marked-graph
+      capacity back-edges.
 
     Both compiled paths are pre-warmed so the one-off structure compile is
     excluded (the steady state of checks, sweeps, and Monte-Carlo — same
@@ -344,6 +347,24 @@ def bench_sim_kernels(
                 abs(compiled_span - scalar_span),
             ),
             lambda: selftimed.recurrence_makespan(),
+            measure_mem,
+        )
+    )
+
+    bounded = SelfTimedProgramSimulator(
+        program, wire_delay=0.5, channel_capacity=2
+    )
+    bounded_compiled = bounded.recurrence_makespan()  # pre-warm the kernel
+    bounded_scalar = bounded.recurrence_makespan_scalar()
+    results.append(
+        _with_mem(
+            KernelTiming(
+                "selftimed_backpressure", n, program.cycles,
+                _best_time(lambda: bounded.recurrence_makespan_scalar(), repeats),
+                _best_time(lambda: bounded.recurrence_makespan(), repeats),
+                abs(bounded_compiled - bounded_scalar),
+            ),
+            lambda: bounded.recurrence_makespan(),
             measure_mem,
         )
     )

@@ -6,7 +6,7 @@ Entry points:
   the invariant/differential/metamorphic oracle modules);
 * :func:`run_suite` — run a suite and get ``(results, report)`` with the
   report already schema-shaped (``repro.obs.schema.CHECK_REPORT_SCHEMA``);
-* ``python -m repro check --suite quick|full [--seed N] [--json FILE]`` —
+* ``python -m repro check --suite quick|full [--seed N] [--json FILE]\n  [--only NAME ...]`` —
   the CLI face, wired into the ``check-suite`` CI job.
 """
 
@@ -78,8 +78,12 @@ def run_suite(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    names: Optional[List[str]] = None,
 ) -> Tuple[List[CheckResult], Dict[str, Any]]:
-    """Run every check in ``suite`` and return results plus the report."""
+    """Run every check in ``suite`` (or just ``names``) and return results
+    plus the report."""
     registry = default_registry()
-    results = registry.run(suite=suite, seed=seed, tracer=tracer, metrics=metrics)
+    results = registry.run(
+        suite=suite, seed=seed, tracer=tracer, metrics=metrics, names=names
+    )
     return results, build_report(results, suite=suite, seed=seed)

@@ -19,7 +19,13 @@ each workload through
 Violation-count consistency rides along: the clean run reports zero
 violations, a run at half the safe period reports more than zero, and
 :func:`repro.sim.faults.summarize_violations` totals must agree with the
-raw violation list.
+raw violation list — on both the unpadded serpentine (setup failures) and
+the hold-padded, wave-pipelined one (finite-channel overflows, via the
+capacity-aware safe period).  ``differential-backpressure`` extends the
+self-timed leg to finite channel capacities: the event-driven engine, the
+scalar bounded recurrence, and the compiled marked-graph kernel must agree
+exactly at every capacity, and ``capacity >= waves`` must be bit-identical
+to the unbounded model.
 """
 
 from __future__ import annotations
@@ -254,8 +260,11 @@ def check_differential_compiled(ctx: CheckContext) -> Dict[str, Any]:
 @REGISTRY.register(
     "differential-violations",
     "differential",
-    "violation counts are consistent: zero above the safe period, nonzero "
-    "at half of it, and summarize_violations agrees with the raw list",
+    "violation counts are consistent on both serpentine constructions: the "
+    "unpadded array is clean above its setup period and violates at half of "
+    "it; the hold-padded (wave-pipelined) array has a genuine capacity-aware "
+    "safe period — channels fit above it, overflow below it; "
+    "summarize_violations agrees with the raw list",
 )
 def check_differential_violations(ctx: CheckContext) -> Dict[str, Any]:
     name, program = _workloads(ctx)[0]  # fir: linear, fast, representative
@@ -267,11 +276,11 @@ def check_differential_violations(ctx: CheckContext) -> Dict[str, Any]:
     )
     cells = program.array.comm.nodes()
     probe = ClockSchedule.from_buffered_tree(buffered, 1.0, cells)
-    # Pick delta above the largest sender->receiver clock lead so no edge
-    # has a hold hazard: setup is then the only failure mode, and the
-    # minimum safe period is the genuine setup requirement (no padding —
-    # a hold-padded serpentine is wave-pipelined and its safe period is
-    # just the guard margin, which would make this oracle vacuous).
+
+    # --- Unpadded regression: setup-only failure mode. ------------------
+    # Delta above the largest sender->receiver clock lead removes every
+    # hold hazard without padding, so the minimum safe period is the
+    # genuine setup requirement and halving it must produce violations.
     max_lead = max(
         abs(probe.offset(u) - probe.offset(v))
         for u, v in program.array.comm.edges()
@@ -308,10 +317,175 @@ def check_differential_violations(ctx: CheckContext) -> Dict[str, Any]:
             "summary stale/race split disagrees with per-violation kinds",
             summary=[summary.stale, summary.race],
             recount=[kinds["stale"], kinds["race"]])
+
+    # --- Hold-padded serpentine: the wave-pipelined construction. -------
+    # PR 3 excluded this case as vacuous: with unbounded channels the
+    # padded array's setup msp is just the guard margin.  Finite channel
+    # capacities close that hole — the capacity-aware msp bounds the
+    # in-flight generations per edge, so the padded construction gets a
+    # genuine boundary to drive from both sides.
+    pad_delta = 1.0
+    pad_buffered, pad_cells, plan = _clocked_setup(program, ctx.seed, pad_delta)
+    capacity = 2
+
+    pad_probe = ClockSchedule.from_buffered_tree(pad_buffered, 1.0, pad_cells)
+    pad_probe_sim = ClockedArraySimulator(
+        program, pad_probe, delta=pad_delta, edge_padding=plan.padding
+    )
+    msp_cap = pad_probe_sim.minimum_safe_period(channel_capacity=capacity)
+    require(math.isfinite(msp_cap),
+            f"{name}: padded serpentine has no finite capacity-aware safe "
+            f"period at capacity {capacity}",
+            workload=name, capacity=capacity)
+    require(msp_cap > 10.0 * plan.min_safe_period,
+            f"{name}: capacity-aware safe period is not a genuine bound — "
+            f"it collapsed to the hold-guard margin",
+            workload=name, capacity_aware=msp_cap,
+            setup_only=plan.min_safe_period)
+
+    pad_period = msp_cap * 1.05 + 1e-6
+    pad_schedule = ClockSchedule.from_buffered_tree(
+        pad_buffered, pad_period, pad_cells
+    )
+    pad_sim = ClockedArraySimulator(
+        program, pad_schedule, delta=pad_delta, edge_padding=plan.padding
+    )
+    pad_run = pad_sim.run()
+    require(pad_run.clean,
+            f"{name}: padded run above the capacity-aware period had "
+            f"latch violations",
+            workload=name, violations=len(pad_run.violations),
+            period=pad_period)
+    above_overflows = pad_sim.channel_overflows(capacity)
+    require(not above_overflows,
+            f"{name}: channels overflowed above the capacity-aware period",
+            workload=name, capacity=capacity, period=pad_period,
+            overflows=len(above_overflows))
+    depths = pad_sim.channel_depths()
+    require(max(depths.values()) <= capacity,
+            f"{name}: peak channel depth exceeded capacity above the "
+            f"capacity-aware period",
+            workload=name, capacity=capacity,
+            peak_depth=max(depths.values()))
+
+    tight_period = 0.5 * msp_cap
+    tight_schedule = ClockSchedule.from_buffered_tree(
+        pad_buffered, tight_period, pad_cells
+    )
+    tight_sim = ClockedArraySimulator(
+        program, tight_schedule, delta=pad_delta, edge_padding=plan.padding
+    )
+    below_overflows = tight_sim.channel_overflows(capacity)
+    require(len(below_overflows) > 0,
+            f"{name}: half the capacity-aware period overflowed no channel",
+            workload=name, capacity=capacity, period=tight_period)
+
     return {
         "workload": name,
         "min_safe_period": msp,
         "violations_at_half_period": summary.total,
         "stale": summary.stale,
         "race": summary.race,
+        "padded_capacity": capacity,
+        "padded_capacity_aware_msp": msp_cap,
+        "padded_peak_depth": max(depths.values()),
+        "padded_overflows_at_half_period": len(below_overflows),
     }
+
+
+@REGISTRY.register(
+    "differential-backpressure",
+    "differential",
+    "under finite channel capacities the event-driven engine, the scalar "
+    "bounded recurrence, and the compiled marked-graph kernel agree exactly; "
+    "results stay lockstep-equal, capacity >= waves is bit-identical to "
+    "unbounded, and a zero-token cycle deadlocks eagerly",
+)
+def check_differential_backpressure(ctx: CheckContext) -> Dict[str, Any]:
+    from repro.sim.dataflow import ChannelDeadlockError
+
+    rows = []
+    for name, program in _workloads(ctx):
+        reference = program.run_lockstep()
+        service = hashed_service(1.0, 3.0, 0.25, seed=ctx.seed)
+        unbounded = SelfTimedProgramSimulator(
+            program, service=service, wire_delay=0.5
+        )
+        unbounded_run = unbounded.run()
+        cyclic = not program.array.comm.is_acyclic()
+
+        if cyclic:
+            # A cyclic COMM graph at capacity 1 is a zero-token marked-graph
+            # cycle: every construction path must refuse it eagerly.
+            try:
+                SelfTimedProgramSimulator(
+                    program, service=service, wire_delay=0.5,
+                    channel_capacity=1,
+                )
+            except ChannelDeadlockError:
+                pass
+            else:
+                require(False,
+                        f"{name}: capacity 1 on a cyclic COMM graph did not "
+                        f"deadlock",
+                        workload=name)
+
+        capacities = [2, 4] if cyclic else [1, 2, 4]
+        prev_makespan = None
+        for cap in capacities:
+            sim = SelfTimedProgramSimulator(
+                program, service=service, wire_delay=0.5,
+                channel_capacity=cap,
+            )
+            run = sim.run()
+            recurrence = sim.recurrence_makespan()
+            scalar = sim.recurrence_makespan_scalar()
+            require(run.makespan == recurrence == scalar,
+                    f"{name}/cap={cap}: the three execution paths diverged",
+                    workload=name, capacity=cap, engine=run.makespan,
+                    compiled=recurrence, scalar=scalar)
+            require(_values_equal(run.result, reference),
+                    f"{name}/cap={cap}: bounded-channel result diverged "
+                    f"from lockstep",
+                    workload=name, capacity=cap,
+                    bounded=repr(run.result), lockstep=repr(reference))
+            require(run.makespan >= unbounded_run.makespan - TOL,
+                    f"{name}/cap={cap}: backpressure made the run faster "
+                    f"than unbounded",
+                    workload=name, capacity=cap, bounded=run.makespan,
+                    unbounded=unbounded_run.makespan)
+            require(run.max_occupancy is not None
+                    and run.max_occupancy <= cap,
+                    f"{name}/cap={cap}: engine occupancy exceeded capacity",
+                    workload=name, capacity=cap,
+                    max_occupancy=run.max_occupancy)
+            if prev_makespan is not None:
+                require(run.makespan <= prev_makespan + TOL,
+                        f"{name}: makespan not monotone non-increasing "
+                        f"in capacity",
+                        workload=name, capacity=cap,
+                        makespan=run.makespan, previous=prev_makespan)
+            prev_makespan = run.makespan
+            rows.append({"workload": name, "capacity": cap,
+                         "makespan": run.makespan,
+                         "max_occupancy": run.max_occupancy})
+
+        # Capacity at least the wave count never binds: bit-identical to
+        # the unbounded model, makespan and per-cell finish times alike.
+        wide = SelfTimedProgramSimulator(
+            program, service=service, wire_delay=0.5,
+            channel_capacity=program.cycles,
+        )
+        wide_run = wide.run()
+        require(wide_run.makespan == unbounded_run.makespan,
+                f"{name}: capacity >= waves changed the makespan",
+                workload=name, capacity=program.cycles,
+                wide=wide_run.makespan, unbounded=unbounded_run.makespan)
+        require(wide_run.finish_times == unbounded_run.finish_times,
+                f"{name}: capacity >= waves changed per-cell finish times",
+                workload=name, capacity=program.cycles)
+        require(wide.recurrence_makespan() == unbounded.recurrence_makespan(),
+                f"{name}: compiled wide-capacity recurrence diverged from "
+                f"unbounded",
+                workload=name, capacity=program.cycles)
+    return {"cases": rows}

@@ -17,6 +17,9 @@ paper derives:
 * ``lower-bound-consistency`` — the executed Section V-B certificate is
   internally consistent and agrees with :func:`repro.core.models.
   max_skew_lower_bound` and the tree-independent floor.
+* ``capacity-monotonicity`` — finite self-timed channel capacities only
+  ever slow a run down: makespan is monotone non-increasing in capacity,
+  and capacity at least the wave count is bit-identical to unbounded.
 """
 
 from __future__ import annotations
@@ -365,3 +368,59 @@ def check_lower_bound_consistency(ctx: CheckContext) -> Dict[str, Any]:
         rows.append({"scheme": name, "sigma": cert.sigma,
                      "branch": cert.branch, "bound": cert.bound})
     return {"mesh_side": n, "floor": floor, "certificates": rows}
+
+
+@REGISTRY.register(
+    "capacity-monotonicity",
+    "invariant",
+    "self-timed makespan is monotone non-increasing in channel capacity, "
+    "and capacity >= waves reproduces the unbounded model bit for bit",
+)
+def check_capacity_monotonicity(ctx: CheckContext) -> Dict[str, Any]:
+    from repro.sim.dataflow import SelfTimedProgramSimulator, hashed_service
+
+    rng = ctx.rng("capacity-monotonicity")
+    weights = [rng.uniform(-1.0, 1.0) for _ in range(5)]
+    xs = [rng.uniform(-2.0, 2.0) for _ in range(10)]
+    program = build_fir_array(weights, xs)
+    service = hashed_service(1.0, 3.0, 0.25, seed=ctx.seed)
+
+    def sim_at(cap):
+        return SelfTimedProgramSimulator(
+            program, service=service, wire_delay=0.5, channel_capacity=cap
+        )
+
+    unbounded_run = sim_at(None).run()
+    capacities = [1, 2, 3, program.cycles]
+    makespans: List[float] = []
+    prev = math.inf
+    for cap in capacities:
+        sim = sim_at(cap)
+        run = sim.run()
+        require(run.makespan == sim.recurrence_makespan()
+                == sim.recurrence_makespan_scalar(),
+                f"cap={cap}: engine and recurrences disagree",
+                capacity=cap, engine=run.makespan,
+                compiled=sim.recurrence_makespan(),
+                scalar=sim.recurrence_makespan_scalar())
+        require(run.makespan <= prev + TOL,
+                f"cap={cap}: makespan increased with more capacity",
+                capacity=cap, makespan=run.makespan, previous=prev)
+        require(run.makespan + TOL >= unbounded_run.makespan,
+                f"cap={cap}: bounded run beat the unbounded model",
+                capacity=cap, bounded=run.makespan,
+                unbounded=unbounded_run.makespan)
+        prev = run.makespan
+        makespans.append(run.makespan)
+
+    wide_run = sim_at(program.cycles).run()
+    require(wide_run.makespan == unbounded_run.makespan
+            and wide_run.finish_times == unbounded_run.finish_times,
+            "capacity >= waves is not bit-identical to unbounded",
+            capacity=program.cycles, wide=wide_run.makespan,
+            unbounded=unbounded_run.makespan)
+    return {
+        "capacities": capacities,
+        "makespans": makespans,
+        "unbounded": unbounded_run.makespan,
+    }

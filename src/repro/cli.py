@@ -315,6 +315,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         seed=args.seed,
         tracer=args.tracer,
         metrics=args.metrics_registry,
+        names=args.only,
     )
     print(f"check suite '{args.suite}' (seed {args.seed}):")
     _print_table(
@@ -667,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", metavar="FILE", default=None,
         help="write the schema-validated check report to FILE",
+    )
+    p.add_argument(
+        "--only", metavar="NAME", action="append", default=None,
+        help="run only the named check (repeatable); names as listed "
+             "in the suite table",
     )
     p.set_defaults(func=cmd_check)
 

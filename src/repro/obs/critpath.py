@@ -58,8 +58,11 @@ class PathStep:
 
     ``kind`` is one of ``"clock_offset"`` (waiting for a cell's first
     tick), ``"clock_tick"`` (one clock period at a cell), ``"compute"``
-    (one cell firing's service time), or ``"wire"`` (token propagation
-    ``src -> cell``).  ``index`` is the tick/wave the step belongs to.
+    (one cell firing's service time), ``"wire"`` (token propagation
+    ``src -> cell``), or ``"credit"`` (a finite channel's backpressure
+    wait: the binding event was a *successor* ``src`` starting a wave
+    and freeing a channel slot).  ``index`` is the tick/wave the step
+    belongs to.
     """
 
     kind: str
@@ -74,7 +77,7 @@ class PathStep:
         return self.t_end - self.t_start
 
     def label(self) -> str:
-        if self.kind == "wire":
+        if self.kind in ("wire", "credit"):
             return f"{self.src!r}->{self.cell!r}"
         return repr(self.cell)
 
@@ -326,9 +329,40 @@ def _from_dataflow_trace(
                 )
             )
             cell = src
+            wave -= 1
+        elif cause == "credit":
+            # Backpressure: the binding event was a *successor* starting
+            # the wave that freed a channel slot (credits return with
+            # zero delay, so the interval is degenerate — the step
+            # records the causal hop, not elapsed time).
+            src = e.data.get("src")
+            src_wave = e.data.get("src_wave")
+            if not isinstance(src_wave, int):
+                raise ValueError(
+                    f"credit-caused fire event for cell {cell!r} wave "
+                    f"{wave} lacks src_wave"
+                )
+            src_e = records.get((src, src_wave))
+            if src_e is None:
+                raise ValueError(
+                    f"trace is missing the fire event for cell {src!r} "
+                    f"wave {src_wave} (credit cause of {cell!r} wave {wave})"
+                )
+            steps.append(
+                PathStep(
+                    "credit",
+                    cell,
+                    float(src_e.data.get("start", src_e.t)),
+                    start,
+                    src=src,
+                    index=wave,
+                )
+            )
+            cell, wave = src, src_wave
         elif cause == "init":
             break
-        wave -= 1
+        else:
+            wave -= 1
     steps.reverse()
     return CriticalPath("selftimed", steps, terminal_finish, reported)
 

@@ -290,17 +290,93 @@ class ClockedArraySimulator:
         the two lag computations agree to the bit)."""
         return {edge: self._delta + wire for edge, wire in self._edge_delay.items()}
 
-    def minimum_safe_period(self) -> float:
+    def minimum_safe_period(
+        self, channel_capacity: Optional[int] = None
+    ) -> float:
         """The smallest period for which this schedule's skews cause no
         violations: from the closed-form latch condition,
-        ``T > skew(u,v) + delta + wire`` for the setup side on every edge
+        ``T > skew(u,v) + delta + tau`` for the setup side on every edge
         (the hold side needs ``offset(u) + delta + wire > offset(v)``, which
-        a period cannot fix — it is reported by :meth:`hold_hazards`)."""
+        a period cannot fix — it is reported by :meth:`hold_hazards`).
+
+        With ``channel_capacity`` set, the bound also covers *storage*: a
+        receiver whose clock trails the sender's by ``d = off(v) - off(u)``
+        holds ``1 + ceil(d / T)`` in-flight generations at steady state
+        (see :meth:`channel_depths`), so a ``c``-deep channel needs
+        ``T >= d / (c - 1)``.  Wave-pipelined designs — where hold-fix
+        padding makes large positive ``d`` legal — thus get a genuine,
+        finite minimum safe period instead of the unbounded-FIFO model's
+        vacuous one; ``c = 1`` on such an edge is unschedulable at any
+        period (returns ``inf``)."""
         worst = 0.0
         for (u, v), lag in self.edge_lags().items():
             need = self._schedule.offset(u) - self._schedule.offset(v) + lag
             worst = max(worst, need)
+        if channel_capacity is not None:
+            if channel_capacity < 1:
+                raise ValueError("channel capacity must be >= 1")
+            for u, v in self._edge_delay:
+                d = self._schedule.offset(v) - self._schedule.offset(u)
+                if d <= 1e-12:
+                    continue  # receiver does not trail: one slot suffices
+                if channel_capacity == 1:
+                    return float("inf")
+                worst = max(worst, d / (channel_capacity - 1))
         return worst
+
+    def channel_depths(self, ticks: Optional[int] = None) -> Dict[EdgeKey, int]:
+        """Peak in-flight token count per edge over a ``ticks``-long run.
+
+        Generation ``g`` occupies edge ``(u, v)`` from the sender's tick
+        ``g`` (launch) until the receiver's tick ``g + 1`` (consume).  The
+        unbounded-FIFO model ignored this; with finite channels the peak
+        depth is the storage the edge's FIFO must actually provide.  For
+        an affine schedule the steady-state depth is
+        ``1 + ceil((off(v) - off(u)) / T)`` wherever the receiver trails —
+        the wave-pipelining occupancy the capacity-aware
+        :meth:`minimum_safe_period` bounds."""
+        n_ticks = ticks if ticks is not None else self._program.cycles
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        depths: Dict[EdgeKey, int] = {}
+        for u, v in self._edge_delay:
+            launches = [self._schedule.tick_time(u, g) for g in range(n_ticks)]
+            consumes = [self._schedule.tick_time(v, g + 1) for g in range(n_ticks)]
+            peak = 0
+            j = 0  # generations consumed so far (two-pointer sweep)
+            for g, t_launch in enumerate(launches):
+                while j < g and consumes[j] <= t_launch + 1e-12:
+                    j += 1
+                peak = max(peak, g + 1 - j)
+            depths[(u, v)] = peak
+        return depths
+
+    def channel_overflows(
+        self, capacity: int, ticks: Optional[int] = None
+    ) -> List[Tuple[EdgeKey, int, int]]:
+        """Every ``(edge, generation, depth)`` where the in-flight token
+        count exceeds ``capacity`` — the latch events a ``capacity``-deep
+        channel physically cannot honour (the sender would stall, or the
+        FIFO would drop a generation).  Empty means the run fits the
+        finite channels; the ``differential-violations`` oracle drives a
+        wave-pipelined serpentine onto both sides of this boundary."""
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        n_ticks = ticks if ticks is not None else self._program.cycles
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        overflows: List[Tuple[EdgeKey, int, int]] = []
+        for u, v in self._edge_delay:
+            launches = [self._schedule.tick_time(u, g) for g in range(n_ticks)]
+            consumes = [self._schedule.tick_time(v, g + 1) for g in range(n_ticks)]
+            j = 0
+            for g, t_launch in enumerate(launches):
+                while j < g and consumes[j] <= t_launch + 1e-12:
+                    j += 1
+                depth = g + 1 - j
+                if depth > capacity:
+                    overflows.append(((u, v), g, depth))
+        return overflows
 
     def hold_hazards(self) -> List[EdgeKey]:
         """Edges where the sender's clock leads the receiver's by more than

@@ -32,6 +32,7 @@ matrix.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -858,33 +859,55 @@ class CompiledTimingKernel:
 # self-timed tandem recurrence
 # ----------------------------------------------------------------------
 class CompiledRecurrence:
-    """The unbuffered tandem recurrence evaluated wavefront-by-wavefront
-    with grouped array maxima.
+    """The tandem recurrence evaluated wavefront-by-wavefront with grouped
+    array maxima — unbounded, or bounded by a finite channel capacity.
 
     Compiles the COMM graph once (edges grouped by receiver for
-    ``np.maximum.reduceat``); each wave is then a handful of array ops.
-    ``max`` is associative and the add order per element matches the
-    scalar loop, so the makespan equals
-    :meth:`~repro.sim.dataflow.SelfTimedProgramSimulator.
-    recurrence_makespan_scalar` exactly.
+    ``np.maximum.reduceat``, and by *sender* for the capacity back-edges);
+    each wave is then a handful of array ops.  ``max`` is associative and
+    the add order per element matches the scalar loop, so the makespan
+    equals :meth:`~repro.sim.dataflow.SelfTimedProgramSimulator.
+    recurrence_makespan_scalar` exactly, in both regimes.
+
+    With ``capacity=k`` the classic marked-graph formulation joins the
+    forward recurrence: ``start[c][w] >= start[succ][w-k+1]`` for every
+    successor once ``w >= k`` (the consumer must have drained generation
+    ``w-k`` before the producer may start wave ``w``).  For ``k >= 2``
+    that reads a start row from a sliding window of earlier waves; ``k=1``
+    couples starts *within* a wave, solved by max-relaxation to a
+    fixpoint (exact: the iteration only ever takes maxima of already-
+    present floats, so it converges to the same closure the scalar
+    reverse-topological sweep computes).
     """
 
     def __init__(self, comm: CommGraph) -> None:
         self.comm_version = comm.version
         self._cells = comm.nodes()
+        self._acyclic = comm.is_acyclic()
         index = {c: i for i, c in enumerate(self._cells)}
         src: List[int] = []
         group_starts: List[int] = []
         group_cells: List[int] = []
+        succ: List[int] = []
+        succ_group_starts: List[int] = []
+        succ_group_cells: List[int] = []
         for c in self._cells:
             preds = comm.predecessors(c)
             if preds:
                 group_starts.append(len(src))
                 group_cells.append(index[c])
                 src.extend(index[p] for p in preds)
+            successors = comm.successors(c)
+            if successors:
+                succ_group_starts.append(len(succ))
+                succ_group_cells.append(index[c])
+                succ.extend(index[s] for s in successors)
         self._src = np.asarray(src, dtype=np.int64)
         self._group_starts = np.asarray(group_starts, dtype=np.int64)
         self._group_cells = np.asarray(group_cells, dtype=np.int64)
+        self._succ = np.asarray(succ, dtype=np.int64)
+        self._succ_group_starts = np.asarray(succ_group_starts, dtype=np.int64)
+        self._succ_group_cells = np.asarray(succ_group_cells, dtype=np.int64)
 
     def _service_matrix(
         self, service: Any, n_waves: int
@@ -901,13 +924,35 @@ class CompiledRecurrence:
                 row[k] = service(c, k)
         return None, svc
 
-    def makespan(self, service: Any, wire_delay: float, n_waves: int) -> float:
+    def makespan(
+        self,
+        service: Any,
+        wire_delay: float,
+        n_waves: int,
+        capacity: Optional[int] = None,
+    ) -> float:
         cells = self._cells
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                raise ValueError("channel capacity must be >= 1 (or None)")
+            if capacity == 1 and not self._acyclic:
+                from repro.sim.dataflow import ChannelDeadlockError
+
+                raise ChannelDeadlockError(
+                    "channel_capacity=1 on a cyclic COMM graph is a "
+                    "zero-token marked-graph cycle (deadlock); use "
+                    "capacity >= 2"
+                )
         if not cells:
             return 0.0
         const_col, svc = self._service_matrix(service, n_waves)
         finish = np.zeros(len(cells), dtype=np.float64)
         src, starts, targets = self._src, self._group_starts, self._group_cells
+        succ = self._succ
+        succ_starts = self._succ_group_starts
+        succ_targets = self._succ_group_cells
+        history: deque = deque()  # start rows, oldest first (k >= 2 only)
         for k in range(n_waves):
             if k > 0 and len(src):
                 arrivals = finish[src] + wire_delay
@@ -916,6 +961,33 @@ class CompiledRecurrence:
                 start[targets] = np.maximum(start[targets], grouped)
             else:
                 start = finish
+            if capacity is not None and k >= capacity and len(succ):
+                if start is finish:
+                    start = finish.copy()
+                if capacity == 1:
+                    # Same-wave coupling: relax start[c] >= start[succ]
+                    # until unchanged.  Each pass only takes maxima of
+                    # floats already in the vector, so the fixpoint is
+                    # float-exact against the reverse-topological sweep.
+                    while True:
+                        grouped = np.maximum.reduceat(start[succ], succ_starts)
+                        updated = np.maximum(start[succ_targets], grouped)
+                        if np.array_equal(updated, start[succ_targets]):
+                            break
+                        start[succ_targets] = updated
+                else:
+                    oldest = history[0]  # start row of wave k - capacity + 1
+                    grouped = np.maximum.reduceat(oldest[succ], succ_starts)
+                    start[succ_targets] = np.maximum(
+                        start[succ_targets], grouped
+                    )
+            if capacity is not None and capacity >= 2:
+                # ``start`` is never mutated after this wave (the next
+                # wave copies before writing), so the window can keep a
+                # reference instead of a copy.
+                history.append(start)
+                if len(history) > capacity - 1:
+                    history.popleft()
             col = const_col if const_col is not None else svc[:, k]
             finish = start + col
         return float(finish.max())

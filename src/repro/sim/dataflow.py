@@ -17,20 +17,50 @@ value on each input edge, the computation is the ideal lockstep semantics
 (:mod:`repro.check.differential`) asserts exactly that, against the ideal
 executor, the clocked simulator, and the hybrid executor.
 
-Timing-wise the run obeys the unbuffered (infinite-FIFO) tandem recurrence
+Timing-wise the run obeys the tandem recurrence
 
 ``start[c][k] = max(finish[c][k-1], max_pred finish[pred][k-1] + wire)``
 
-— the ``blocking=False`` idealization of :func:`repro.sim.selftimed.
-simulate_selftimed_line`, generalized from a line to any COMM graph.  The
-checker verifies the engine-driven makespan against that recurrence
-computed directly.
+generalized from a line to any COMM graph, in one of two flow-control
+regimes selected by ``channel_capacity``:
+
+* ``channel_capacity=None`` (default) — unbounded FIFOs, the pure dataflow
+  idealization (the ``blocking=False`` case of :func:`repro.sim.selftimed.
+  simulate_selftimed_line`): a sender never waits for its consumers.
+* ``channel_capacity=k`` — every COMM edge is a depth-``k`` FIFO (the wire
+  counts as part of the channel's storage).  A cell may start wave ``w``
+  only once each successor has *consumed* its generation ``w-k`` token,
+  which in marked-graph/max-plus terms adds a capacity back-edge to the
+  forward recurrence:
+
+  ``start[c][w] >= start[succ][w-k+1]``  for every successor, ``w >= k``.
+
+  This is backpressure: a slow consumer stalls its producers once the
+  channel fills, and the stall propagates upstream — the finite-local-
+  buffer contract real self-timed arrays run (and the reason the paper's
+  Section I cites FIFO queueing between cells as the cost of self-timed
+  layouts).  ``k=1`` on a *cyclic* COMM graph is a zero-token marked-graph
+  cycle and deadlocks; the simulator rejects it with
+  :class:`ChannelDeadlockError` instead of hanging.
+
+The checker verifies the engine-driven makespan against the recurrence
+computed directly (compiled and scalar) in both regimes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.arrays.cells import PE
 from repro.arrays.systolic import SystolicProgram
@@ -44,6 +74,18 @@ CellId = Hashable
 #: callables keep runs reproducible; see :func:`constant_service` and
 #: :func:`hashed_service`.
 ServiceTime = Callable[[CellId, int], float]
+
+
+class ChannelDeadlockError(RuntimeError):
+    """Capacity-1 channels on a cyclic COMM graph can never make progress.
+
+    Marked-graph liveness requires every directed cycle to carry at least
+    one token of slack; with ``channel_capacity=1`` the credit back-edge
+    ``start[c][w] >= start[succ][w]`` has dependency distance zero, so a
+    COMM cycle becomes a zero-token cycle: each cell on it waits for the
+    next to fire the *same* wave first.  Raised eagerly (at construction /
+    kernel entry) instead of letting the event engine stall mid-run.
+    """
 
 
 def constant_service(duration: float) -> ServiceTime:
@@ -82,20 +124,69 @@ def hashed_service(
     return sample
 
 
+def _reverse_topological(comm: Any) -> List[CellId]:
+    """Cells in reverse topological order (consumers before producers) —
+    the evaluation order the same-wave ``channel_capacity=1`` credit term
+    needs.  Raises :class:`ChannelDeadlockError` on a cyclic graph."""
+    cells = comm.nodes()
+    indegree: Dict[CellId, int] = {c: len(comm.predecessors(c)) for c in cells}
+    queue: List[CellId] = [c for c in cells if indegree[c] == 0]
+    order: List[CellId] = []
+    i = 0
+    while i < len(queue):
+        c = queue[i]
+        i += 1
+        order.append(c)
+        for s in comm.successors(c):
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                queue.append(s)
+    if len(order) != len(cells):
+        raise ChannelDeadlockError(
+            "channel_capacity=1 on a cyclic COMM graph is a zero-token "
+            "marked-graph cycle (deadlock); use capacity >= 2"
+        )
+    order.reverse()
+    return order
+
+
 @dataclass
 class DataflowRunResult:
-    """Outcome of a self-timed program run: payload plus timing."""
+    """Outcome of a self-timed program run: payload plus timing.
+
+    ``channel_capacity``/``stall_time``/``max_occupancy`` describe the
+    backpressure regime: under finite capacities, ``stall_time`` maps each
+    cell to the total time it sat data-ready but credit-blocked (waiting
+    for a consumer to drain a full channel) and ``max_occupancy`` is the
+    deepest any channel got (always ``<= channel_capacity`` — the engine
+    asserts it).  Both stay ``None`` for unbounded runs, whose behaviour
+    is byte-identical to the pre-backpressure simulator.
+    """
 
     result: Any
     waves: int
     makespan: float
     events_processed: int
     finish_times: Dict[CellId, float]  # completion of each cell's last wave
+    channel_capacity: Optional[int] = None
+    stall_time: Optional[Dict[CellId, float]] = None
+    max_occupancy: Optional[int] = None
 
     @property
     def mean_cycle_time(self) -> float:
         """Makespan per wave — the crude throughput figure."""
         return self.makespan / self.waves if self.waves else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Waves completed per unit time (the reciprocal figure sweeps
+        plot against channel capacity)."""
+        return self.waves / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def total_stall_time(self) -> float:
+        """Summed credit-blocked time across cells (0.0 when unbounded)."""
+        return sum(self.stall_time.values()) if self.stall_time else 0.0
 
 
 class _ResultFacade:
@@ -114,9 +205,14 @@ class SelfTimedProgramSimulator:
 
     ``service`` supplies the per-(cell, wave) compute time; ``wire_delay``
     is the token propagation time per COMM edge (uniform — the regular-array
-    case).  Channels are unbounded FIFOs (no backpressure): the pure
-    dataflow idealization, which keeps functional behaviour exactly
-    lockstep while letting timing float.
+    case).  ``channel_capacity`` selects the flow-control regime: ``None``
+    keeps every channel an unbounded FIFO (the pure dataflow idealization,
+    byte-identical to the historical behaviour), while an integer ``k``
+    bounds each COMM edge to ``k`` in-flight generations and stalls
+    producers when a channel fills (see the module docstring for the
+    marked-graph recurrence this realizes).  Functional behaviour is
+    exactly lockstep either way — capacity changes *when* cells fire,
+    never *what* they compute.
     """
 
     def __init__(
@@ -126,6 +222,7 @@ class SelfTimedProgramSimulator:
         wire_delay: float = 0.0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        channel_capacity: Optional[int] = None,
     ) -> None:
         if wire_delay < 0:
             raise ValueError("wire delay must be non-negative")
@@ -135,7 +232,22 @@ class SelfTimedProgramSimulator:
         self._wire_delay = wire_delay
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics
+        if channel_capacity is not None:
+            channel_capacity = int(channel_capacity)
+            if channel_capacity < 1:
+                raise ValueError("channel capacity must be >= 1 (or None)")
+            if channel_capacity == 1 and not self._comm.is_acyclic():
+                raise ChannelDeadlockError(
+                    "channel_capacity=1 on a cyclic COMM graph is a "
+                    "zero-token marked-graph cycle (deadlock); use "
+                    "capacity >= 2"
+                )
+        self._channel_capacity = channel_capacity
         self._compiled: Any = None  # lazy CompiledRecurrence
+
+    @property
+    def channel_capacity(self) -> Optional[int]:
+        return self._channel_capacity
 
     def run(self, waves: Optional[int] = None) -> DataflowRunResult:
         n_waves = waves if waves is not None else self._program.cycles
@@ -163,6 +275,26 @@ class SelfTimedProgramSimulator:
             else None
         )
 
+        # Backpressure state — only materialized for finite capacities so
+        # the unbounded path stays byte-identical (same events, same order,
+        # same floats) to the historical simulator.
+        capacity = self._channel_capacity
+        succs: Dict[CellId, Tuple[CellId, ...]] = {}
+        outstanding: Dict[Tuple[CellId, CellId], int] = {}
+        stall_time: Optional[Dict[CellId, float]] = None
+        blocked_since: Dict[CellId, float] = {}
+        max_occupancy = 0
+        stall_hist = occupancy_hist = None
+        if capacity is not None:
+            succs = {c: tuple(self._comm.successors(c)) for c in cells}
+            outstanding = {(u, v): 0 for u, v in self._comm.edges()}
+            stall_time = {c: 0.0 for c in cells}
+            if self._metrics is not None:
+                stall_hist = self._metrics.histogram("dataflow.stall_time")
+                occupancy_hist = self._metrics.histogram(
+                    "dataflow.channel_occupancy"
+                )
+
         def ready(cell: CellId) -> bool:
             k = next_wave[cell]
             if k >= n_waves or busy[cell]:
@@ -172,19 +304,53 @@ class SelfTimedProgramSimulator:
             pending = inbox[cell].get(k - 1, {})
             return all(src in pending for src in preds[cell])
 
+        def credit_ready(cell: CellId) -> bool:
+            # Capacity k: wave w needs each successor to have consumed
+            # generation w-k, i.e. to have *fired* wave w-k+1 already
+            # (``next_wave`` counts fires, so the threshold is w-k+2).
+            k = next_wave[cell]
+            if k < capacity:
+                return True
+            floor = k - capacity + 2
+            for s in succs[cell]:
+                if next_wave[s] < floor:
+                    return False
+            return True
+
         def try_fire(
-            cell: CellId, cause: str = "init", src: Optional[CellId] = None
+            cell: CellId,
+            cause: str = "init",
+            src: Optional[CellId] = None,
+            src_wave: Optional[int] = None,
         ) -> None:
             # ``cause``/``src`` name the state change that made this call:
             # the *last* enabling event is the binding constraint, so a
             # successful fire's cause is its critical dependency — exactly
             # what trace-driven critical-path extraction walks back over.
+            # ``src_wave`` disambiguates credit causes, whose enabling
+            # fire is ``src``'s wave ``w - capacity + 1``, not ``w - 1``.
             if not ready(cell):
                 return
             k = next_wave[cell]
+            if capacity is not None and not credit_ready(cell):
+                # Data-ready but the channel to some consumer is full:
+                # the stall clock starts at the first blocked attempt.
+                blocked_since.setdefault(cell, sim.now)
+                return
+            if capacity is not None:
+                t_blocked = blocked_since.pop(cell, None)
+                if t_blocked is not None:
+                    stalled = sim.now - t_blocked
+                    stall_time[cell] += stalled
+                    if stall_hist is not None:
+                        stall_hist.observe(stalled)
             inputs: Dict[CellId, Any] = (
                 inbox[cell].pop(k - 1, {}) if k > 0 else {}
             )
+            if capacity is not None and k > 0:
+                # Consuming generation k-1 drains one slot per input edge.
+                for p in preds[cell]:
+                    outstanding[(p, cell)] -= 1
             # Lockstep semantics: an input edge with no token yet written
             # reads as None (the empty register before the first latch).
             fire_inputs = {src_c: inputs.get(src_c) for src_c in preds[cell]}
@@ -202,19 +368,45 @@ class SelfTimedProgramSimulator:
                     sim.now, "dataflow", "fire", cell=cell, wave=k,
                     start=sim.now, service=duration,
                     finish=sim.now + duration, cause=cause, src=src,
+                    src_wave=src_wave,
                 )
             next_wave[cell] = k + 1
             busy[cell] = True
+            if capacity is not None:
+                # This fire consumed a generation (and advanced the wave
+                # front), which may return credits to the producers.
+                # Trampoline through zero-delay events rather than direct
+                # recursion so deep pipelines can't blow the stack; the
+                # engine's FIFO tie-break keeps same-timestamp order
+                # deterministic.
+                for p in preds[cell]:
+                    sim.schedule(
+                        0.0,
+                        (lambda pp=p, w=k: try_fire(pp, "credit", cell, w)),
+                    )
 
             def deliver(dst: CellId, value: Any, gen: int = k) -> None:
                 inbox[dst].setdefault(gen, {})[cell] = value
                 try_fire(dst, "token", cell)
 
             def done() -> None:
+                nonlocal max_occupancy
                 busy[cell] = False
                 finish_times[cell] = sim.now
                 for dst in self._comm.successors(cell):
                     value = outputs.get(dst) if outputs else None
+                    if capacity is not None:
+                        count = outstanding[(cell, dst)] + 1
+                        outstanding[(cell, dst)] = count
+                        if count > capacity:
+                            raise AssertionError(
+                                f"channel ({cell!r} -> {dst!r}) exceeded "
+                                f"capacity {capacity}: {count} in flight"
+                            )
+                        if count > max_occupancy:
+                            max_occupancy = count
+                        if occupancy_hist is not None:
+                            occupancy_hist.observe(float(count))
                     sim.schedule(
                         self._wire_delay,
                         (lambda d=dst, v=value: deliver(d, v)),
@@ -239,15 +431,23 @@ class SelfTimedProgramSimulator:
             tracer.event(
                 makespan, "dataflow", "run",
                 waves=n_waves, cells=len(cells), makespan=makespan,
+                channel_capacity=capacity,
             )
         if self._metrics is not None:
             self._metrics.gauge("dataflow.makespan").set(makespan)
+            if makespan > 0:
+                self._metrics.gauge("dataflow.throughput").set(
+                    n_waves / makespan
+                )
         return DataflowRunResult(
             result=result,
             waves=n_waves,
             makespan=makespan,
             events_processed=processed,
             finish_times=finish_times,
+            channel_capacity=capacity,
+            stall_time=stall_time,
+            max_occupancy=(max_occupancy if capacity is not None else None),
         )
 
     def compiled_recurrence(self):
@@ -266,10 +466,12 @@ class SelfTimedProgramSimulator:
         """The tandem-recurrence makespan computed directly (no engine):
 
         ``finish[c][k] = max(finish[c][k-1], max_pred finish[pred][k-1] +
-        wire) + service(c, k)`` — the generalization of
-        :func:`repro.sim.selftimed.simulate_selftimed_line` with
-        ``blocking=False`` to an arbitrary COMM graph.  The differential
-        checker asserts the engine-driven run lands on exactly this value.
+        wire) + service(c, k)`` — plus, under a finite
+        ``channel_capacity=k``, the capacity back-edge
+        ``start[c][w] >= start[succ][w-k+1]`` (the marked-graph credit
+        constraint; see the module docstring).  The differential checker
+        asserts the engine-driven run lands on exactly this value in both
+        regimes.
 
         Evaluated wavefront-at-a-time by the compiled array kernel, which
         performs the identical float operations (``max`` is order-free, the
@@ -278,7 +480,10 @@ class SelfTimedProgramSimulator:
         """
         n_waves = waves if waves is not None else self._program.cycles
         return self.compiled_recurrence().makespan(
-            self._service, self._wire_delay, n_waves
+            self._service,
+            self._wire_delay,
+            n_waves,
+            capacity=self._channel_capacity,
         )
 
     def critical_path(self, waves: Optional[int] = None):
@@ -286,7 +491,19 @@ class SelfTimedProgramSimulator:
         (see :func:`repro.obs.critpath.selftimed_critical_path`): the same
         tandem recurrence, replayed with argmax bookkeeping, so the
         chain's endpoint equals :meth:`recurrence_makespan` — and the
-        engine-driven :meth:`run` makespan — bit for bit."""
+        engine-driven :meth:`run` makespan — bit for bit.
+
+        The replay models the unbounded recurrence; for bounded runs use
+        trace-driven extraction (:func:`repro.obs.critpath.
+        critical_path_from_trace`), whose ``credit`` cause annotations
+        carry the capacity back-edges.
+        """
+        if self._channel_capacity is not None:
+            raise ValueError(
+                "critical_path() replays the unbounded recurrence; for a "
+                "bounded run record a trace and use "
+                "repro.obs.critpath.critical_path_from_trace"
+            )
         from repro.obs.critpath import selftimed_critical_path
 
         n_waves = waves if waves is not None else self._program.cycles
@@ -300,19 +517,52 @@ class SelfTimedProgramSimulator:
 
     def recurrence_makespan_scalar(self, waves: Optional[int] = None) -> float:
         """Reference (per-cell Python loop) evaluation of the tandem
-        recurrence — the oracle for :meth:`recurrence_makespan`."""
+        recurrence — the oracle for :meth:`recurrence_makespan` — honouring
+        ``channel_capacity`` exactly like the event engine."""
         n_waves = waves if waves is not None else self._program.cycles
         cells = self._comm.nodes()
+        cap = self._channel_capacity
         finish: Dict[CellId, float] = {c: 0.0 for c in cells}
+        if cap is None:
+            for k in range(n_waves):
+                new_finish: Dict[CellId, float] = {}
+                for c in cells:
+                    start = finish[c]
+                    if k > 0:
+                        for p in self._comm.predecessors(c):
+                            start = max(start, finish[p] + self._wire_delay)
+                    new_finish[c] = start + self._service(c, k)
+                # Wave k's start depends on wave k-1 finishes only, so the
+                # whole wave updates atomically.
+                finish = new_finish
+            return max(finish.values(), default=0.0)
+
+        preds = {c: list(self._comm.predecessors(c)) for c in cells}
+        succs = {c: list(self._comm.successors(c)) for c in cells}
+        # Capacity 1 couples starts *within* a wave (distance k-1 = 0), so
+        # cells evaluate consumers-first; capacity >= 2 only reads start
+        # rows from earlier waves, kept in a sliding window of depth k-1.
+        order = _reverse_topological(self._comm) if cap == 1 else cells
+        history: deque = deque()
         for k in range(n_waves):
-            new_finish: Dict[CellId, float] = {}
-            for c in cells:
+            starts: Dict[CellId, float] = {}
+            for c in order:
                 start = finish[c]
                 if k > 0:
-                    for p in self._comm.predecessors(c):
+                    for p in preds[c]:
                         start = max(start, finish[p] + self._wire_delay)
-                new_finish[c] = start + self._service(c, k)
-            # Wave k's start depends on wave k-1 finishes only, so the
-            # whole wave updates atomically.
-            finish = new_finish
+                if k >= cap:
+                    if cap == 1:
+                        for s in succs[c]:
+                            start = max(start, starts[s])
+                    else:
+                        oldest = history[0]  # wave k - cap + 1
+                        for s in succs[c]:
+                            start = max(start, oldest[s])
+                starts[c] = start
+            finish = {c: starts[c] + self._service(c, k) for c in cells}
+            if cap >= 2:
+                history.append(starts)
+                if len(history) > cap - 1:
+                    history.popleft()
         return max(finish.values(), default=0.0)

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for finite-channel backpressure.
+
+Three laws over random systolic programs and random service/wire draws:
+
+* **monotonicity** — the self-timed makespan is monotone non-increasing
+  in channel capacity (more buffering can only reorder slack, never
+  create work);
+* **unbounded limit** — capacity at least the wave count reproduces the
+  ``channel_capacity=None`` model bit for bit (makespan and per-cell
+  finish times);
+* **triple agreement** — the event-driven engine, the scalar bounded
+  recurrence, and the compiled marked-graph kernel compute the same
+  float at every capacity (``ChannelDeadlockError`` from all paths for
+  zero-token cycles counts as agreement).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.systolic import (
+    build_fir_array,
+    build_matvec_array,
+    build_mesh_matmul,
+    build_odd_even_sorter,
+)
+from repro.sim.dataflow import (
+    ChannelDeadlockError,
+    SelfTimedProgramSimulator,
+    constant_service,
+    hashed_service,
+)
+
+
+@st.composite
+def random_programs(draw):
+    """A random systolic program over random (finite) float payloads."""
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    kind = draw(st.sampled_from(["fir", "matvec", "sorter", "matmul"]))
+
+    def val():
+        return round(rng.uniform(-4.0, 4.0), 3)
+
+    if kind == "fir":
+        taps = [val() for _ in range(rng.randint(1, 4))]
+        xs = [val() for _ in range(rng.randint(2, 8))]
+        return build_fir_array(taps, xs)
+    if kind == "matvec":
+        n = rng.randint(1, 4)
+        a = [[val() for _ in range(n)] for _ in range(n)]
+        x = [val() for _ in range(n)]
+        return build_matvec_array(a, x)
+    if kind == "sorter":
+        keys = [val() for _ in range(rng.randint(2, 8))]
+        return build_odd_even_sorter(keys)
+    n = rng.randint(1, 3)
+    a = [[val() for _ in range(n)] for _ in range(n)]
+    b = [[val() for _ in range(n)] for _ in range(n)]
+    return build_mesh_matmul(a, b)
+
+
+def _random_service(rng):
+    return rng.choice(
+        [
+            None,
+            constant_service(rng.uniform(0.25, 3.0)),
+            hashed_service(0.5, 2.5, 0.4, seed=rng.randint(0, 2**20)),
+        ]
+    )
+
+
+def _sim(program, service, wire, capacity):
+    return SelfTimedProgramSimulator(
+        program, service=service, wire_delay=wire, channel_capacity=capacity
+    )
+
+
+@given(random_programs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_makespan_monotone_in_capacity(program, data):
+    rng = random.Random(data.draw(st.integers(0, 2**30)))
+    service = _random_service(rng)
+    wire = rng.uniform(0.0, 2.0)
+    cyclic = not program.array.comm.is_acyclic()
+    capacities = [2, 3, 5, None] if cyclic else [1, 2, 3, 5, None]
+    spans = [
+        _sim(program, service, wire, cap).run().makespan
+        for cap in capacities
+    ]
+    for tighter, looser in zip(spans, spans[1:]):
+        assert tighter >= looser
+
+
+@given(random_programs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_wide_capacity_bitwise_equals_unbounded(program, data):
+    rng = random.Random(data.draw(st.integers(0, 2**30)))
+    service = _random_service(rng)
+    wire = rng.uniform(0.0, 2.0)
+    unbounded = _sim(program, service, wire, None)
+    unbounded_run = unbounded.run()
+    margin = rng.randint(0, 3)
+    wide = _sim(program, service, wire, program.cycles + margin)
+    wide_run = wide.run()
+    assert wide_run.makespan == unbounded_run.makespan
+    assert wide_run.finish_times == unbounded_run.finish_times
+    assert wide.recurrence_makespan() == unbounded.recurrence_makespan()
+    assert (
+        wide.recurrence_makespan_scalar()
+        == unbounded.recurrence_makespan_scalar()
+    )
+
+
+@given(random_programs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_engine_scalar_and_compiled_agree_at_every_capacity(program, data):
+    rng = random.Random(data.draw(st.integers(0, 2**30)))
+    service = _random_service(rng)
+    wire = rng.uniform(0.0, 2.0)
+    capacity = rng.randint(1, 6)
+    cyclic = not program.array.comm.is_acyclic()
+    if capacity == 1 and cyclic:
+        with pytest.raises(ChannelDeadlockError):
+            _sim(program, service, wire, capacity)
+        unbounded = _sim(program, service, wire, None)
+        with pytest.raises(ChannelDeadlockError):
+            unbounded.compiled_recurrence().makespan(
+                constant_service(1.0), wire, program.cycles, capacity=1
+            )
+        return
+    sim = _sim(program, service, wire, capacity)
+    run = sim.run()
+    assert run.makespan == sim.recurrence_makespan()
+    assert run.makespan == sim.recurrence_makespan_scalar()
+    assert run.max_occupancy is not None
+    assert run.max_occupancy <= capacity

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.handshake import run_handshake_pipeline
+from repro.sim.handshake import run_credit_pipeline, run_handshake_pipeline
 from repro.sim.selftimed import simulate_selftimed_line, two_point_sampler
 
 
@@ -64,6 +64,151 @@ class TestProtocol:
             run_handshake_pipeline(4, 0, lambda rng: 1.0)
         with pytest.raises(ValueError):
             run_handshake_pipeline(4, 5, lambda rng: 1.0, wire_delay=-1)
+
+
+class TestBufferedStages:
+    def test_skid_buffer_hides_the_round_trip(self):
+        """The zipcpu-style law: cycle drops from compute + 2 * wire to
+        max(compute, 2 * wire)."""
+        for wire in (0.1, 0.3):
+            buffered = run_handshake_pipeline(
+                6, 60, lambda rng: 1.0, wire_delay=wire, buffered=True
+            )
+            assert buffered.steady_cycle_time == pytest.approx(
+                max(1.0, 2 * wire), rel=0.02
+            )
+
+    def test_wire_dominated_regime(self):
+        buffered = run_handshake_pipeline(
+            6, 60, lambda rng: 1.0, wire_delay=0.8, buffered=True
+        )
+        assert buffered.steady_cycle_time == pytest.approx(1.6, rel=0.02)
+
+    def test_buffered_never_slower_than_unbuffered(self):
+        sampler = two_point_sampler(1.0, 3.0, 0.3)
+        plain = run_handshake_pipeline(6, 60, sampler, wire_delay=0.2, seed=2)
+        buffered = run_handshake_pipeline(
+            6, 60, sampler, wire_delay=0.2, seed=2, buffered=True
+        )
+        assert (
+            buffered.completion_time <= plain.completion_time + 1e-9
+        )
+
+    def test_order_preserved(self):
+        result = run_handshake_pipeline(
+            5, 30, two_point_sampler(0.5, 2.0, 0.4), buffered=True, seed=3
+        )
+        assert result.arrival_times == sorted(result.arrival_times)
+
+
+class TestCreditPipeline:
+    def test_credit_cycle_law(self):
+        """Steady cycle = max(compute, 2 * wire / credits)."""
+        for wire, credits, expected in [
+            (1.0, 1, 2.0),
+            (1.0, 2, 1.0),
+            (1.5, 1, 3.0),
+            (1.5, 3, 1.0),
+            (0.1, 1, 1.0),
+        ]:
+            result = run_credit_pipeline(
+                4, 80, lambda rng: 1.0, wire_delay=wire, credits=credits
+            )
+            assert result.steady_cycle_time == pytest.approx(
+                expected, rel=0.02
+            )
+
+    def test_more_credits_never_slower(self):
+        sampler = two_point_sampler(1.0, 2.5, 0.3)
+        times = [
+            run_credit_pipeline(
+                5, 50, sampler, wire_delay=0.8, credits=c, seed=6
+            ).completion_time
+            for c in (1, 2, 4)
+        ]
+        assert times[0] >= times[1] - 1e-9
+        assert times[1] >= times[2] - 1e-9
+
+    def test_order_preserved_and_reproducible(self):
+        sampler = two_point_sampler(1.0, 2.0, 0.2)
+        a = run_credit_pipeline(6, 30, sampler, credits=2, seed=5)
+        b = run_credit_pipeline(6, 30, sampler, credits=2, seed=5)
+        assert a.arrival_times == b.arrival_times
+        assert a.arrival_times == sorted(a.arrival_times)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_credit_pipeline(0, 5, lambda rng: 1.0)
+        with pytest.raises(ValueError):
+            run_credit_pipeline(4, 0, lambda rng: 1.0)
+        with pytest.raises(ValueError):
+            run_credit_pipeline(4, 5, lambda rng: 1.0, wire_delay=-1)
+        with pytest.raises(ValueError):
+            run_credit_pipeline(4, 5, lambda rng: 1.0, credits=0)
+
+
+class TestDegenerateRuns:
+    def test_single_item_single_stage(self):
+        result = run_handshake_pipeline(1, 1, lambda rng: 1.0, wire_delay=0.1)
+        assert result.completion_time == pytest.approx(1.2)
+        assert result.steady_cycle_time == result.completion_time
+
+    def test_single_item_many_stages(self):
+        result = run_handshake_pipeline(5, 1, lambda rng: 1.0, wire_delay=0.1)
+        # One arrival: latency stands in for the cycle, never a division
+        # by zero intervals.
+        assert result.steady_cycle_time == result.completion_time
+        assert result.completion_time == pytest.approx(5 * 1.1 + 0.1)
+
+    def test_two_and_three_items_use_whole_run_gap(self):
+        for items in (2, 3):
+            result = run_handshake_pipeline(
+                3, items, lambda rng: 1.0, wire_delay=0.1
+            )
+            expected = (
+                result.arrival_times[-1] - result.arrival_times[0]
+            ) / (items - 1)
+            assert result.steady_cycle_time == pytest.approx(expected)
+
+    def test_degenerate_credit_and_buffered(self):
+        for kwargs in ({"buffered": True}, {}):
+            r = run_handshake_pipeline(1, 1, lambda rng: 1.0, **kwargs)
+            assert r.steady_cycle_time == r.completion_time
+        r = run_credit_pipeline(1, 1, lambda rng: 1.0, credits=1)
+        assert r.steady_cycle_time == r.completion_time
+
+
+class TestZeroWireDelay:
+    """Pinning tests for the ``_Source._try_send``/``on_ack`` re-entrancy
+    audit: at zero wire delay every signal still traverses the event
+    queue, so the protocol assertion in ``_Stage.on_req`` (double send)
+    never trips and event order stays deterministic."""
+
+    def test_zero_wire_all_disciplines_deliver_in_order(self):
+        for kwargs in ({}, {"buffered": True}):
+            result = run_handshake_pipeline(
+                6, 40, lambda rng: 1.0, wire_delay=0.0, **kwargs
+            )
+            assert result.items == 40
+            assert result.arrival_times == sorted(result.arrival_times)
+        credit = run_credit_pipeline(
+            6, 40, lambda rng: 1.0, wire_delay=0.0, credits=2
+        )
+        assert credit.items == 40
+        assert credit.arrival_times == sorted(credit.arrival_times)
+
+    def test_zero_wire_zero_compute_is_well_defined(self):
+        # Every event lands at t=0; only the FIFO tie-break orders them.
+        result = run_handshake_pipeline(4, 20, lambda rng: 0.0, wire_delay=0.0)
+        assert result.items == 20
+        assert result.completion_time == 0.0
+
+    def test_zero_wire_deterministic(self):
+        sampler = two_point_sampler(1.0, 2.0, 0.5)
+        a = run_handshake_pipeline(8, 30, sampler, wire_delay=0.0, seed=7)
+        b = run_handshake_pipeline(8, 30, sampler, wire_delay=0.0, seed=7)
+        assert a.arrival_times == b.arrival_times
+        assert a.events_processed == b.events_processed
 
 
 class TestAgreementWithRecurrence:
