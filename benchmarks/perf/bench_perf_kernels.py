@@ -13,7 +13,12 @@ enforces the PR's acceptance bar:
   scalar oracles by >= 10x;
 * ``max_skew_bound_cold`` (index build + pair translation included) is
   >= 1x at every benchmarked size — cold-start must never lose to the
-  scalar path;
+  scalar path, and the vectorized ``lca_cold_build`` never loses to the
+  Euler-tour construction;
+* the ECO rows (``eco_repad``/``eco_resize``) and ``tile_stitch`` agree
+  *exactly* with their from-scratch oracles (diff == 0.0 means every
+  slack array is bit-identical), and a single-edge repad at >= 4096
+  cells re-analyzes >= 10x faster than the full ``analyze_slack``;
 * the ``CompiledTrialContext`` Monte-Carlo cache is >= 3x over the
   rebuild-per-trial formulation, with bit-identical summaries;
 * the shared-memory Monte-Carlo pool returns bit-identical summaries
@@ -61,6 +66,10 @@ MC_CACHED_SPEEDUP = 3.0
 MC_POOL_FLOOR = 1.0
 # Scale rows stream violations per block and must stay exact.
 SCALE_KERNELS = ("mesh_csr_build", "clocked_timing_blocked", "clocked_timing")
+# Incremental ECO + tiled-composition rows: bit-exact, and a single-edge
+# repad at the acceptance scale must be >= 10x over full re-analysis.
+ECO_KERNELS = ("eco_repad", "eco_resize", "tile_stitch")
+ECO_REPAD_SPEEDUP = 10.0
 EQUIVALENCE_TOL = 1e-9
 
 
@@ -115,6 +124,16 @@ def test_perf_suite_speedup_and_equivalence():
                 f"{r.kernel} at {r.size} cells: streamed path not exact "
                 f"(diff {r.max_abs_diff})"
             )
+        if r.kernel in ECO_KERNELS:
+            assert r.max_abs_diff == 0.0, (
+                f"{r.kernel} at {r.size} cells: incremental path not "
+                f"bit-identical to the full oracle (diff {r.max_abs_diff})"
+            )
+        if r.kernel == "lca_cold_build":
+            assert r.speedup >= 1.0, (
+                f"lca_cold_build at {r.size} cells: {r.speedup:.2f}x — "
+                f"vectorized build lost to the Euler-tour construction"
+            )
 
     checked = 0
     sim_checked = 0
@@ -131,6 +150,11 @@ def test_perf_suite_speedup_and_equivalence():
                 f"{SIM_SPEEDUP}x acceptance bar"
             )
             sim_checked += 1
+        if r.kernel == "eco_repad" and r.size >= ACCEPTANCE_CELLS:
+            assert r.speedup >= ECO_REPAD_SPEEDUP, (
+                f"eco_repad at {r.size} cells: {r.speedup:.1f}x < "
+                f"{ECO_REPAD_SPEEDUP}x acceptance bar"
+            )
     if any(side * side >= ACCEPTANCE_CELLS for side in sides):
         assert checked >= len(ACCEPTANCE_KERNELS)
         assert sim_checked >= len(SIM_KERNELS)

@@ -30,6 +30,9 @@ GATED_KERNELS = (
     "clocked_run",
     "selftimed_makespan",
     "selftimed_backpressure",
+    "lca_cold_build",
+    "eco_resize",
+    "tile_stitch",
 )
 
 # Absolute speedup floors, independent of any baseline: the shared-memory
@@ -39,7 +42,16 @@ GATED_KERNELS = (
 # any worker count is covered.
 ABSOLUTE_FLOOR_PREFIXES = {
     "montecarlo_workers_": 1.0,
+    # The ECO acceptance bar: a single-edge repad must re-analyze at
+    # least 10x faster than a from-scratch analyze_slack at every
+    # benchmarked size (it is hundreds of x at the 4096-cell gate).
+    "eco_repad": 10.0,
 }
+
+# Kernels whose max_abs_diff column must be exactly 0.0: the incremental
+# ECO engine and the tiled-composition stitch are only admissible while
+# bit-identical to their from-scratch oracles.
+EXACT_PREFIXES = ("eco_", "tile_")
 
 
 def speedups(path):
@@ -51,6 +63,19 @@ def speedups(path):
     for row in payload["rows"]:
         kernel, speedup = row[k], float(row[sp])
         out[kernel] = min(out.get(kernel, float("inf")), speedup)
+    return out
+
+
+def worst_diffs(path):
+    """``{kernel: largest max_abs_diff over its rows}``."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    headers = payload["headers"]
+    k, d = headers.index("kernel"), headers.index("max_abs_diff")
+    out = {}
+    for row in payload["rows"]:
+        kernel, diff = row[k], float(row[d])
+        out[kernel] = max(out.get(kernel, 0.0), diff)
     return out
 
 
@@ -86,6 +111,13 @@ def main(argv):
             )
             if speedup < floor:
                 failures.append(kernel)
+    for kernel, diff in sorted(worst_diffs(argv[1]).items()):
+        if not kernel.startswith(EXACT_PREFIXES):
+            continue
+        status = "ok" if diff == 0.0 else "REGRESSION"
+        print(f"{kernel}: max_abs_diff {diff} (required 0.0) -> {status}")
+        if diff != 0.0:
+            failures.append(kernel)
     if failures:
         print(f"perf regression in: {', '.join(failures)}")
         return 1

@@ -59,10 +59,15 @@ from repro.core.models import (
     max_skew_lower_bound,
     max_skew_lower_bound_scalar,
 )
+from repro.clocktree.lca import EulerTourIndex, LiftingLCAIndex
 from repro.graphs.csr import csr_from_comm, grid_csr
 from repro.obs.schema import validate_benchmark_result
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.compiled import CompiledTimingKernel
+
+# repro.sta imports are deferred into the bench functions below:
+# repro/__init__ imports this package before __version__ exists, and
+# repro.sta.report reads repro.__version__ at import time.
 
 BENCH_HEADERS = [
     "kernel",
@@ -247,7 +252,209 @@ def bench_skew_kernels(
             measure_mem,
         )
     )
+
+    # Cold LCA index construction: the Python-loop Euler tour + sparse
+    # table vs the vectorized binary-lifting build over the tree's dense
+    # store.  Both builds end with the same batch metric query; inputs
+    # (children map, root-distance dict) are prepared outside the timing.
+    children = tree.children_map()
+    rd = {node: tree.root_distance(node) for node in tree.nodes()}
+    root = tree.nodes()[0]
+    store = tree.dense_store
+
+    def euler_build():
+        return EulerTourIndex(root, children, rd).path_metrics(pairs)
+
+    def lifting_build():
+        return LiftingLCAIndex(store).path_metrics(pairs)
+
+    ed, es = euler_build()
+    ld, ls = lifting_build()
+    lca_diff = float(
+        max(
+            np.abs(ed - ld).max() if len(ed) else 0.0,
+            np.abs(es - ls).max() if len(es) else 0.0,
+        )
+    )
+    results.append(
+        _with_mem(
+            KernelTiming(
+                "lca_cold_build", n, len(pairs),
+                _best_time(euler_build, repeats),
+                _best_time(lifting_build, repeats),
+                lca_diff,
+            ),
+            lifting_build,
+            measure_mem,
+        )
+    )
     return results
+
+
+def _eco_bench_design(side: int):
+    """A ``side x side`` single-tile composition (serpentine clock chain)
+    clocked at 1.1x its exact minimum feasible period — the what-if
+    workload both ECO rows edit."""
+    from repro.sta.slack import minimum_feasible_period
+    from repro.sta.tiles import TileSpec, compose_design
+
+    spec = TileSpec(rows=side, cols=side)
+    design = compose_design(spec, 1, 1, period=1.0)
+    period = 1.1 * minimum_feasible_period(design, "exact")
+    return compose_design(spec, 1, 1, period=period)
+
+
+def bench_eco(
+    side: int, repeats: int = 3, measure_mem: bool = False
+) -> List[KernelTiming]:
+    """ECO what-if rows on a ``side x side`` array (4096 cells at the
+    side-64 acceptance gate).
+
+    Each row compares one *edit + re-query* cycle: the baseline mutates a
+    plain design and recomputes ``analyze_slack`` + both feasible periods
+    from scratch; the optimized path pushes the same edit through a live
+    :class:`~repro.sta.eco.ECOSession`.  After timing, both sides are
+    driven to the identical final state and their full verdicts compared
+    — ``max_abs_diff`` is 0.0 only when every slack array is
+    bit-identical and the summary floats agree exactly.
+    """
+    from repro.sta.eco import ECOSession
+    from repro.sta.slack import analyze_slack, minimum_feasible_period
+
+    baseline_design = _eco_bench_design(side)
+    session = ECOSession(_eco_bench_design(side))
+    edges = baseline_design.edges()
+    n = side * side
+    results: List[KernelTiming] = []
+
+    def full_query(design):
+        analysis = analyze_slack(design)
+        return (
+            analysis.worst_setup_slack,
+            analysis.worst_hold_slack,
+            minimum_feasible_period(design, "exact"),
+            minimum_feasible_period(design, "bound"),
+        )
+
+    def session_query():
+        return (
+            session.worst_setup_slack(),
+            session.worst_hold_slack(),
+            session.minimum_feasible_period("exact"),
+            session.minimum_feasible_period("bound"),
+        )
+
+    def compare() -> float:
+        """Bitwise agreement of the two sides' current verdicts."""
+        full = analyze_slack(baseline_design)
+        incremental = session.analysis()
+        for name in (
+            "lag", "sigma_ub", "sigma_lb", "offset_lead",
+            "setup_exact", "hold_exact", "setup_bound", "hold_bound",
+        ):
+            a, b = getattr(full, name), getattr(incremental, name)
+            if a.tobytes() != b.tobytes():
+                return float(np.abs(a - b).max())
+        if full_query(baseline_design) != session_query():
+            return float("inf")
+        return 0.0
+
+    # -- eco_repad: retune the hold padding of one COMM edge ------------
+    edge = edges[len(edges) // 2]
+    pads = [0.15, 0.35]
+    state = {"baseline": 0, "session": 0}
+
+    def baseline_repad():
+        state["baseline"] ^= 1
+        baseline_design.edge_padding[edge] = pads[state["baseline"]]
+        return full_query(baseline_design)
+
+    def session_repad():
+        state["session"] ^= 1
+        session.repad_edge(edge, pads[state["session"]])
+        return session_query()
+
+    baseline_s = _best_time(baseline_repad, repeats)
+    optimized_s = _best_time(session_repad, repeats)
+    # drive both sides to the identical state before the equivalence check
+    baseline_design.edge_padding[edge] = pads[1]
+    session.repad_edge(edge, pads[1])
+    results.append(
+        _with_mem(
+            KernelTiming(
+                "eco_repad", n, len(edges), baseline_s, optimized_s, compare()
+            ),
+            session_repad,
+            measure_mem,
+        )
+    )
+
+    # -- eco_resize: retune a clock-tree edge near the chain's tail -----
+    nodes = baseline_design.tree.dense_store.nodes
+    node = nodes[max(1, len(nodes) - 32)]
+    lengths = [0.7, 1.3]
+
+    def baseline_resize():
+        state["baseline"] ^= 1
+        baseline_design.tree.set_edge_length(node, lengths[state["baseline"]])
+        return full_query(baseline_design)
+
+    def session_resize():
+        state["session"] ^= 1
+        session.resize_buffer(node, lengths[state["session"]])
+        return session_query()
+
+    baseline_s = _best_time(baseline_resize, repeats)
+    optimized_s = _best_time(session_resize, repeats)
+    baseline_design.tree.set_edge_length(node, lengths[1])
+    session.resize_buffer(node, lengths[1])
+    results.append(
+        _with_mem(
+            KernelTiming(
+                "eco_resize", n, len(edges), baseline_s, optimized_s, compare()
+            ),
+            session_resize,
+            measure_mem,
+        )
+    )
+    return results
+
+
+def bench_tiles(
+    side: int, repeats: int = 3, measure_mem: bool = False
+) -> Optional[KernelTiming]:
+    """Tiled-composition row: a ``side x side`` array as a grid of 8x8
+    tiles, flat analysis vs warm-cache stitching.  ``None`` when ``side``
+    doesn't decompose into a power-of-two grid of 8x8 tiles."""
+    from repro.sta.tiles import (
+        TileSpec,
+        compose_design,
+        flat_summary,
+        stitched_analysis,
+        tile_cache_clear,
+    )
+
+    grid = side // 8
+    if grid * 8 != side or grid & (grid - 1):
+        return None
+    spec = TileSpec(rows=8, cols=8)
+    period = float(4 * side)
+    design = compose_design(spec, grid, grid, period)
+    tile_cache_clear()
+    flat = flat_summary(design)
+    stitched = stitched_analysis(spec, grid, grid, period, design=design)
+    return _with_mem(
+        KernelTiming(
+            "tile_stitch", side * side, flat.edges,
+            _best_time(lambda: flat_summary(design), repeats),
+            _best_time(
+                lambda: stitched_analysis(spec, grid, grid, period), repeats
+            ),
+            0.0 if stitched == flat else float("inf"),
+        ),
+        lambda: stitched_analysis(spec, grid, grid, period),
+        measure_mem,
+    )
 
 
 def _bench_matmul_program(side: int):
@@ -724,6 +931,10 @@ def run_perf_suite(
     for side in sides:
         results.extend(bench_skew_kernels(side, repeats=repeats, measure_mem=measure_mem))
         results.extend(bench_sim_kernels(side, repeats=repeats, measure_mem=measure_mem))
+        results.extend(bench_eco(side, repeats=repeats, measure_mem=measure_mem))
+        tile_row = bench_tiles(side, repeats=repeats, measure_mem=measure_mem)
+        if tile_row is not None:
+            results.append(tile_row)
     results.append(bench_engine_dispatch(repeats=repeats, measure_mem=measure_mem))
     if include_montecarlo:
         results.append(

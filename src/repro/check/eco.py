@@ -1,0 +1,235 @@
+"""ECO and tile-composition oracles: incremental must equal full, exactly.
+
+Two differential checks guard the PR-9 fast paths:
+
+* ``differential-eco`` replays randomized edit scripts (repads, wire
+  retargets, buffer resizes, subtree grafts, re-clockings) through an
+  :class:`~repro.sta.eco.ECOSession` and, **after every single edit**,
+  holds the session's incrementally-maintained state bit-identical to a
+  from-scratch :func:`~repro.sta.slack.analyze_slack` — every slack array
+  byte-for-byte, the running worst slacks, and the warm-started minimum
+  feasible period in both modes.  Scripts deliberately include edits that
+  *relax* the current worst edge, exercising the lazy argmin rescan.
+
+* ``differential-tiles`` composes R x C abutted-tile arrays and holds
+  :func:`~repro.sta.tiles.stitched_analysis` (prototype-tile cache +
+  boundary stitching) equal — floats and counts, no tolerance — to
+  :func:`~repro.sta.tiles.flat_summary` over the same design, on a cold
+  and a warm cache and across periods.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.check.registry import REGISTRY, CheckContext, require
+from repro.geometry.point import Point
+from repro.sta.design import random_design
+from repro.sta.eco import ECOSession
+from repro.sta.slack import analyze_slack, minimum_feasible_period
+from repro.sta.tiles import (
+    TileSpec,
+    compose_design,
+    flat_summary,
+    stitched_analysis,
+    tile_cache_clear,
+)
+
+_ARRAYS = (
+    "lag",
+    "sigma_ub",
+    "sigma_lb",
+    "offset_lead",
+    "setup_exact",
+    "hold_exact",
+    "setup_bound",
+    "hold_bound",
+)
+
+
+def assert_session_matches_oracle(
+    session: ECOSession, context: Dict[str, Any]
+) -> None:
+    """Bitwise incremental-vs-full comparison after one edit."""
+    full = analyze_slack(session.design)
+    incremental = session.analysis()
+    require(
+        incremental.edges == full.edges,
+        "ECO session edge order diverged from the oracle",
+        **context,
+    )
+    for name in _ARRAYS:
+        ours = getattr(incremental, name)
+        theirs = getattr(full, name)
+        require(
+            ours.tobytes() == theirs.tobytes(),
+            f"ECO incremental array {name!r} is not bit-identical to "
+            "a full analyze_slack",
+            array=name,
+            max_abs_diff=float(abs(ours - theirs).max()) if len(ours) else 0.0,
+            **context,
+        )
+    require(
+        session.worst_setup_slack() == full.worst_setup_slack
+        and session.worst_hold_slack() == full.worst_hold_slack,
+        "ECO running extrema diverged from the oracle",
+        incremental=(session.worst_setup_slack(), session.worst_hold_slack()),
+        full=(full.worst_setup_slack, full.worst_hold_slack),
+        **context,
+    )
+    for mode in ("exact", "bound"):
+        ours_t = session.minimum_feasible_period(mode)
+        theirs_t = minimum_feasible_period(session.design, mode)
+        require(
+            ours_t == theirs_t,
+            f"ECO minimum feasible period ({mode}) diverged from the oracle",
+            mode=mode,
+            incremental=ours_t,
+            full=theirs_t,
+            **context,
+        )
+
+
+def random_edit(
+    rng: random.Random, session: ECOSession, graft_serial: List[int]
+) -> Dict[str, Any]:
+    """Draw one random edit, apply it, and return its descriptor.
+
+    The distribution is biased toward single-row edits (the common ECO),
+    with occasional structural ops; ~1 in 6 single-row edits targets the
+    *current worst* setup edge and relaxes it, forcing the lazy extremum
+    trackers through their un-dirty-the-champion path.
+    """
+    design = session.design
+    edges = design.edges()
+    op = rng.choice(
+        ["repad_edge", "repad_edge", "retarget_wire", "retarget_wire",
+         "resize_buffer", "resize_buffer", "graft_subtree", "set_period"]
+    )
+    if op in ("repad_edge", "retarget_wire"):
+        if rng.random() < 1 / 3:
+            analysis = analyze_slack(design)
+            edge = analysis.edges[int(analysis.setup_exact.argmin())]
+            relax = True
+        else:
+            edge = rng.choice(edges)
+            relax = False
+        if op == "repad_edge":
+            # relax: drop the pad (possibly to zero) on the worst edge
+            pad = 0.0 if (relax and rng.random() < 0.5) else rng.uniform(0.0, 0.6)
+            session.repad_edge(edge, pad)
+            return {"op": op, "edge": edge, "pad": pad}
+        length = rng.uniform(0.0, 0.5 if relax else 4.0)
+        session.retarget_wire(edge, length)
+        return {"op": op, "edge": edge, "length": length}
+    tree = design.tree
+    if op == "resize_buffer":
+        node = rng.choice(tree.dense_store.nodes[1:])
+        length = rng.uniform(0.0, 5.0)
+        session.resize_buffer(node, length)
+        return {"op": op, "node": node, "length": length}
+    if op == "graft_subtree":
+        # CLK is a binary tree (A4): graft only under nodes with fanout < 2
+        open_nodes = [
+            n for n in tree.dense_store.nodes if len(tree.children(n)) < 2
+        ]
+        parent = rng.choice(open_nodes)
+        additions = []
+        for _ in range(rng.randint(1, 3)):
+            graft_serial[0] += 1
+            node = ("eco-graft", graft_serial[0])
+            additions.append(
+                (
+                    parent,
+                    node,
+                    Point(rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)),
+                    rng.uniform(0.1, 3.0),
+                )
+            )
+            parent = node  # grow a short chain, not just leaves
+        session.graft_subtree(additions)
+        return {"op": op, "count": len(additions)}
+    period = design.period * rng.uniform(0.5, 1.6)
+    session.set_period(period)
+    return {"op": op, "period": period}
+
+
+@REGISTRY.register(
+    "differential-eco",
+    "differential",
+    "incremental ECO re-analysis is bit-identical to full analyze_slack "
+    "after every edit of randomized scripts",
+)
+def check_differential_eco(ctx: CheckContext) -> Dict[str, Any]:
+    n_designs = 8 if ctx.full else 3
+    n_edits = 30 if ctx.full else 12
+    rng = ctx.rng("differential-eco")
+    total_edits = 0
+    total_dirty = 0
+    total_rows = 0
+    for k in range(n_designs):
+        design = random_design(seed=rng.randrange(2**31))
+        session = ECOSession(design)
+        graft_serial = [0]
+        for step in range(n_edits):
+            descriptor = random_edit(rng, session, graft_serial)
+            assert_session_matches_oracle(
+                session,
+                {"design_index": k, "step": step, "edit": repr(descriptor)},
+            )
+        edits = session.edits
+        total_edits += len(edits)
+        total_dirty += sum(e.dirty_rows for e in edits)
+        total_rows += sum(e.edges for e in edits)
+    return {
+        "designs": n_designs,
+        "edits": total_edits,
+        "dirty_rows": total_dirty,
+        "reuse_fraction": 1.0 - total_dirty / total_rows if total_rows else 1.0,
+    }
+
+
+@REGISTRY.register(
+    "differential-tiles",
+    "differential",
+    "tiled-by-abutment analysis stitched from cached tile summaries "
+    "equals the flat analysis exactly",
+)
+def check_differential_tiles(ctx: CheckContext) -> Dict[str, Any]:
+    configs = (
+        [(4, 4, 4, 4), (4, 4, 8, 8), (2, 8, 8, 8)]
+        if ctx.full
+        else [(4, 4, 4, 4), (2, 2, 4, 4)]
+    )
+    tile_cache_clear()
+    checked = 0
+    cells_max = 0
+    for tiles_rows, tiles_cols, tile_rows, tile_cols in configs:
+        spec = TileSpec(rows=tile_rows, cols=tile_cols, m=1.0, eps=0.1, delta=1.0)
+        base = float(
+            2 * (tiles_rows * tile_rows + tiles_cols * tile_cols)
+        )
+        for scale, label in ((1.0, "cold"), (0.5, "warm"), (2.5, "warm")):
+            period = base * scale
+            design = compose_design(spec, tiles_rows, tiles_cols, period)
+            flat = flat_summary(design)
+            stitched = stitched_analysis(
+                spec, tiles_rows, tiles_cols, period, design=design
+            )
+            require(
+                stitched == flat,
+                "stitched tile analysis diverged from the flat analysis",
+                grid=(tiles_rows, tiles_cols),
+                tile=(tile_rows, tile_cols),
+                period=period,
+                cache=label,
+                stitched=repr(stitched),
+                flat=repr(flat),
+            )
+            checked += 1
+        cells_max = max(
+            cells_max, tiles_rows * tiles_cols * tile_rows * tile_cols
+        )
+    return {"configurations": len(configs), "comparisons": checked,
+            "largest_cells": cells_max}

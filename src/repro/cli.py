@@ -349,6 +349,87 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def _eco_reports(design, script_path: str, args: argparse.Namespace):
+    """Replay an ECO edit script: the initial full report, then one
+    incrementally re-analyzed report per edit.
+
+    Script format: a JSON array of steps.  Cells and tree nodes are
+    addressed by their ``str()`` form (exactly as reports print them)::
+
+        [{"op": "repad_edge", "edge": ["(0, 0)", "(0, 1)"], "pad": 0.2},
+         {"op": "retarget_wire", "edge": ["(0, 1)", "(0, 0)"], "length": 3.0},
+         {"op": "resize_buffer", "node": "(1, 1)", "length": 1.5},
+         {"op": "graft_subtree", "nodes": [
+             {"parent": "clk:7", "node": "spare:0", "x": 1.5, "y": 2.0,
+              "length": 0.8}]},
+         {"op": "set_period", "period": 14.0}]
+    """
+    import json
+
+    from repro.geometry.point import Point
+    from repro.sta.eco import ECOSession
+    from repro.sta.report import render_report
+
+    with open(script_path, encoding="utf-8") as fh:
+        script = json.load(fh)
+    if not isinstance(script, list):
+        raise ValueError("ECO script must be a JSON array of edit steps")
+
+    cells = {str(c): c for c in design.array.comm.nodes()}
+    nodes = {str(n): n for n in design.tree.nodes()}
+
+    def cell(label):
+        if label not in cells:
+            raise ValueError(f"unknown cell {label!r} in ECO script")
+        return cells[label]
+
+    def node(label):
+        if label not in nodes:
+            raise ValueError(f"unknown clock-tree node {label!r} in ECO script")
+        return nodes[label]
+
+    session = ECOSession(
+        design, tracer=args.tracer, metrics=args.metrics_registry
+    )
+    reports = [session.report()]
+    print(render_report(reports[0], verbose=args.verbose))
+    for step_no, step in enumerate(script):
+        op = step.get("op")
+        if op == "repad_edge":
+            u, v = step["edge"]
+            session.repad_edge((cell(u), cell(v)), float(step["pad"]))
+        elif op == "retarget_wire":
+            u, v = step["edge"]
+            session.retarget_wire((cell(u), cell(v)), float(step["length"]))
+        elif op == "resize_buffer":
+            session.resize_buffer(node(step["node"]), float(step["length"]))
+        elif op == "graft_subtree":
+            additions = []
+            for g in step["nodes"]:
+                parent = nodes.get(str(g["parent"]), g["parent"])
+                additions.append(
+                    (parent, g["node"],
+                     Point(float(g["x"]), float(g["y"])), float(g["length"]))
+                )
+                nodes[str(g["node"])] = g["node"]
+            session.graft_subtree(additions)
+        elif op == "set_period":
+            session.set_period(float(step["period"]))
+        else:
+            raise ValueError(f"unknown ECO op {op!r} (step {step_no})")
+        report = session.report()
+        edit = session.edits[-1]
+        print()
+        print(
+            f"-- step {step_no}: {edit.op} {edit.target} "
+            f"({edit.dirty_rows} dirty rows, "
+            f"reuse {edit.reuse_fraction:.3f}) --"
+        )
+        print(render_report(report, verbose=args.verbose))
+        reports.append(report)
+    return reports
+
+
 def cmd_sta(args: argparse.Namespace) -> int:
     """Static timing analysis + design rules; exit 0 only if every analyzed
     design is clean (no stale/race edge, no DRC failure)."""
@@ -359,6 +440,13 @@ def cmd_sta(args: argparse.Namespace) -> int:
     from repro.sta.design import WORKLOADS
     from repro.sta.report import render_report
 
+    if args.eco is not None and args.workload == "all":
+        print(
+            "error: --eco replays one edit script against one design; "
+            "pick a single --workload",
+            file=sys.stderr,
+        )
+        return 2
     workloads = list(WORKLOADS) if args.workload == "all" else [args.workload]
     reports = []
     for i, workload in enumerate(workloads):
@@ -373,6 +461,13 @@ def cmd_sta(args: argparse.Namespace) -> int:
             period=args.period,
             pad_races=not args.no_pad,
         )
+        if args.eco is not None:
+            try:
+                reports.extend(_eco_reports(design, args.eco, args))
+            except (ValueError, KeyError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            continue
         report = STAAnalyzer(
             design, tracer=args.tracer, metrics=args.metrics_registry
         ).report()
@@ -702,6 +797,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true",
         help="list flagged edges even when the design is clean",
+    )
+    p.add_argument(
+        "--eco", metavar="SCRIPT.json", default=None,
+        help="replay an ECO edit script through an incremental what-if "
+        "session (one schema-valid report per step; requires a single "
+        "--workload, not 'all')",
     )
     p.set_defaults(func=cmd_sta)
 

@@ -60,6 +60,9 @@ class BufferedClockTree:
         # contexts, the STA analyzer) key their caches on it so a
         # resample() is never observed through stale data.
         self._version = 0
+        # Tree version this build reflects; _sync() rebuilds when the
+        # geometric tree mutated (growth *or* an edge-length retune).
+        self._tree_version = -1
         self._build()
 
     # ------------------------------------------------------------------
@@ -88,6 +91,20 @@ class BufferedClockTree:
             rise, fall = self._edge_delay(parent, node, length)
             self._arrival_rise[node] = self._arrival_rise[parent] + rise
             self._arrival_fall[node] = self._arrival_fall[parent] + fall
+        self._tree_version = self.tree.version
+
+    def _sync(self) -> None:
+        """Rebuild when the geometric tree mutated since the last build.
+
+        Catches both growth (a grafted subtree) and in-place edge-length
+        retunes — the latter changes segment counts and delays without
+        changing the node count, which the old length-based staleness
+        check missed.  The rebuild is deterministic: the variation
+        process replays from its seed, so for pure growth the existing
+        nodes keep their delays.
+        """
+        if self._tree_version != self.tree.version:
+            self._build()
 
     def _edge_delay(self, parent, node, length: float) -> Tuple[float, float]:
         """Rising/falling delay of one tree edge after buffer insertion.
@@ -128,6 +145,7 @@ class BufferedClockTree:
     # ------------------------------------------------------------------
     @property
     def buffer_count(self) -> int:
+        self._sync()
         return self._buffer_count
 
     @property
@@ -140,12 +158,14 @@ class BufferedClockTree:
 
     def arrival(self, node: NodeId, rising: bool = True) -> float:
         """Arrival time of a clock edge launched from the root at t = 0."""
+        self._sync()
         return self._arrival_rise[node] if rising else self._arrival_fall[node]
 
     def latency(self, rising: bool = True) -> float:
         """Worst-case root-to-node arrival (the pipelined analogue of the
         equipotential ``alpha * P`` of A6; here it grows with size but does
         not limit the period)."""
+        self._sync()
         table = self._arrival_rise if rising else self._arrival_fall
         return max(table.values())
 
@@ -153,6 +173,7 @@ class BufferedClockTree:
         """A7's ``tau``: the largest delay of a single buffer-plus-segment —
         the time to distribute a clock event across one unbuffered stretch.
         Constant in array size for fixed spacing (tested)."""
+        self._sync()
         return max(self._segment_delays, default=0.0)
 
     def skew(self, a: NodeId, b: NodeId, rising: bool = True) -> float:
@@ -164,11 +185,7 @@ class BufferedClockTree:
         numbering (lazy, per build; ``resample`` rebuilds arrivals and
         drops them).  Sharing the tree's numbering lets the skew kernel
         reuse the tree's memoized pair-to-id translation."""
-        if len(self._arrival_rise) != len(self.tree):
-            # The geometric tree grew since the last build; re-derive the
-            # arrivals (deterministic: the variation process replays from
-            # its seed, so existing nodes keep their delays).
-            self._build()
+        self._sync()
         if self._arrival_vectors is None:
             index = self.tree.lca_index()
             n = len(index)
@@ -218,6 +235,7 @@ class BufferedClockTree:
         the random walk of Section VII.  A clock pulse narrows or widens by
         this much on its way from the root; the pipelined period must exceed
         it or pulses vanish."""
+        self._sync()
         return abs(self._arrival_rise[node] - self._arrival_fall[node])
 
     def max_pulse_distortion(self) -> float:

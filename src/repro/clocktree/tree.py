@@ -17,6 +17,14 @@ The two quantities every skew model consumes are defined here:
   distances to the LCA (Fig. 2).
 
 ``s >= d >= 0`` always (tested as a hypothesis property).
+
+Trees are mutable in two ways, both versioned (see :attr:`version`):
+
+* ``add_child`` grows the tree (the ECO ``graft_subtree`` edit rides it);
+* ``set_edge_length`` retunes one existing edge in place (the ECO
+  ``resize_buffer`` edit), shifting the whole subtree's root distances
+  with one vectorized in-place add on the shared dense store — the live
+  LCA index never rebuilds.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
-from repro.clocktree.lca import LiftingLCAIndex
+from repro.clocktree.lca import DenseTreeStore, LiftingLCAIndex, _gather_ids
 from repro.geometry.point import Point
 
 NodeId = Hashable
@@ -50,26 +58,26 @@ class ClockTree:
         self._parent: Dict[NodeId, Optional[NodeId]] = {root: None}
         self._children: Dict[NodeId, List[NodeId]] = {root: []}
         self._edge_length: Dict[NodeId, float] = {}  # keyed by child
-        # Eager caches, extended incrementally by add_child.
-        self._root_distance: Dict[NodeId, float] = {root: 0.0}
-        self._depth: Dict[NodeId, int] = {root: 0}
-        # Dense insertion-order arrays for the batched LCA index: parents
-        # always precede children, and the root's parent is itself (the
-        # lifting fixed point).  Maintained here so an index build is pure
-        # numpy with no tree walk.
-        self._dense_id: Dict[NodeId, int] = {root: 0}
-        self._dense_nodes: List[NodeId] = [root]
-        self._dense_parent: List[int] = [0]
-        self._dense_depth: List[int] = [0]
-        self._dense_rd: List[float] = [0.0]
-        # Lazy caches, dropped by add_child and rebuilt on demand.
+        # The dense insertion-order arrays (ids, parents, depths, root
+        # distances) live in a DenseTreeStore shared with the LCA index:
+        # parents always precede children, and the root's parent is itself
+        # (the lifting fixed point).  Single source of truth for depths
+        # and root distances — scalar queries read it too.
+        self._store = DenseTreeStore(root)
+        # Bumped on every structural or edge-length mutation; consumers
+        # (BufferedClockTree, STAAnalyzer fingerprints, ECO sessions) use
+        # it as a cheap staleness tripwire.
+        self._version = 0
+        # Lazy caches.  The LCA index re-synchronizes itself against the
+        # store, so mutation never drops it; the leaves cache dies on
+        # add_child and the path-metric memo dies on set_edge_length.
         self._lca_index: Optional[LiftingLCAIndex] = None
         self._leaves_cache: Optional[List[NodeId]] = None
         self._pair_ids_memo: Dict[int, tuple] = {}
         self._pair_metrics_memo: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
-    # construction
+    # construction and mutation
     # ------------------------------------------------------------------
     def add_child(
         self,
@@ -84,6 +92,10 @@ class ClockTree:
         positions; pass an explicit value to model routed detours or
         delay-tuned wiring.  Zero lengths are allowed (a cell sitting exactly
         at a tree tap point).
+
+        Appending never invalidates the LCA index (it extends itself
+        lazily) nor the pair-metric memos (existing nodes' root distances
+        are untouched); only the leaves cache is dropped.
         """
         if node in self._position:
             raise ValueError(f"node {node!r} is already in the tree")
@@ -103,17 +115,45 @@ class ClockTree:
         self._children[node] = []
         self._children[parent].append(node)
         self._edge_length[node] = float(length)
-        self._root_distance[node] = self._root_distance[parent] + float(length)
-        self._depth[node] = self._depth[parent] + 1
-        self._dense_id[node] = len(self._dense_nodes)
-        self._dense_nodes.append(node)
-        self._dense_parent.append(self._dense_id[parent])
-        self._dense_depth.append(self._depth[node])
-        self._dense_rd.append(self._root_distance[node])
-        self._lca_index = None
+        store = self._store
+        pid = store.id[parent]
+        store.append(
+            node,
+            pid,
+            int(store.depth[pid]) + 1,
+            float(store.rd[pid] + float(length)),
+        )
         self._leaves_cache = None
-        self._pair_ids_memo.clear()
+        self._version += 1
+
+    def set_edge_length(self, child: NodeId, length: float) -> None:
+        """Retune the edge above ``child`` in place (the ECO *resize* edit).
+
+        The whole subtree under ``child`` shifts by the length delta: one
+        vectorized in-place add over the shared dense store, visible to
+        the live LCA index without any rebuild.  Drops the path-metric
+        memo (cached ``(d, s)`` arrays are stale) but keeps the pair-id
+        memo (dense ids are stable), and bumps :attr:`version`.
+
+        Note the float caveat: the shift is applied in floating point, so
+        a pair with *both* endpoints inside the subtree may still see its
+        metrics move by a rounding ulp — consumers that promise bit-exact
+        agreement with a fresh recompute must refresh those pairs too.
+        """
+        if child == self._root:
+            raise ValueError("the root has no parent edge")
+        if child not in self._position:
+            raise KeyError(f"node {child!r} is not in the tree")
+        if length < 0:
+            raise ValueError("edge length must be non-negative")
+        delta = float(length) - self._edge_length[child]
+        if delta == 0.0:
+            return
+        self._edge_length[child] = float(length)
+        ids = _gather_ids(self._store.id, self.subtree_nodes(child))
+        self._store.rd[ids] += delta
         self._pair_metrics_memo.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     # structure queries
@@ -125,6 +165,17 @@ class ClockTree:
     @property
     def max_children(self) -> int:
         return self._max_children
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (``add_child`` / ``set_edge_length``)."""
+        return self._version
+
+    @property
+    def dense_store(self) -> DenseTreeStore:
+        """The shared dense arrays (exposed for index builds and perf
+        harnesses; treat as read-only outside this module)."""
+        return self._store
 
     def __contains__(self, node: NodeId) -> bool:
         return node in self._position
@@ -140,7 +191,7 @@ class ClockTree:
 
     def leaves(self) -> List[NodeId]:
         """Nodes with no children.  Cached until the next ``add_child``
-        (the only mutation); callers get a fresh copy each call."""
+        (the only structural mutation); callers get a fresh copy each call."""
         if self._leaves_cache is None:
             self._leaves_cache = [n for n, ch in self._children.items() if not ch]
         return list(self._leaves_cache)
@@ -166,7 +217,7 @@ class ClockTree:
 
     def depth(self, node: NodeId) -> int:
         """Hop count from the root."""
-        return self._depth[node]
+        return int(self._store.depth[self._store.id[node]])
 
     def subtree_nodes(self, node: NodeId) -> List[NodeId]:
         out: List[NodeId] = []
@@ -182,11 +233,11 @@ class ClockTree:
     # ------------------------------------------------------------------
     def root_distance(self, node: NodeId) -> float:
         """Physical length of the path from the root to ``node``."""
-        return self._root_distance[node]
+        return float(self._store.rd[self._store.id[node]])
 
     def lca(self, a: NodeId, b: NodeId) -> NodeId:
         """Lowest common ancestor of two nodes."""
-        da, db = self._depth[a], self._depth[b]
+        da, db = self.depth(a), self.depth(b)
         while da > db:
             a = self._parent[a]
             da -= 1
@@ -202,15 +253,15 @@ class ClockTree:
         """``s``: physical length of the tree path between ``a`` and ``b``
         (sum of both nodes' distances to their LCA) — summation model."""
         ancestor = self.lca(a, b)
-        return (
-            self._root_distance[a]
-            + self._root_distance[b]
-            - 2.0 * self._root_distance[ancestor]
-        )
+        idx = self._store.id
+        rd = self._store.rd
+        return float(rd[idx[a]] + rd[idx[b]] - 2.0 * rd[idx[ancestor]])
 
     def path_difference(self, a: NodeId, b: NodeId) -> float:
         """``d``: positive difference of root distances — difference model."""
-        return abs(self._root_distance[a] - self._root_distance[b])
+        idx = self._store.id
+        rd = self._store.rd
+        return float(abs(rd[idx[a]] - rd[idx[b]]))
 
     # ------------------------------------------------------------------
     # batched path metrics (the vectorized kernels the skew bounds ride)
@@ -218,21 +269,15 @@ class ClockTree:
     def lca_index(self) -> LiftingLCAIndex:
         """The lazily built batched LCA index (binary lifting).
 
-        The build is a few O(n) numpy gathers over the dense arrays
-        ``add_child`` maintains — cheap enough that even cold-start
-        (build + one batched query) beats the scalar per-pair walk.
-        Reused until ``add_child`` invalidates it.  Exposed so callers
-        holding many pair sets can translate nodes to dense ids once and
-        query with raw arrays.
+        Shares the tree's dense store and re-synchronizes itself before
+        every query, so it is built at most once per tree: grafts extend
+        its lifting table incrementally and edge retunes flow through the
+        shared root-distance buffer with no rebuild at all.  Exposed so
+        callers holding many pair sets can translate nodes to dense ids
+        once and query with raw arrays.
         """
         if self._lca_index is None:
-            self._lca_index = LiftingLCAIndex(
-                self._dense_id,
-                self._dense_nodes,
-                self._dense_parent,
-                self._dense_depth,
-                self._dense_rd,
-            )
+            self._lca_index = LiftingLCAIndex(self._store)
         return self._lca_index
 
     def pair_ids(
@@ -245,10 +290,12 @@ class ClockTree:
         memoized per pair-list *object* (callers like
         ``ProcessorArray.communicating_pairs`` hand out a stable cached
         list, which every skew kernel then translates exactly once).
-        The memo holds a strong reference to the list — ``id`` reuse is
-        impossible while cached — and a (length, endpoints) fingerprint
-        guards against in-place mutation; mutating a memoized list in
-        place in a way that preserves both endpoints is undefined.
+        Dense ids are stable under every tree mutation, so the memo never
+        needs invalidation.  The memo holds a strong reference to the
+        list — ``id`` reuse is impossible while cached — and a (length,
+        endpoints) fingerprint guards against in-place mutation; mutating
+        a memoized list in place in a way that preserves both endpoints
+        is undefined.
         """
         index = self.lca_index()
         key = id(pairs)
@@ -278,11 +325,13 @@ class ClockTree:
         ``d[i] == path_difference(*pairs[i])`` and
         ``s[i] == path_length(*pairs[i])`` exactly (same arithmetic, so
         the scalar/batch agreement is bit-for-bit, not within-epsilon).
-        One O(n log n) index build plus one pair translation are
-        amortized over all queries; like :meth:`pair_ids`, the result is
-        memoized per pair-list object, so repeated bounds over the same
-        communicating pairs (upper + lower, sweeps) reduce to pure
-        model arithmetic.  The returned arrays are read-only.
+        One index build plus one pair translation are amortized over all
+        queries; like :meth:`pair_ids`, the result is memoized per
+        pair-list object, so repeated bounds over the same communicating
+        pairs (upper + lower, sweeps) reduce to pure model arithmetic.
+        The memo is versioned against edge-length edits (the ``(d, s)``
+        arrays go stale); dense-id memos survive.  The returned arrays
+        are read-only.
         """
         pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
         if not pairs:
@@ -304,7 +353,7 @@ class ClockTree:
         return d, s
 
     def lca_batch(self, pairs: Sequence[Tuple[NodeId, NodeId]]) -> List[NodeId]:
-        """Lowest common ancestor of every pair, via the O(1)-LCA index."""
+        """Lowest common ancestor of every pair, via the batched LCA index."""
         pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
         if not pairs:
             return []
@@ -318,7 +367,8 @@ class ClockTree:
         leaves = self.leaves()
         if not leaves:
             return 0.0
-        return max(self._root_distance[leaf] for leaf in leaves)
+        ids = _gather_ids(self._store.id, leaves)
+        return float(self._store.rd[ids].max())
 
     def total_wire_length(self) -> float:
         """Sum of all edge lengths; with unit wire width (A3) this is the
@@ -331,7 +381,9 @@ class ClockTree:
     def is_equidistant(self, nodes: Iterable[NodeId], tolerance: float = 1e-9) -> bool:
         """True when all given nodes have equal root distance — the property
         H-tree clocking establishes so that the difference model sees d = 0."""
-        distances = [self._root_distance[n] for n in nodes]
+        idx = self._store.id
+        rd = self._store.rd
+        distances = [float(rd[idx[n]]) for n in nodes]
         if not distances:
             return True
         return max(distances) - min(distances) <= tolerance

@@ -44,6 +44,7 @@ class CommGraph:
         # Monotone mutation counter; caches key on it (see version).
         self._version = 0
         self._pairs_cache: Optional[Tuple[int, List[Tuple[NodeId, NodeId]]]] = None
+        self._edge_index_cache: Optional[Tuple[int, Dict[Edge, int]]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -110,6 +111,19 @@ class CommGraph:
 
     def edges(self) -> List[Edge]:
         return [(u, v) for u, succ in self._succ.items() for v in succ]
+
+    def edge_index(self) -> Dict[Edge, int]:
+        """Row index of every directed edge, in :meth:`edges` order.
+
+        This is the edge-to-slack-row map the incremental ECO engine
+        uses to dirty exactly one row per repadded/retargeted edge.
+        Cached against :attr:`version`; the returned dict is shared, so
+        callers must treat it as read-only.
+        """
+        if self._edge_index_cache is None or self._edge_index_cache[0] != self._version:
+            index = {edge: i for i, edge in enumerate(self.edges())}
+            self._edge_index_cache = (self._version, index)
+        return self._edge_index_cache[1]
 
     def successors(self, node: NodeId) -> Set[NodeId]:
         return set(self._succ[node])

@@ -232,6 +232,18 @@ STA_REPORT_SCHEMA: Dict[str, Any] = {
                 "repro_version": {"type": "string"},
             },
         },
+        # Present only on ECO edit-script step reports (optional: not in
+        # the required list above).
+        "eco": {
+            "type": "object",
+            "required": ["edit", "target", "dirty_rows", "reuse_fraction"],
+            "properties": {
+                "edit": {"type": "string"},
+                "target": {"type": "string"},
+                "dirty_rows": {"type": "integer"},
+                "reuse_fraction": {"type": "number"},
+            },
+        },
     },
 }
 
@@ -465,6 +477,17 @@ def validate_sta_report(obj: Any) -> List[str]:
             )
         if obj["robust"] and obj["verdict"] != "clean":
             errors.append("$.robust: true on a non-clean report")
+        eco = obj.get("eco")
+        if eco is not None:
+            if not 0.0 <= eco["reuse_fraction"] <= 1.0:
+                errors.append(
+                    f"$.eco.reuse_fraction: {eco['reuse_fraction']} outside [0, 1]"
+                )
+            if eco["dirty_rows"] > counts["edges"]:
+                errors.append(
+                    f"$.eco.dirty_rows: {eco['dirty_rows']} exceeds "
+                    f"{counts['edges']} edges"
+                )
     return errors
 
 

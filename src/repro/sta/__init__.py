@@ -12,6 +12,12 @@ executable as a linter:
   (monotone bisection), and worst-case hold padding;
 * :mod:`repro.sta.drc` — assumptions A1-A11 as pass/fail/warn/skip rules;
 * :mod:`repro.sta.analyzer` — the cached, instrumented facade;
+* :mod:`repro.sta.eco` — the incremental what-if engine: typed edits
+  (repad, reroute, buffer resize, graft, re-clock) with per-edit dirty-set
+  derivation, bit-identical to a full re-analysis at every step;
+* :mod:`repro.sta.tiles` — tiled composition by abutment: pre-characterize
+  one tile, stitch an R x C array's analysis from cached summaries plus
+  boundary edges, exactly equal to the flat pass;
 * :mod:`repro.sta.report` — the schema-pinned JSON report and its CLI
   rendering (``python -m repro sta``).
 
@@ -29,6 +35,7 @@ from repro.sta.design import (
     random_design,
 )
 from repro.sta.drc import RuleResult, drc_counts, drc_failures, run_drc
+from repro.sta.eco import ECOSession, EcoEdit
 from repro.sta.report import STAReport, build_report, render_report
 from repro.sta.slack import (
     EdgeSlack,
@@ -39,26 +46,40 @@ from repro.sta.slack import (
     minimum_feasible_period_closed_form,
     pad_for_races,
 )
+from repro.sta.tiles import (
+    ArraySummary,
+    TileSpec,
+    compose_design,
+    flat_summary,
+    stitched_analysis,
+)
 
 __all__ = [
+    "ArraySummary",
     "Design",
+    "ECOSession",
+    "EcoEdit",
     "EdgeSlack",
     "RuleResult",
     "STAAnalyzer",
     "STAReport",
     "SlackAnalysis",
+    "TileSpec",
     "WORKLOADS",
     "analyze",
     "analyze_slack",
     "build_report",
+    "compose_design",
     "design_for_workload",
     "drc_counts",
     "drc_failures",
     "edge_lags",
+    "flat_summary",
     "minimum_feasible_period",
     "minimum_feasible_period_closed_form",
     "pad_for_races",
     "random_design",
     "render_report",
     "run_drc",
+    "stitched_analysis",
 ]

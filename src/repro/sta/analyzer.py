@@ -33,7 +33,15 @@ from repro.sta.slack import (
     minimum_feasible_period,
 )
 
-_Fingerprint = Tuple[int, int, float, Tuple[Tuple[Any, float], ...]]
+_Fingerprint = Tuple[
+    int,
+    int,
+    int,
+    float,
+    float,
+    Tuple[Tuple[Any, float], ...],
+    Tuple[Tuple[Any, float], ...],
+]
 
 
 class STAAnalyzer:
@@ -55,12 +63,31 @@ class STAAnalyzer:
         self._empirical: Optional[Dict[str, Any]] = None
 
     def _current_fingerprint(self) -> _Fingerprint:
+        """Snapshot everything the slack math reads.
+
+        Mutable inputs are captured by *value* (padding and wire-override
+        maps, delta, period) or by mutation counter (COMM graph, geometric
+        tree, buffered realization), so in-place edits — an ECO session
+        repadding an edge, a script poking ``design.delta``, a
+        ``set_edge_length`` retune — can never be served a stale report.
+        """
         d = self.design
         buffered_version = d.buffered.version if d.buffered is not None else -1
         padding = tuple(
             sorted(d.edge_padding.items(), key=lambda kv: repr(kv[0]))
         )
-        return (d.array.comm.version, buffered_version, d.period, padding)
+        overrides = tuple(
+            sorted(d.wire_overrides.items(), key=lambda kv: repr(kv[0]))
+        )
+        return (
+            d.array.comm.version,
+            d.tree.version,
+            buffered_version,
+            d.period,
+            d.delta,
+            padding,
+            overrides,
+        )
 
     def _fresh(self) -> bool:
         """Drop every memo if the design moved; report whether caches hold."""

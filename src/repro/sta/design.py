@@ -69,6 +69,10 @@ class Design:
     name: str = "design"
     s_budget: Optional[float] = None
     equidistance_tolerance: float = 1e-9
+    #: ECO wire retargets: per-edge routed wire length replacing the layout
+    #: Manhattan distance in :meth:`edge_lag` (a rerouted data wire whose
+    #: endpoints did not move).  Analysis-only — see :meth:`simulator`.
+    wire_overrides: Dict[EdgeKey, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.delta < 0:
@@ -76,6 +80,9 @@ class Design:
         for edge, pad in self.edge_padding.items():
             if pad < 0:
                 raise ValueError(f"negative padding on edge {edge!r}")
+        for edge, length in self.wire_overrides.items():
+            if length < 0:
+                raise ValueError(f"negative wire override on edge {edge!r}")
         missing = [
             c for c in self.array.comm.nodes() if c not in self.schedule.cells()
         ]
@@ -106,9 +113,12 @@ class Design:
         the parenthesization below is load-bearing (the ``sta-soundness``
         oracle asserts bit-equality with the simulator's lags)."""
         u, v = edge
+        override = self.wire_overrides.get(edge)
+        distance = (
+            override if override is not None else self.array.layout.distance(u, v)
+        )
         return self.delta + (
-            self.wire_model.delay(self.array.layout.distance(u, v))
-            + self.edge_padding.get(edge, 0.0)
+            self.wire_model.delay(distance) + self.edge_padding.get(edge, 0.0)
         )
 
     def with_period(self, period: float) -> "Design":
@@ -129,6 +139,7 @@ class Design:
             name=self.name,
             s_budget=self.s_budget,
             equidistance_tolerance=self.equidistance_tolerance,
+            wire_overrides=dict(self.wire_overrides),
         )
 
     def simulator(
@@ -137,7 +148,16 @@ class Design:
         metrics: Optional[MetricsRegistry] = None,
     ) -> ClockedArraySimulator:
         """The executable twin: a clocked simulator built from exactly this
-        bundle (same schedule, delta, wire model, and padding)."""
+        bundle (same schedule, delta, wire model, and padding).
+
+        Wire-length overrides have no simulator-side representation (the
+        simulator derives wire delays from the layout), so a design that
+        carries them cannot produce a faithful executable twin."""
+        if self.wire_overrides:
+            raise ValueError(
+                "design carries ECO wire_overrides; the clocked simulator "
+                "derives wire delays from the layout and cannot honor them"
+            )
         return ClockedArraySimulator(
             self.program,
             self.schedule,

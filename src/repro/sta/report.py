@@ -53,6 +53,9 @@ class STAReport:
     drc: List[Dict[str, str]]
     empirical: Optional[Dict[str, Any]] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: Audit record of the ECO edit this report reflects (one report per
+    #: edit-script step); absent for plain full-analysis reports.
+    eco: Optional[Dict[str, Any]] = None
 
     @property
     def passed(self) -> bool:
@@ -71,6 +74,8 @@ class STAReport:
             "empirical": dict(self.empirical) if self.empirical is not None else None,
             "meta": dict(self.meta),
         }
+        if self.eco is not None:
+            out["eco"] = dict(self.eco)
         return out
 
 

@@ -253,6 +253,44 @@ def minimum_feasible_period_closed_form(design: Design, mode: str = "exact") -> 
     return float(needs.max(initial=0.0))
 
 
+def _bisect_period(
+    needs_max: float,
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Bisection core shared by the full and incremental analyses.
+
+    Feasibility of a period T is ``all(needs <= T + SIM_TOL)``, which for
+    a float vector is exactly ``max(needs) <= T + SIM_TOL`` (the max is an
+    element of the vector), so the whole search depends only on the
+    scalar maximum.  That is what lets :class:`repro.sta.eco.ECOSession`
+    answer ``minimum_feasible_period`` in O(log) from its running
+    extremum while staying bit-identical to the O(edges) path here: same
+    predicate decisions, same iterates, same returned float.
+    """
+    def feasible(period: float) -> bool:
+        return needs_max <= period + SIM_TOL
+
+    lo, hi = 0.0, 1.0
+    iterations = 0
+    while not feasible(hi):
+        lo, hi = hi, hi * 2.0
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - defensive
+            raise RuntimeError("period bracket failed to close")
+    if feasible(lo):
+        return lo if lo > 0.0 else max(needs_max, 0.0)
+    scale = max(1.0, hi)
+    while hi - lo > tol * scale and iterations < max_iterations:
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+        iterations += 1
+    return hi
+
+
 def minimum_feasible_period(
     design: Design,
     mode: str = "exact",
@@ -272,28 +310,7 @@ def minimum_feasible_period(
     needs = _period_needs(design, mode)
     if len(needs) == 0:
         return 0.0
-
-    def feasible(period: float) -> bool:
-        return bool((needs <= period + SIM_TOL).all())
-
-    lo, hi = 0.0, 1.0
-    iterations = 0
-    while not feasible(hi):
-        lo, hi = hi, hi * 2.0
-        iterations += 1
-        if iterations > max_iterations:  # pragma: no cover - defensive
-            raise RuntimeError("period bracket failed to close")
-    if feasible(lo):
-        return lo if lo > 0.0 else max(float(needs.max(initial=0.0)), 0.0)
-    scale = max(1.0, hi)
-    while hi - lo > tol * scale and iterations < max_iterations:
-        mid = 0.5 * (lo + hi)
-        if feasible(mid):
-            hi = mid
-        else:
-            lo = mid
-        iterations += 1
-    return hi
+    return _bisect_period(float(needs.max()), tol=tol, max_iterations=max_iterations)
 
 
 def pad_for_races(

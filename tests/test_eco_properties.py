@@ -1,0 +1,55 @@
+"""Property tests (hypothesis): ECO incremental == full, always.
+
+Random edit scripts (up to 50 edits) over :func:`random_design`, with the
+oracle comparison of :mod:`repro.check.eco` run after EVERY edit: each
+slack array byte-for-byte, the running extrema, and the warm-started
+minimum feasible period in both modes.  The edit generator deliberately
+revisits the current worst setup edge and relaxes it, so the lazy
+extremum trackers' un-dirty-the-champion path is exercised, not just the
+monotone-worsening one.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.eco import assert_session_matches_oracle, random_edit
+from repro.sta.design import random_design
+from repro.sta.eco import ECOSession
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seed=seeds, n_edits=st.integers(min_value=1, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_random_edit_scripts_stay_bit_identical(seed, n_edits):
+    rng = random.Random(f"eco-props|{seed}")
+    session = ECOSession(random_design(seed))
+    graft_serial = [0]
+    for step in range(n_edits):
+        descriptor = random_edit(rng, session, graft_serial)
+        assert_session_matches_oracle(
+            session, {"seed": seed, "step": step, "edit": repr(descriptor)}
+        )
+    assert len(session.edits) == n_edits
+
+
+@given(seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_undirtying_the_worst_edge_keeps_extrema_exact(seed):
+    """A script that explicitly worsens, then relaxes, the worst setup
+    edge — the sequence that would expose a stale cached argmin."""
+    from repro.sta.slack import analyze_slack
+
+    session = ECOSession(random_design(seed, clean=True))
+    analysis = analyze_slack(session.design)
+    worst = analysis.edges[int(analysis.setup_exact.argmin())]
+    session.retarget_wire(worst, 100.0)  # the champion, by a margin
+    assert_session_matches_oracle(session, {"seed": seed, "step": "worsen"})
+    session.retarget_wire(worst, 0.0)  # un-dirty it: champion must fall
+    assert_session_matches_oracle(session, {"seed": seed, "step": "relax"})
+    session.repad_edge(worst, 3.0)  # and the hold-side champion
+    assert_session_matches_oracle(session, {"seed": seed, "step": "pad"})
+    session.repad_edge(worst, 0.0)
+    assert_session_matches_oracle(session, {"seed": seed, "step": "unpad"})

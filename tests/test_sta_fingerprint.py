@@ -1,0 +1,68 @@
+"""Regression tests: STAAnalyzer's fingerprint sees every mutable input.
+
+The seed bug being pinned: the fingerprint captured the padding map by
+reference-ish snapshot but missed other in-place mutations (``delta``,
+a clock-tree edge retune, an ECO wire override), so the analyzer kept
+serving a stale report after the design changed under it.  Each test
+mutates one input in place and requires a fresh, *different* verdictable
+quantity — no stale cache hits.
+"""
+
+from repro.sta.analyzer import STAAnalyzer
+from repro.sta.design import design_for_workload
+
+
+def make_analyzer():
+    design = design_for_workload("fir", size=5, scheme="serpentine", seed=0)
+    return design, STAAnalyzer(design)
+
+
+def test_padding_mutation_invalidates():
+    design, analyzer = make_analyzer()
+    before = analyzer.slack()
+    edge = design.edges()[0]
+    design.edge_padding[edge] = design.edge_padding.get(edge, 0.0) + 0.7
+    after = analyzer.slack()
+    assert after is not before
+    i = design.edges().index(edge)
+    assert after.lag[i] != before.lag[i]
+
+
+def test_delta_mutation_invalidates():
+    # The seed failure: delta is read by every slack row but was only in
+    # the fingerprint as part of the analyzer's construction-time state;
+    # an in-place `design.delta = x` kept serving the old report.
+    design, analyzer = make_analyzer()
+    before = analyzer.slack()
+    design.delta = design.delta + 0.5
+    after = analyzer.slack()
+    assert after is not before
+    assert abs((after.lag[0] - before.lag[0]) - 0.5) < 1e-12
+
+
+def test_wire_override_mutation_invalidates():
+    design, analyzer = make_analyzer()
+    before = analyzer.slack()
+    edge = design.edges()[0]
+    design.wire_overrides[edge] = 25.0
+    after = analyzer.slack()
+    assert after is not before
+    i = design.edges().index(edge)
+    assert after.lag[i] > before.lag[i]
+
+
+def test_tree_edge_retune_invalidates():
+    design, analyzer = make_analyzer()
+    before = analyzer.slack()
+    leaf = design.tree.leaves()[0]
+    design.tree.set_edge_length(leaf, design.tree.edge_length(leaf) + 2.0)
+    after = analyzer.slack()
+    assert after is not before
+    assert after.sigma_ub.tobytes() != before.sigma_ub.tobytes()
+
+
+def test_unchanged_design_hits_cache():
+    _, analyzer = make_analyzer()
+    first = analyzer.slack()
+    assert analyzer.slack() is first
+    assert analyzer.report().to_dict()["counts"] == analyzer.report().to_dict()["counts"]

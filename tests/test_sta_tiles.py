@@ -1,0 +1,111 @@
+"""Tile composition tests: stitched analysis == flat analysis, exactly.
+
+The composition is engineered for bit-exact reuse (congruent root
+distances and schedule offsets across tiles — see
+:mod:`repro.sta.tiles`), so every comparison here is ``==`` on floats,
+not approx.
+"""
+
+import pytest
+
+from repro.sta.tiles import (
+    ArraySummary,
+    TileSpec,
+    characterize_tile,
+    compose_design,
+    flat_summary,
+    stitched_analysis,
+    tile_cache_clear,
+    tile_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    tile_cache_clear()
+    yield
+    tile_cache_clear()
+
+
+def assert_stitched_equals_flat(spec, tiles_rows, tiles_cols, period):
+    design = compose_design(spec, tiles_rows, tiles_cols, period)
+    flat = flat_summary(design)
+    stitched = stitched_analysis(
+        spec, tiles_rows, tiles_cols, period, design=design
+    )
+    assert stitched == flat  # dataclass equality: every float, every count
+    return flat
+
+
+def test_256_cells_4x4_grid_of_4x4_tiles():
+    flat = assert_stitched_equals_flat(TileSpec(rows=4, cols=4), 4, 4, 60.0)
+    assert flat.edges == 960
+    assert flat.counts["edges"] == 960
+
+
+def test_1024_cells_4x4_grid_of_8x8_tiles():
+    assert_stitched_equals_flat(TileSpec(rows=8, cols=8), 4, 4, 140.0)
+
+
+def test_non_square_grid_and_tile():
+    assert_stitched_equals_flat(TileSpec(rows=2, cols=5), 2, 8, 70.0)
+
+
+def test_single_tile_grid():
+    assert_stitched_equals_flat(TileSpec(rows=4, cols=4), 1, 1, 30.0)
+
+
+def test_many_periods_from_one_characterization():
+    spec = TileSpec(rows=4, cols=4)
+    for period in (10.0, 33.3, 60.0, 500.0):
+        assert_stitched_equals_flat(spec, 4, 4, period)
+    # one characterization served every period
+    info = tile_cache_info()
+    assert info["entries"] == 1
+    assert info["misses"] == 1
+    assert info["hits"] == 3
+
+
+def test_cache_hit_returns_identical_characterization():
+    spec = TileSpec(rows=4, cols=4)
+    first = characterize_tile(spec, 2, 2)
+    second = characterize_tile(spec, 2, 2)
+    assert second is first
+    info = tile_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+    # a different grid shape is a different trunk -> different cache entry
+    third = characterize_tile(spec, 4, 4)
+    assert third is not first
+    assert tile_cache_info()["entries"] == 2
+
+
+def test_characterization_row_accounting():
+    spec = TileSpec(rows=4, cols=4)
+    design = compose_design(spec, 2, 2, 40.0)
+    ch = characterize_tile(spec, 2, 2, design=design)
+    assert ch.tiles == 4
+    assert ch.total_rows == len(design.edges())
+    assert ch.total_rows == 4 * ch.internal_rows + ch.boundary_rows
+    assert ch.boundary_rows > 0  # abutment seams exist on a 2x2 grid
+
+
+def test_grid_must_be_power_of_two():
+    with pytest.raises(ValueError, match="powers of two"):
+        compose_design(TileSpec(rows=4, cols=4), 3, 4, 10.0)
+
+
+def test_tile_spec_validation():
+    with pytest.raises(ValueError):
+        TileSpec(rows=0, cols=4)
+
+
+def test_summary_shape():
+    spec = TileSpec(rows=4, cols=4)
+    summary = stitched_analysis(spec, 2, 2, 50.0)
+    assert isinstance(summary, ArraySummary)
+    assert summary.period == 50.0
+    assert set(summary.counts) == {
+        "edges", "stale", "race", "stale_possible", "race_possible",
+        "race_floor",
+    }
+    assert summary.min_feasible_period_bound >= summary.min_feasible_period_exact
