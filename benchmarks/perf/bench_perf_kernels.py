@@ -26,7 +26,12 @@ enforces the PR's acceptance bar:
   one-core runner — the win is algorithmic, not core-count);
 * the chunked tick-matrix scale rows (``REPRO_PERF_SCALE_SIDES``) agree
   exactly with the monolithic evaluation and, where it runs, the
-  per-event scalar oracle.
+  per-event scalar oracle;
+* the static flow rows (``mcm_howard``/``buffer_sizing``) agree
+  *exactly* with their dynamic oracles (dyadic services make the
+  max-plus MCM a bit-equality against the simulated long-run rate), and
+  at >= 4096 cells the Howard solve beats simulate-to-convergence by
+  >= 10x.
 
 The suite writes the repo-root ``BENCH_perf.json`` perf-trajectory
 artifact (schema-validated before writing) exactly like
@@ -70,6 +75,11 @@ SCALE_KERNELS = ("mesh_csr_build", "clocked_timing_blocked", "clocked_timing")
 # repad at the acceptance scale must be >= 10x over full re-analysis.
 ECO_KERNELS = ("eco_repad", "eco_resize", "tile_stitch")
 ECO_REPAD_SPEEDUP = 10.0
+# Static flow analysis: the max-plus MCM must equal the simulator's
+# long-run cycle time bit-for-bit (dyadic services), and at >= 4096
+# cells the Howard solve must beat simulate-to-convergence by >= 10x.
+FLOW_KERNELS = ("mcm_howard", "buffer_sizing")
+FLOW_MCM_SPEEDUP = 10.0
 EQUIVALENCE_TOL = 1e-9
 
 
@@ -129,6 +139,11 @@ def test_perf_suite_speedup_and_equivalence():
                 f"{r.kernel} at {r.size} cells: incremental path not "
                 f"bit-identical to the full oracle (diff {r.max_abs_diff})"
             )
+        if r.kernel in FLOW_KERNELS:
+            assert r.max_abs_diff == 0.0, (
+                f"{r.kernel} at {r.size} cells: static flow analysis not "
+                f"bit-identical to the dynamic oracle (diff {r.max_abs_diff})"
+            )
         if r.kernel == "lca_cold_build":
             assert r.speedup >= 1.0, (
                 f"lca_cold_build at {r.size} cells: {r.speedup:.2f}x — "
@@ -137,6 +152,7 @@ def test_perf_suite_speedup_and_equivalence():
 
     checked = 0
     sim_checked = 0
+    mcm_checked = 0
     for r in results:
         if r.kernel in ACCEPTANCE_KERNELS and r.size >= ACCEPTANCE_CELLS:
             assert r.speedup >= ACCEPTANCE_SPEEDUP, (
@@ -155,9 +171,16 @@ def test_perf_suite_speedup_and_equivalence():
                 f"eco_repad at {r.size} cells: {r.speedup:.1f}x < "
                 f"{ECO_REPAD_SPEEDUP}x acceptance bar"
             )
+        if r.kernel == "mcm_howard" and r.size >= ACCEPTANCE_CELLS:
+            assert r.speedup >= FLOW_MCM_SPEEDUP, (
+                f"mcm_howard at {r.size} cells: {r.speedup:.1f}x < "
+                f"{FLOW_MCM_SPEEDUP}x acceptance bar"
+            )
+            mcm_checked += 1
     if any(side * side >= ACCEPTANCE_CELLS for side in sides):
         assert checked >= len(ACCEPTANCE_KERNELS)
         assert sim_checked >= len(SIM_KERNELS)
+        assert mcm_checked >= 1
 
     out = os.environ.get("REPRO_PERF_OUT", DEFAULT_OUT)
     if out:

@@ -33,6 +33,8 @@ GATED_KERNELS = (
     "lca_cold_build",
     "eco_resize",
     "tile_stitch",
+    "mcm_howard",
+    "buffer_sizing",
 )
 
 # Absolute speedup floors, independent of any baseline: the shared-memory
@@ -50,8 +52,11 @@ ABSOLUTE_FLOOR_PREFIXES = {
 
 # Kernels whose max_abs_diff column must be exactly 0.0: the incremental
 # ECO engine and the tiled-composition stitch are only admissible while
-# bit-identical to their from-scratch oracles.
-EXACT_PREFIXES = ("eco_", "tile_")
+# bit-identical to their from-scratch oracles, and the static flow
+# analyzer (max-plus MCM, buffer sizing) must land on the very float the
+# simulate-to-convergence / Karp-oracle baseline measures — dyadic
+# delays make the agreement exact, so any non-zero diff is a bug.
+EXACT_PREFIXES = ("eco_", "tile_", "mcm_", "buffer_sizing")
 
 
 def speedups(path):

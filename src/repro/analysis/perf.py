@@ -457,6 +457,119 @@ def bench_tiles(
     )
 
 
+def _flow_mesh_comm(side: int):
+    """A deterministic ``side x side`` nearest-neighbour mesh COMM graph
+    (4096 cells at side 64 — the flow acceptance-gate scale)."""
+    from repro.graphs.comm import CommGraph
+
+    comm = CommGraph()
+    for r in range(side):
+        for c in range(side):
+            comm.add_node((r, c))
+    for r in range(side):
+        for c in range(side):
+            if c + 1 < side:
+                comm.add_edge((r, c), (r, c + 1))
+            if r + 1 < side:
+                comm.add_edge((r, c), (r + 1, c))
+    return comm
+
+
+def bench_flow(
+    side: int, repeats: int = 3, measure_mem: bool = False
+) -> List[KernelTiming]:
+    """Flow-analysis rows: the static max-plus answers vs their scalar/
+    simulated baselines, on a ``side x side`` mesh with dyadic services.
+
+    ``mcm_howard`` — steady-state cycle time by simulate-to-convergence
+    (the pure-Python scalar reference, the paired ``*_scalar`` oracle)
+    vs lowering the COMM graph and solving the MCM with vectorized
+    Howard iteration; ``max_abs_diff`` compares the two cycle times and
+    must be 0.0 (same exact rational, correctly rounded).
+
+    ``buffer_sizing`` — the identical critical-cycle relaxation driven
+    by the token-expanded Karp oracle (baseline) vs the Howard kernel
+    (optimized), on a reduced mesh; exact agreement required on both the
+    achieved cycle time and the returned capacity map.
+    """
+    from repro.sta.flow import (
+        flow_graph,
+        mcm_howard,
+        mcm_karp,
+        minimal_buffer_sizing,
+        simulate_steady_state_scalar,
+    )
+
+    comm = _flow_mesh_comm(side)
+    cells = comm.nodes()
+    service = {c: 1.0 + ((i * 31) % 8) / 8 for i, c in enumerate(cells)}
+    wire, cap = 0.5, 2
+
+    def simulated() -> float:
+        return simulate_steady_state_scalar(
+            comm, service, wire, cap
+        ).cycle_time
+
+    def static() -> float:
+        cycle = mcm_howard(flow_graph(comm, service, wire, cap))
+        assert cycle is not None
+        return cycle.cycle_time
+
+    sim_lam = simulated()
+    static_lam = static()
+    fg = flow_graph(comm, service, wire, cap)
+    rows = [
+        _with_mem(
+            KernelTiming(
+                "mcm_howard", side * side, fg.n_edges,
+                _best_time(simulated, repeats),
+                _best_time(static, repeats),
+                abs(static_lam - sim_lam),
+            ),
+            static,
+            measure_mem,
+        )
+    ]
+
+    # The sizing row runs O(edges) MCM solves (the reduction pass), and
+    # its baseline solver is the token-expanded Karp oracle — quadratic
+    # territory.  Cap the mesh at side 8: big enough to exercise every
+    # relaxation path, small enough to keep the Karp leg in seconds.
+    small = max(4, min(8, side // 8))
+    comm_s = _flow_mesh_comm(small)
+    service_s = {
+        c: 1.0 + ((i * 31) % 8) / 8 for i, c in enumerate(comm_s.nodes())
+    }
+    base = mcm_howard(flow_graph(comm_s, service_s, wire, None))
+    assert base is not None
+    target = base.cycle_time + 0.125
+
+    def size_with(solver):
+        return minimal_buffer_sizing(
+            comm_s, service_s, wire, target, mcm=solver
+        )
+
+    karp_sized = size_with(mcm_karp)
+    howard_sized = size_with(mcm_howard)
+    sizing_diff = abs(karp_sized.cycle_time - howard_sized.cycle_time)
+    if karp_sized.capacities != howard_sized.capacities:
+        sizing_diff = float("inf")
+    rows.append(
+        _with_mem(
+            KernelTiming(
+                "buffer_sizing", small * small,
+                howard_sized.mcm_calls,
+                _best_time(lambda: size_with(mcm_karp), repeats),
+                _best_time(lambda: size_with(mcm_howard), repeats),
+                sizing_diff,
+            ),
+            lambda: size_with(mcm_howard),
+            measure_mem,
+        )
+    )
+    return rows
+
+
 def _bench_matmul_program(side: int):
     """A deterministic ``side x side`` mesh matmul — the simulation-kernel
     workload (4096 cells at side 64, the acceptance-gate scale)."""
@@ -932,6 +1045,7 @@ def run_perf_suite(
         results.extend(bench_skew_kernels(side, repeats=repeats, measure_mem=measure_mem))
         results.extend(bench_sim_kernels(side, repeats=repeats, measure_mem=measure_mem))
         results.extend(bench_eco(side, repeats=repeats, measure_mem=measure_mem))
+        results.extend(bench_flow(side, repeats=repeats, measure_mem=measure_mem))
         tile_row = bench_tiles(side, repeats=repeats, measure_mem=measure_mem)
         if tile_row is not None:
             results.append(tile_row)

@@ -24,8 +24,9 @@ the hold-padded, wave-pipelined one (finite-channel overflows, via the
 capacity-aware safe period).  ``differential-backpressure`` extends the
 self-timed leg to finite channel capacities: the event-driven engine, the
 scalar bounded recurrence, and the compiled marked-graph kernel must agree
-exactly at every capacity, and ``capacity >= waves`` must be bit-identical
-to the unbounded model.
+exactly at every capacity — uniform depths and heterogeneous per-edge maps
+alike — and ``capacity >= waves`` must be bit-identical to the unbounded
+model.
 """
 
 from __future__ import annotations
@@ -469,6 +470,50 @@ def check_differential_backpressure(ctx: CheckContext) -> Dict[str, Any]:
             rows.append({"workload": name, "capacity": cap,
                          "makespan": run.makespan,
                          "max_occupancy": run.max_occupancy})
+
+        # Heterogeneous per-edge depths: the three execution paths must
+        # stay lockstep on arbitrary capacity maps, and the map must be
+        # bracketed by its tightest and widest uniform depths.
+        rng = ctx.rng(f"backpressure-map|{name}")
+        lo = 2 if cyclic else 1
+        cap_map = {
+            edge: rng.randint(lo, 4)
+            for edge in program.array.comm.edges()
+        }
+        mapped = SelfTimedProgramSimulator(
+            program, service=service, wire_delay=0.5,
+            channel_capacity=cap_map,
+        )
+        mapped_run = mapped.run()
+        mapped_compiled = mapped.recurrence_makespan()
+        mapped_scalar = mapped.recurrence_makespan_scalar()
+        require(mapped_run.makespan == mapped_compiled == mapped_scalar,
+                f"{name}/per-edge: the three execution paths diverged",
+                workload=name, capacities=repr(cap_map),
+                engine=mapped_run.makespan, compiled=mapped_compiled,
+                scalar=mapped_scalar)
+        require(_values_equal(mapped_run.result, reference),
+                f"{name}/per-edge: capacity-map result diverged from "
+                f"lockstep",
+                workload=name, capacities=repr(cap_map))
+        tight = SelfTimedProgramSimulator(
+            program, service=service, wire_delay=0.5,
+            channel_capacity=min(cap_map.values()),
+        ).run()
+        wide_uniform = SelfTimedProgramSimulator(
+            program, service=service, wire_delay=0.5,
+            channel_capacity=max(cap_map.values()),
+        ).run()
+        require(
+            wide_uniform.makespan - TOL <= mapped_run.makespan
+            <= tight.makespan + TOL,
+            f"{name}/per-edge: map makespan outside its uniform bracket",
+            workload=name, capacities=repr(cap_map),
+            mapped=mapped_run.makespan, tight=tight.makespan,
+            wide=wide_uniform.makespan)
+        rows.append({"workload": name, "capacity": repr(cap_map),
+                     "makespan": mapped_run.makespan,
+                     "max_occupancy": mapped_run.max_occupancy})
 
         # Capacity at least the wave count never binds: bit-identical to
         # the unbounded model, makespan and per-cell finish times alike.

@@ -240,7 +240,7 @@ REGISTRY = CheckRegistry()
 def default_registry() -> CheckRegistry:
     """Import every oracle module (registering its checks) and return the
     populated registry."""
-    from repro.check import differential, eco, invariants  # noqa: F401
+    from repro.check import differential, eco, flow, invariants  # noqa: F401
     from repro.check import metamorphic, scaling, sta_soundness  # noqa: F401
 
     return REGISTRY

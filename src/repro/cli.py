@@ -486,12 +486,102 @@ def cmd_sta(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.json} (schema-validated, {len(payload)} reports)")
+    if args.flow:
+        flow_payload = []
+        for workload in workloads:
+            design = design_for_workload(
+                workload, size=args.size, scheme=args.scheme, m=args.m,
+                eps=args.eps, delta=args.delta, seed=args.seed,
+            )
+            report = _flow_report_for(design.array.comm, workload, args)
+            flow_payload.append(report)
+            mcm = report["mcm"]
+            summary = (
+                "DEADLOCK" if report["deadlock"]["dead"]
+                else f"cycle time {mcm['cycle_time']:g}"
+            )
+            print(f"flow[{workload}]: {summary}")
+        with open(args.flow, "w", encoding="utf-8") as fh:
+            json.dump(flow_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"wrote {args.flow} (schema-validated, "
+            f"{len(flow_payload)} flow reports)"
+        )
     dirty = [r for r in reports if not r.passed]
     print(
         f"\n{len(reports) - len(dirty)}/{len(reports)} designs clean"
         + ("" if not dirty else f" — {len(dirty)} with violations")
     )
     return 0 if not dirty else 1
+
+
+def _flow_report_for(comm, workload: str, args: argparse.Namespace):
+    """Build one flow report over a design's COMM graph with the CLI's
+    deterministic self-timed timing model: dyadic per-cell services from
+    the run seed (eighth-steps in [1, 2)), so every static answer is a
+    correctly-rounded exact rational and the simulator cross-check lands
+    bit-equal."""
+    import random
+
+    from repro.sta.flowreport import build_flow_report
+
+    rng = random.Random(f"{args.seed}|flow|{workload}")
+    service = {c: 1.0 + rng.randrange(8) / 8 for c in comm.nodes()}
+    wire = getattr(args, "wire", 0.5)
+    depth = getattr(args, "capacity", 2)
+    capacity = None if depth == 0 else depth
+    return build_flow_report(
+        comm,
+        service,
+        wire,
+        capacity,
+        design_name=f"{workload}-{args.size}",
+        simulate=not getattr(args, "static_only", False),
+        sizing_target=getattr(args, "target", None),
+    )
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    """Simulation-free self-timed flow analysis: MCM + critical cycle,
+    deadlock verdict, simulator agreement, and optional buffer sizing.
+    Exit 0 only if every design is live and every agreement is exact."""
+    import json
+
+    from repro.sta import design_for_workload
+    from repro.sta.design import WORKLOADS
+    from repro.sta.flowreport import render_flow_report
+
+    workloads = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    payload = []
+    for i, workload in enumerate(workloads):
+        design = design_for_workload(
+            workload, size=args.size, scheme=args.scheme, m=args.m,
+            eps=args.eps, delta=args.delta, seed=args.seed,
+        )
+        report = _flow_report_for(design.array.comm, workload, args)
+        if i:
+            print()
+        print(render_flow_report(report))
+        payload.append(report)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"\nwrote {args.json} (schema-validated, "
+            f"{len(payload)} flow reports)"
+        )
+    bad = [
+        r for r in payload
+        if r["deadlock"]["dead"]
+        or (r["agreement"] is not None and not r["agreement"]["exact"])
+    ]
+    print(
+        f"\n{len(payload) - len(bad)}/{len(payload)} designs live and exact"
+        + ("" if not bad else f" — {len(bad)} flagged")
+    )
+    return 0 if not bad else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -804,7 +894,47 @@ def build_parser() -> argparse.ArgumentParser:
         "session (one schema-valid report per step; requires a single "
         "--workload, not 'all')",
     )
+    p.add_argument(
+        "--flow", metavar="FILE", default=None,
+        help="also run the self-timed flow analysis (MCM, deadlock, "
+        "simulator agreement) per design and write the schema-validated "
+        "flow report array to FILE",
+    )
     p.set_defaults(func=cmd_sta)
+
+    p = add_command(
+        "flow",
+        help="simulation-free self-timed analysis: max-plus cycle time, "
+        "deadlock, and minimal buffer sizing",
+    )
+    p.add_argument(
+        "--workload", choices=["fir", "matvec", "sorter", "matmul", "all"],
+        default="all", help="which bundled design(s) to analyze",
+    )
+    p.add_argument("--size", type=int, default=6, help="array size parameter")
+    p.add_argument("--scheme", default="serpentine", help="clock tree scheme")
+    p.add_argument("--m", type=float, default=1.0, help="nominal per-unit delay")
+    p.add_argument("--eps", type=float, default=0.1, help="per-unit delay variation")
+    p.add_argument("--delta", type=float, default=1.0, help="cell compute+propagate time")
+    p.add_argument("--seed", type=int, default=0, help="seed for the dyadic per-cell service times")
+    p.add_argument("--wire", type=float, default=0.5, help="uniform wire propagation delay")
+    p.add_argument(
+        "--capacity", type=int, default=2,
+        help="uniform channel depth (0 = unbounded FIFOs)",
+    )
+    p.add_argument(
+        "--target", type=float, default=None,
+        help="also size minimal per-edge buffers for this target cycle time",
+    )
+    p.add_argument(
+        "--static-only", action="store_true",
+        help="skip the event-driven simulator cross-check",
+    )
+    p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the schema-validated flow report array to FILE",
+    )
+    p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser("trace", help="replay and summarise a JSONL trace file")
     p.add_argument("file", help="trace file written by a --trace run")

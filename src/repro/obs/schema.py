@@ -514,6 +514,166 @@ def validate_violation_summary(obj: Any) -> List[str]:
     return errors
 
 
+#: Shape of the report ``python -m repro flow --json FILE`` (and
+#: ``python -m repro sta --flow FILE``) writes: the static max-plus
+#: analysis of a self-timed array — deadlock verdict, maximum cycle
+#: mean with its critical-cycle blame rows, the agreement block against
+#: the scalar oracle and the simulator, transient bounds, and (when a
+#: target was given) the minimal buffer sizing.
+FLOW_REPORT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "design", "cells", "comm_edges", "wire_delay", "capacity",
+        "deadlock", "mcm", "agreement", "transient", "sizing", "meta",
+    ],
+    "properties": {
+        "design": {"type": "string"},
+        "cells": {"type": "integer"},
+        "comm_edges": {"type": "integer"},
+        "wire_delay": {"type": "number"},
+        "capacity": {"type": "string"},
+        "deadlock": {
+            "type": "object",
+            "required": ["dead", "cycle"],
+            "properties": {
+                "dead": {"type": "boolean"},
+                "cycle": {
+                    "type": "array",
+                    "items": {"type": "array", "items": {"type": "string"}},
+                },
+            },
+        },
+        "mcm": {
+            "type": ["object", "null"],
+            "required": [
+                "cycle_time", "throughput", "weight", "tokens",
+                "iterations", "critical_cycle",
+            ],
+            "properties": {
+                "cycle_time": {"type": "number"},
+                "throughput": {"type": "number"},
+                "weight": {"type": "number"},
+                "tokens": {"type": "integer"},
+                "iterations": {"type": "integer"},
+                "critical_cycle": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["label", "kind", "seconds", "share"],
+                        "properties": {
+                            "label": {"type": "string"},
+                            "kind": {"type": "string"},
+                            "seconds": {"type": "number"},
+                            "share": {"type": "number"},
+                        },
+                    },
+                },
+            },
+        },
+        "agreement": {
+            "type": ["object", "null"],
+            "required": [
+                "karp_cycle_time", "simulated_cycle_time", "max_abs_diff",
+                "exact",
+            ],
+            "properties": {
+                "karp_cycle_time": {"type": ["number", "null"]},
+                "simulated_cycle_time": {"type": ["number", "null"]},
+                "max_abs_diff": {"type": "number"},
+                "exact": {"type": "boolean"},
+            },
+        },
+        "transient": {
+            "type": ["object", "null"],
+            "required": [
+                "period", "waves_run", "c_lo", "c_hi",
+                "makespan_checks", "makespan_max_err",
+            ],
+            "properties": {
+                "period": {"type": "integer"},
+                "waves_run": {"type": "integer"},
+                "c_lo": {"type": "number"},
+                "c_hi": {"type": "number"},
+                "makespan_checks": {"type": "integer"},
+                "makespan_max_err": {"type": "number"},
+            },
+        },
+        "sizing": {
+            "type": ["object", "null"],
+            "required": [
+                "target", "cycle_time", "total_capacity", "mcm_calls",
+                "capacities",
+            ],
+            "properties": {
+                "target": {"type": "number"},
+                "cycle_time": {"type": "number"},
+                "total_capacity": {"type": "integer"},
+                "mcm_calls": {"type": "integer"},
+                "capacities": {
+                    "type": "array",
+                    "items": {"type": "array", "items": _SCALAR},
+                },
+            },
+        },
+        "meta": {
+            "type": "object",
+            "required": ["emitted_at", "repro_version"],
+            "properties": {
+                "emitted_at": {"type": "number"},
+                "repro_version": {"type": "string"},
+            },
+        },
+    },
+}
+
+
+def validate_flow_report(obj: Any) -> List[str]:
+    """Schema check plus the cross-field invariants of a flow report:
+    a deadlocked design has no MCM/agreement/transient blocks (and vice
+    versa), the deadlock cycle is non-empty exactly when dead, blame
+    shares lie in [0, 1], agreement ``exact`` means a zero diff, and a
+    sizing block (when present) meets its own target."""
+    errors = validate(obj, FLOW_REPORT_SCHEMA)
+    if errors:
+        return errors
+    dead = obj["deadlock"]["dead"]
+    if dead != bool(obj["deadlock"]["cycle"]):
+        errors.append(
+            f"$.deadlock.cycle: {'empty' if dead else 'non-empty'} "
+            f"disagrees with dead={dead}"
+        )
+    if dead and obj["mcm"] is not None:
+        errors.append("$.mcm: present on a deadlocked design")
+    if not dead and obj["mcm"] is None:
+        errors.append("$.mcm: missing on a live design")
+    mcm = obj["mcm"]
+    if mcm is not None:
+        for i, step in enumerate(mcm["critical_cycle"]):
+            if not 0.0 <= step["share"] <= 1.0:
+                errors.append(
+                    f"$.mcm.critical_cycle[{i}].share: "
+                    f"{step['share']} outside [0, 1]"
+                )
+        if mcm["cycle_time"] > 0 and mcm["tokens"] <= 0:
+            errors.append("$.mcm.tokens: must be positive on a finite MCM")
+    agreement = obj["agreement"]
+    if agreement is not None:
+        if dead:
+            errors.append("$.agreement: present on a deadlocked design")
+        elif agreement["exact"] and agreement["max_abs_diff"] != 0.0:
+            errors.append(
+                f"$.agreement.exact: true with max_abs_diff "
+                f"{agreement['max_abs_diff']}"
+            )
+    sizing = obj["sizing"]
+    if sizing is not None and sizing["cycle_time"] > sizing["target"]:
+        errors.append(
+            f"$.sizing.cycle_time: {sizing['cycle_time']} exceeds "
+            f"target {sizing['target']}"
+        )
+    return errors
+
+
 def validate_benchmark_result(obj: Any) -> List[str]:
     """Schema check plus the cross-field invariant a mini-schema can't
     express: every row is as wide as the header."""

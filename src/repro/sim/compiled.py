@@ -913,10 +913,10 @@ class CompiledRecurrence:
         self, service: Any, n_waves: int
     ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
         """(constant column, full matrix) — one of the two is set."""
-        constant = getattr(service, "constant_duration", None)
         n = len(self._cells)
-        if constant is not None:
-            return np.full(n, float(constant)), None
+        col = self._service_column(service)
+        if col is not None:
+            return col, None
         svc = np.empty((n, n_waves), dtype=np.float64)
         for i, c in enumerate(self._cells):
             row = svc[i]
@@ -924,14 +924,113 @@ class CompiledRecurrence:
                 row[k] = service(c, k)
         return None, svc
 
+    def _service_column(self, service: Any) -> Optional[np.ndarray]:
+        """Wave-invariant per-cell service column, or ``None`` when the
+        callable varies by wave (``constant_duration`` /
+        ``cell_durations`` attributes — see :func:`repro.sim.dataflow.
+        constant_service` and :func:`~repro.sim.dataflow.per_cell_service`)."""
+        constant = getattr(service, "constant_duration", None)
+        if constant is not None:
+            return np.full(len(self._cells), float(constant))
+        durations = getattr(service, "cell_durations", None)
+        if durations is not None:
+            return np.asarray(
+                [float(durations[c]) for c in self._cells], dtype=np.float64
+            )
+        return None
+
+    def _capacity_groups(
+        self, cap_map: Mapping[EdgeKey, int]
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-depth sender-grouped back-edge arrays for a heterogeneous
+        capacity map: ``{depth: (succ, group_starts, group_cells)}`` in the
+        same ``reduceat`` layout as the uniform arrays.  Validates keys
+        (must be COMM edges) and values (ints ``>= 1``)."""
+        cells = self._cells
+        per_d: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+        matched = 0
+        n_groups = len(self._succ_group_cells)
+        for g in range(n_groups):
+            lo = int(self._succ_group_starts[g])
+            hi = (
+                int(self._succ_group_starts[g + 1])
+                if g + 1 < n_groups
+                else len(self._succ)
+            )
+            sender_idx = int(self._succ_group_cells[g])
+            sender = cells[sender_idx]
+            for p in range(lo, hi):
+                consumer_idx = int(self._succ[p])
+                d_raw = cap_map.get((sender, cells[consumer_idx]))
+                if d_raw is None:
+                    continue
+                d = int(d_raw)
+                if d < 1:
+                    raise ValueError(
+                        f"per-edge channel capacity must be >= 1, got {d} "
+                        f"for edge ({sender!r}, {cells[consumer_idx]!r})"
+                    )
+                matched += 1
+                succ_l, starts_l, targets_l = per_d.setdefault(
+                    d, ([], [], [])
+                )
+                if not targets_l or targets_l[-1] != sender_idx:
+                    starts_l.append(len(succ_l))
+                    targets_l.append(sender_idx)
+                succ_l.append(consumer_idx)
+        if matched != len(cap_map):
+            edge_set = {
+                (cells[int(self._succ_group_cells[g])], cells[int(s)])
+                for g in range(n_groups)
+                for s in self._succ[
+                    int(self._succ_group_starts[g]) : (
+                        int(self._succ_group_starts[g + 1])
+                        if g + 1 < n_groups
+                        else len(self._succ)
+                    )
+                ]
+            }
+            unknown = [e for e in cap_map if e not in edge_set]
+            raise ValueError(f"capacity for unknown COMM edge {unknown[0]!r}")
+        return {
+            d: (
+                np.asarray(succ_l, dtype=np.int64),
+                np.asarray(starts_l, dtype=np.int64),
+                np.asarray(targets_l, dtype=np.int64),
+            )
+            for d, (succ_l, starts_l, targets_l) in per_d.items()
+        }
+
+    def stepper(
+        self,
+        service: Any,
+        wire_delay: float,
+        capacity: Any = None,
+    ) -> "RecurrenceStepper":
+        """A wave-at-a-time evaluator over this compiled structure — the
+        open-horizon form of :meth:`makespan` (same float operations per
+        wave), exposing the full finish vector after each wave.  Accepts
+        every capacity regime: ``None``, a uniform int, or a per-edge
+        ``{(src, dst): depth}`` map."""
+        return RecurrenceStepper(self, service, wire_delay, capacity=capacity)
+
     def makespan(
         self,
         service: Any,
         wire_delay: float,
         n_waves: int,
-        capacity: Optional[int] = None,
+        capacity: Any = None,
     ) -> float:
         cells = self._cells
+        if isinstance(capacity, Mapping):
+            # Heterogeneous depths take the stepper path (identical maxima
+            # per wave; the scalar oracle's per-edge branch is the
+            # reference both must equal).
+            if not cells:
+                return 0.0
+            return self.stepper(service, wire_delay, capacity=capacity).run(
+                n_waves
+            )
         if capacity is not None:
             capacity = int(capacity)
             if capacity < 1:
@@ -991,6 +1090,177 @@ class CompiledRecurrence:
             col = const_col if const_col is not None else svc[:, k]
             finish = start + col
         return float(finish.max())
+
+
+def _pairs_acyclic(n_cells: int, src: np.ndarray, dst: np.ndarray) -> bool:
+    """Kahn's check over an explicit edge list on dense int cells."""
+    indegree = np.zeros(n_cells, dtype=np.int64)
+    np.add.at(indegree, dst, 1)
+    succs: List[List[int]] = [[] for _ in range(n_cells)]
+    for u, v in zip(src.tolist(), dst.tolist()):
+        succs[u].append(v)
+    queue = [i for i in range(n_cells) if indegree[i] == 0]
+    seen = 0
+    i = 0
+    while i < len(queue):
+        u = queue[i]
+        i += 1
+        seen += 1
+        for v in succs[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                queue.append(v)
+    return seen == n_cells
+
+
+class RecurrenceStepper:
+    """Wave-at-a-time evaluation of the compiled tandem recurrence.
+
+    :meth:`CompiledRecurrence.makespan` runs a fixed horizon and returns
+    one float; analyses that *watch* the trajectory — steady-state
+    detection in :mod:`repro.sta.flow`, transient bound checks — need the
+    finish vector after every wave, over an open horizon.  Each
+    :meth:`step` performs the same grouped-maxima float operations as the
+    corresponding ``makespan`` wave, so ``max`` of the stepper's final
+    vector equals ``makespan`` bit for bit in every capacity regime
+    (``None`` / uniform int / per-edge map — the map regime is grouped by
+    distinct depth, each depth reading its own lagged start row).
+
+    The returned finish vectors are freshly allocated per wave and never
+    mutated afterwards; callers may keep references.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledRecurrence,
+        service: Any,
+        wire_delay: float,
+        capacity: Any = None,
+    ) -> None:
+        if wire_delay < 0:
+            raise ValueError("wire delay must be non-negative")
+        self._c = compiled
+        self._service = service
+        self._wire_delay = wire_delay
+        n = len(compiled._cells)
+        # Capacity regime -> per-depth grouped back-edge arrays.  A
+        # uniform int reuses the full sender-grouped arrays; a map gets
+        # per-depth subsets in the same layout.
+        cap1: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        deep: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        if isinstance(capacity, Mapping):
+            groups = compiled._capacity_groups(capacity)
+            for d in sorted(groups):
+                succ_d, starts_d, targets_d = groups[d]
+                if d == 1:
+                    counts = np.diff(np.append(starts_d, len(succ_d)))
+                    src_1 = np.repeat(targets_d, counts)
+                    if not _pairs_acyclic(n, src_1, succ_d):
+                        from repro.sim.dataflow import ChannelDeadlockError
+
+                        raise ChannelDeadlockError(
+                            "capacity-1 channels form a directed COMM "
+                            "cycle: a zero-token marked-graph cycle "
+                            "(deadlock); raise some capacity on the "
+                            "cycle to >= 2"
+                        )
+                    cap1 = (succ_d, starts_d, targets_d)
+                else:
+                    deep.append((d, succ_d, starts_d, targets_d))
+        elif capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                raise ValueError("channel capacity must be >= 1 (or None)")
+            full = (
+                compiled._succ,
+                compiled._succ_group_starts,
+                compiled._succ_group_cells,
+            )
+            if capacity == 1:
+                if not compiled._acyclic:
+                    from repro.sim.dataflow import ChannelDeadlockError
+
+                    raise ChannelDeadlockError(
+                        "channel_capacity=1 on a cyclic COMM graph is a "
+                        "zero-token marked-graph cycle (deadlock); use "
+                        "capacity >= 2"
+                    )
+                cap1 = full
+            elif len(compiled._succ):
+                deep.append((capacity, *full))
+        self._cap1 = cap1
+        self._deep = deep
+        self._window_len = max((d - 1 for d, *_ in deep), default=0)
+        self._window: deque = deque(maxlen=self._window_len or None)
+        self._col = compiled._service_column(service)
+        self._finish = np.zeros(n, dtype=np.float64)
+        self._k = 0
+
+    @property
+    def wave(self) -> int:
+        """Number of completed waves."""
+        return self._k
+
+    @property
+    def finish(self) -> np.ndarray:
+        """Finish vector after the last completed wave (zeros before the
+        first :meth:`step`), indexed like ``CompiledRecurrence._cells``."""
+        return self._finish
+
+    def step(self) -> np.ndarray:
+        """Advance one wave; returns the new finish vector."""
+        c = self._c
+        k = self._k
+        finish = self._finish
+        if k > 0 and len(c._src):
+            arrivals = finish[c._src] + self._wire_delay
+            grouped = np.maximum.reduceat(arrivals, c._group_starts)
+            start = finish.copy()
+            start[c._group_cells] = np.maximum(
+                start[c._group_cells], grouped
+            )
+        else:
+            start = finish
+        for d, succ_d, starts_d, targets_d in self._deep:
+            if k >= d:
+                if start is finish:
+                    start = finish.copy()
+                row = self._window[-(d - 1)]  # start row of wave k - d + 1
+                grouped = np.maximum.reduceat(row[succ_d], starts_d)
+                start[targets_d] = np.maximum(start[targets_d], grouped)
+        if self._cap1 is not None and k >= 1:
+            succ1, starts1, targets1 = self._cap1
+            if start is finish:
+                start = finish.copy()
+            # Same-wave coupling: relax to the exact fixpoint, as in
+            # CompiledRecurrence.makespan.
+            while True:
+                grouped = np.maximum.reduceat(start[succ1], starts1)
+                updated = np.maximum(start[targets1], grouped)
+                if np.array_equal(updated, start[targets1]):
+                    break
+                start[targets1] = updated
+        if self._window_len:
+            self._window.append(start)
+        if self._col is not None:
+            col = self._col
+        else:
+            col = np.asarray(
+                [self._service(cell, k) for cell in c._cells],
+                dtype=np.float64,
+            )
+        self._finish = start + col
+        self._k = k + 1
+        return self._finish
+
+    def run(self, n_waves: int) -> float:
+        """Makespan after ``n_waves`` further waves (the scalar the fixed-
+        horizon kernel reports)."""
+        if n_waves < 1:
+            raise ValueError("need at least one wave")
+        for _ in range(n_waves):
+            self.step()
+        return float(self._finish.max()) if len(self._finish) else 0.0
 
 
 # ----------------------------------------------------------------------

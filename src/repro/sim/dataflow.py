@@ -60,6 +60,7 @@ from typing import (
     Mapping,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.arrays.cells import PE
@@ -69,11 +70,16 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 
 CellId = Hashable
+EdgeKey = Tuple[CellId, CellId]
 
 #: Service-time callback: ``(cell, wave) -> duration``.  Deterministic
 #: callables keep runs reproducible; see :func:`constant_service` and
 #: :func:`hashed_service`.
 ServiceTime = Callable[[CellId, int], float]
+
+#: Flow-control spec: ``None`` (unbounded), a uniform int depth, or a
+#: per-edge ``{(src, dst): depth}`` map (absent edges are unbounded).
+CapacitySpec = Optional[Union[int, Mapping[EdgeKey, int]]]
 
 
 class ChannelDeadlockError(RuntimeError):
@@ -101,7 +107,29 @@ def constant_service(duration: float) -> ServiceTime:
     def service(cell: CellId, wave: int) -> float:
         return duration
 
-    service.constant_duration = float(duration)
+    service.constant_duration = float(duration)  # type: ignore[attr-defined]
+    return service
+
+
+def per_cell_service(durations: Mapping[CellId, float]) -> ServiceTime:
+    """Each cell takes its own wave-invariant duration.
+
+    This is the heterogeneous-cell model the static flow analyzer
+    (:mod:`repro.sta.flow`) works over: cycle-time bounds only exist when
+    service times are wave-invariant, and per-cell constants are exactly
+    that regime.  The returned callable carries a ``cell_durations``
+    attribute so the compiled recurrence kernel can build its per-cell
+    service column without tabulating a full (cell, wave) matrix.
+    """
+    table = {cell: float(d) for cell, d in durations.items()}
+    for cell, duration in table.items():
+        if duration < 0:
+            raise ValueError(f"negative service time for {cell!r}")
+
+    def service(cell: CellId, wave: int) -> float:
+        return table[cell]
+
+    service.cell_durations = table  # type: ignore[attr-defined]
     return service
 
 
@@ -124,12 +152,29 @@ def hashed_service(
     return sample
 
 
-def _reverse_topological(comm: Any) -> List[CellId]:
+def _reverse_topological(
+    comm: Any, edges: Optional[List[Tuple[CellId, CellId]]] = None
+) -> List[CellId]:
     """Cells in reverse topological order (consumers before producers) —
-    the evaluation order the same-wave ``channel_capacity=1`` credit term
-    needs.  Raises :class:`ChannelDeadlockError` on a cyclic graph."""
+    the evaluation order the same-wave capacity-1 credit term needs.
+    With ``edges`` the order is taken over that COMM-edge *subset* (the
+    capacity-1 channels of a per-edge assignment); ``None`` means every
+    edge.  Raises :class:`ChannelDeadlockError` when the (sub)graph is
+    cyclic — a zero-token marked-graph cycle."""
     cells = comm.nodes()
-    indegree: Dict[CellId, int] = {c: len(comm.predecessors(c)) for c in cells}
+    if edges is None:
+        indegree: Dict[CellId, int] = {
+            c: len(comm.predecessors(c)) for c in cells
+        }
+        succs: Dict[CellId, List[CellId]] = {
+            c: list(comm.successors(c)) for c in cells
+        }
+    else:
+        indegree = {c: 0 for c in cells}
+        succs = {c: [] for c in cells}
+        for u, v in edges:
+            indegree[v] += 1
+            succs[u].append(v)
     queue: List[CellId] = [c for c in cells if indegree[c] == 0]
     order: List[CellId] = []
     i = 0
@@ -137,14 +182,15 @@ def _reverse_topological(comm: Any) -> List[CellId]:
         c = queue[i]
         i += 1
         order.append(c)
-        for s in comm.successors(c):
+        for s in succs[c]:
             indegree[s] -= 1
             if indegree[s] == 0:
                 queue.append(s)
     if len(order) != len(cells):
         raise ChannelDeadlockError(
-            "channel_capacity=1 on a cyclic COMM graph is a zero-token "
-            "marked-graph cycle (deadlock); use capacity >= 2"
+            "capacity-1 channels form a directed COMM cycle: a zero-token "
+            "marked-graph cycle (deadlock); raise some capacity on the "
+            "cycle to >= 2"
         )
     order.reverse()
     return order
@@ -168,7 +214,7 @@ class DataflowRunResult:
     makespan: float
     events_processed: int
     finish_times: Dict[CellId, float]  # completion of each cell's last wave
-    channel_capacity: Optional[int] = None
+    channel_capacity: CapacitySpec = None
     stall_time: Optional[Dict[CellId, float]] = None
     max_occupancy: Optional[int] = None
 
@@ -222,7 +268,7 @@ class SelfTimedProgramSimulator:
         wire_delay: float = 0.0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
-        channel_capacity: Optional[int] = None,
+        channel_capacity: CapacitySpec = None,
     ) -> None:
         if wire_delay < 0:
             raise ValueError("wire delay must be non-negative")
@@ -232,7 +278,30 @@ class SelfTimedProgramSimulator:
         self._wire_delay = wire_delay
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics
-        if channel_capacity is not None:
+        self._capacity_map: Optional[Dict[EdgeKey, int]] = None
+        if isinstance(channel_capacity, Mapping):
+            edge_set = set(self._comm.edges())
+            cap_map: Dict[EdgeKey, int] = {}
+            for edge, cap in channel_capacity.items():
+                if edge not in edge_set:
+                    raise ValueError(
+                        f"capacity for unknown COMM edge {edge!r}"
+                    )
+                cap = int(cap)
+                if cap < 1:
+                    raise ValueError(
+                        f"per-edge channel capacity must be >= 1, got "
+                        f"{cap} for edge {edge!r}"
+                    )
+                cap_map[edge] = cap
+            cap1 = [e for e, cap in cap_map.items() if cap == 1]
+            if cap1:
+                # Eager deadlock detection, same contract as the uniform
+                # case: a cyclic capacity-1 subgraph can never fire.
+                _reverse_topological(self._comm, cap1)
+            self._capacity_map = cap_map
+            channel_capacity = None
+        elif channel_capacity is not None:
             channel_capacity = int(channel_capacity)
             if channel_capacity < 1:
                 raise ValueError("channel capacity must be >= 1 (or None)")
@@ -242,11 +311,13 @@ class SelfTimedProgramSimulator:
                     "zero-token marked-graph cycle (deadlock); use "
                     "capacity >= 2"
                 )
-        self._channel_capacity = channel_capacity
+        self._channel_capacity: Optional[int] = channel_capacity
         self._compiled: Any = None  # lazy CompiledRecurrence
 
     @property
-    def channel_capacity(self) -> Optional[int]:
+    def channel_capacity(self) -> CapacitySpec:
+        if self._capacity_map is not None:
+            return dict(self._capacity_map)
         return self._channel_capacity
 
     def run(self, waves: Optional[int] = None) -> DataflowRunResult:
@@ -279,13 +350,15 @@ class SelfTimedProgramSimulator:
         # the unbounded path stays byte-identical (same events, same order,
         # same floats) to the historical simulator.
         capacity = self._channel_capacity
+        cap_map = self._capacity_map
+        bounded = capacity is not None or cap_map is not None
         succs: Dict[CellId, Tuple[CellId, ...]] = {}
         outstanding: Dict[Tuple[CellId, CellId], int] = {}
         stall_time: Optional[Dict[CellId, float]] = None
         blocked_since: Dict[CellId, float] = {}
         max_occupancy = 0
         stall_hist = occupancy_hist = None
-        if capacity is not None:
+        if bounded:
             succs = {c: tuple(self._comm.successors(c)) for c in cells}
             outstanding = {(u, v): 0 for u, v in self._comm.edges()}
             stall_time = {c: 0.0 for c in cells}
@@ -309,6 +382,18 @@ class SelfTimedProgramSimulator:
             # generation w-k, i.e. to have *fired* wave w-k+1 already
             # (``next_wave`` counts fires, so the threshold is w-k+2).
             k = next_wave[cell]
+            if cap_map is not None:
+                # Heterogeneous depths: each outgoing edge applies its own
+                # threshold; edges absent from the map are unbounded.
+                for s in succs[cell]:
+                    cap_e = cap_map.get((cell, s))
+                    if (
+                        cap_e is not None
+                        and k >= cap_e
+                        and next_wave[s] < k - cap_e + 2
+                    ):
+                        return False
+                return True
             if k < capacity:
                 return True
             floor = k - capacity + 2
@@ -332,12 +417,12 @@ class SelfTimedProgramSimulator:
             if not ready(cell):
                 return
             k = next_wave[cell]
-            if capacity is not None and not credit_ready(cell):
+            if bounded and not credit_ready(cell):
                 # Data-ready but the channel to some consumer is full:
                 # the stall clock starts at the first blocked attempt.
                 blocked_since.setdefault(cell, sim.now)
                 return
-            if capacity is not None:
+            if bounded:
                 t_blocked = blocked_since.pop(cell, None)
                 if t_blocked is not None:
                     stalled = sim.now - t_blocked
@@ -347,7 +432,7 @@ class SelfTimedProgramSimulator:
             inputs: Dict[CellId, Any] = (
                 inbox[cell].pop(k - 1, {}) if k > 0 else {}
             )
-            if capacity is not None and k > 0:
+            if bounded and k > 0:
                 # Consuming generation k-1 drains one slot per input edge.
                 for p in preds[cell]:
                     outstanding[(p, cell)] -= 1
@@ -372,7 +457,7 @@ class SelfTimedProgramSimulator:
                 )
             next_wave[cell] = k + 1
             busy[cell] = True
-            if capacity is not None:
+            if bounded:
                 # This fire consumed a generation (and advanced the wave
                 # front), which may return credits to the producers.
                 # Trampoline through zero-delay events rather than direct
@@ -395,13 +480,18 @@ class SelfTimedProgramSimulator:
                 finish_times[cell] = sim.now
                 for dst in self._comm.successors(cell):
                     value = outputs.get(dst) if outputs else None
-                    if capacity is not None:
+                    if bounded:
                         count = outstanding[(cell, dst)] + 1
                         outstanding[(cell, dst)] = count
-                        if count > capacity:
+                        limit = (
+                            capacity
+                            if cap_map is None
+                            else cap_map.get((cell, dst))
+                        )
+                        if limit is not None and count > limit:
                             raise AssertionError(
                                 f"channel ({cell!r} -> {dst!r}) exceeded "
-                                f"capacity {capacity}: {count} in flight"
+                                f"capacity {limit}: {count} in flight"
                             )
                         if count > max_occupancy:
                             max_occupancy = count
@@ -431,7 +521,7 @@ class SelfTimedProgramSimulator:
             tracer.event(
                 makespan, "dataflow", "run",
                 waves=n_waves, cells=len(cells), makespan=makespan,
-                channel_capacity=capacity,
+                channel_capacity=self.channel_capacity,
             )
         if self._metrics is not None:
             self._metrics.gauge("dataflow.makespan").set(makespan)
@@ -445,9 +535,9 @@ class SelfTimedProgramSimulator:
             makespan=makespan,
             events_processed=processed,
             finish_times=finish_times,
-            channel_capacity=capacity,
+            channel_capacity=self.channel_capacity,
             stall_time=stall_time,
-            max_occupancy=(max_occupancy if capacity is not None else None),
+            max_occupancy=(max_occupancy if bounded else None),
         )
 
     def compiled_recurrence(self):
@@ -479,11 +569,16 @@ class SelfTimedProgramSimulator:
         is the reference it must equal exactly.
         """
         n_waves = waves if waves is not None else self._program.cycles
+        capacity: CapacitySpec = (
+            self._capacity_map
+            if self._capacity_map is not None
+            else self._channel_capacity
+        )
         return self.compiled_recurrence().makespan(
             self._service,
             self._wire_delay,
             n_waves,
-            capacity=self._channel_capacity,
+            capacity=capacity,
         )
 
     def critical_path(self, waves: Optional[int] = None):
@@ -498,7 +593,7 @@ class SelfTimedProgramSimulator:
         critical_path_from_trace`), whose ``credit`` cause annotations
         carry the capacity back-edges.
         """
-        if self._channel_capacity is not None:
+        if self._channel_capacity is not None or self._capacity_map is not None:
             raise ValueError(
                 "critical_path() replays the unbounded recurrence; for a "
                 "bounded run record a trace and use "
@@ -523,7 +618,7 @@ class SelfTimedProgramSimulator:
         cells = self._comm.nodes()
         cap = self._channel_capacity
         finish: Dict[CellId, float] = {c: 0.0 for c in cells}
-        if cap is None:
+        if cap is None and self._capacity_map is None:
             for k in range(n_waves):
                 new_finish: Dict[CellId, float] = {}
                 for c in cells:
@@ -539,6 +634,40 @@ class SelfTimedProgramSimulator:
 
         preds = {c: list(self._comm.predecessors(c)) for c in cells}
         succs = {c: list(self._comm.successors(c)) for c in cells}
+        cap_map = self._capacity_map
+        if cap_map is not None:
+            # Heterogeneous depths: capacity-1 edges couple starts within a
+            # wave (evaluate consumers-first over that subgraph); deeper
+            # edges read start rows from a sliding window whose depth is
+            # the largest finite capacity minus one.
+            cap1 = [e for e, d in cap_map.items() if d == 1]
+            order = _reverse_topological(self._comm, cap1) if cap1 else cells
+            max_cap = max(cap_map.values(), default=1)
+            window: deque = deque()
+            for k in range(n_waves):
+                starts: Dict[CellId, float] = {}
+                for c in order:
+                    start = finish[c]
+                    if k > 0:
+                        for p in preds[c]:
+                            start = max(start, finish[p] + self._wire_delay)
+                    for s in succs[c]:
+                        d = cap_map.get((c, s))
+                        if d is None or k < d:
+                            continue
+                        if d == 1:
+                            start = max(start, starts[s])
+                        else:
+                            # window[-1] is wave k-1, so wave k-d+1 sits at
+                            # index -(d-1); valid because k >= d.
+                            start = max(start, window[-(d - 1)][s])
+                    starts[c] = start
+                finish = {c: starts[c] + self._service(c, k) for c in cells}
+                if max_cap >= 2:
+                    window.append(starts)
+                    if len(window) > max_cap - 1:
+                        window.popleft()
+            return max(finish.values(), default=0.0)
         # Capacity 1 couples starts *within* a wave (distance k-1 = 0), so
         # cells evaluate consumers-first; capacity >= 2 only reads start
         # rows from earlier waves, kept in a sliding window of depth k-1.

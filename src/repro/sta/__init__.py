@@ -13,8 +13,16 @@ executable as a linter:
 * :mod:`repro.sta.drc` — assumptions A1-A11 as pass/fail/warn/skip rules;
 * :mod:`repro.sta.analyzer` — the cached, instrumented facade;
 * :mod:`repro.sta.eco` — the incremental what-if engine: typed edits
-  (repad, reroute, buffer resize, graft, re-clock) with per-edit dirty-set
-  derivation, bit-identical to a full re-analysis at every step;
+  (repad, reroute, buffer resize, graft, re-clock, channel capacity) with
+  per-edit dirty-set derivation, bit-identical to a full re-analysis at
+  every step;
+* :mod:`repro.sta.flow` — simulation-free *self-timed* analysis: maximum
+  cycle mean (Karp oracle + vectorized Howard kernel) with critical-cycle
+  blame, static deadlock detection, minimal buffer sizing, and transient
+  makespan bounds, all held to bit-exact agreement with the event-driven
+  simulator;
+* :mod:`repro.sta.flowreport` — the schema-pinned flow report
+  (``python -m repro flow``);
 * :mod:`repro.sta.tiles` — tiled composition by abutment: pre-characterize
   one tile, stitch an R x C array's analysis from cached summaries plus
   boundary edges, exactly equal to the flat pass;
@@ -36,6 +44,23 @@ from repro.sta.design import (
 )
 from repro.sta.drc import RuleResult, drc_counts, drc_failures, run_drc
 from repro.sta.eco import ECOSession, EcoEdit
+from repro.sta.flow import (
+    FlowAnalysis,
+    FlowCycle,
+    FlowEdge,
+    FlowGraph,
+    SizingResult,
+    SteadyState,
+    analyze_flow,
+    detect_deadlock,
+    flow_graph,
+    mcm_howard,
+    mcm_karp,
+    minimal_buffer_sizing,
+    simulate_steady_state,
+    simulate_steady_state_scalar,
+)
+from repro.sta.flowreport import build_flow_report, render_flow_report
 from repro.sta.report import STAReport, build_report, render_report
 from repro.sta.slack import (
     EdgeSlack,
@@ -60,26 +85,42 @@ __all__ = [
     "ECOSession",
     "EcoEdit",
     "EdgeSlack",
+    "FlowAnalysis",
+    "FlowCycle",
+    "FlowEdge",
+    "FlowGraph",
     "RuleResult",
     "STAAnalyzer",
     "STAReport",
+    "SizingResult",
     "SlackAnalysis",
+    "SteadyState",
     "TileSpec",
     "WORKLOADS",
     "analyze",
+    "analyze_flow",
     "analyze_slack",
+    "build_flow_report",
     "build_report",
     "compose_design",
     "design_for_workload",
+    "detect_deadlock",
     "drc_counts",
     "drc_failures",
     "edge_lags",
     "flat_summary",
+    "flow_graph",
+    "mcm_howard",
+    "mcm_karp",
+    "minimal_buffer_sizing",
     "minimum_feasible_period",
     "minimum_feasible_period_closed_form",
     "pad_for_races",
     "random_design",
+    "render_flow_report",
     "render_report",
+    "simulate_steady_state",
+    "simulate_steady_state_scalar",
     "run_drc",
     "stitched_analysis",
 ]

@@ -26,6 +26,14 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sta.design import Design
 from repro.sta.drc import RuleResult, run_drc
+from repro.sta.flow import (
+    CapacitySpec,
+    FlowAnalysis,
+    ServiceSpec,
+    _capacity_items,
+    _service_vector,
+    analyze_flow,
+)
 from repro.sta.report import STAReport, build_report
 from repro.sta.slack import (
     SlackAnalysis,
@@ -61,6 +69,7 @@ class STAAnalyzer:
         self._drc: Optional[List[RuleResult]] = None
         self._feasible: Dict[str, float] = {}
         self._empirical: Optional[Dict[str, Any]] = None
+        self._flow: Dict[Tuple[Any, ...], FlowAnalysis] = {}
 
     def _current_fingerprint(self) -> _Fingerprint:
         """Snapshot everything the slack math reads.
@@ -98,6 +107,7 @@ class STAAnalyzer:
             self._drc = None
             self._feasible = {}
             self._empirical = None
+            self._flow = {}
             return False
         return True
 
@@ -160,6 +170,61 @@ class STAAnalyzer:
                 "tree_version": buffered.version,
             }
         return self._empirical
+
+    def flow(
+        self,
+        service: ServiceSpec = 1.0,
+        wire_delay: float = 0.0,
+        capacity: CapacitySpec = None,
+    ) -> FlowAnalysis:
+        """Self-timed flow analysis of this design's COMM graph, memoized.
+
+        The cache key is the resolved per-cell service vector (by value
+        — two specs resolving to the same vector share an entry), the
+        wire delay, and the normalized capacity items, all under the
+        design fingerprint: a COMM mutation drops every entry, while
+        clock-side edits merely rotate the fingerprint (over-
+        invalidation, never staleness).
+        """
+        self._fresh()
+        comm = self.design.array.comm
+        cells = comm.nodes()
+        services = _service_vector(cells, service)
+        key: Tuple[Any, ...] = (
+            services.tobytes(),
+            float(wire_delay),
+            tuple(_capacity_items(comm, capacity)),
+        )
+        hit = key in self._flow
+        if not hit:
+            t0 = time.perf_counter()
+            analysis = analyze_flow(comm, service, wire_delay, capacity)
+            self._flow[key] = analysis
+            duration = time.perf_counter() - t0
+            if self._metrics is not None:
+                self._metrics.counter("sta.flow_runs").inc()
+                self._metrics.histogram("sta.flow_duration_s").observe(
+                    duration
+                )
+            if self._tracer.enabled:
+                self._tracer.event(
+                    0.0,
+                    "sta",
+                    "flow",
+                    design=self.design.name,
+                    cells=len(cells),
+                    dead=analysis.dead,
+                    cycle_time=analysis.cycle_time,
+                    duration_s=duration,
+                )
+        else:
+            if self._metrics is not None:
+                self._metrics.counter("sta.flow_cache_hits").inc()
+            if self._tracer.enabled:
+                self._tracer.event(
+                    0.0, "sta", "flow_cache_hit", design=self.design.name
+                )
+        return self._flow[key]
 
     def report(self) -> STAReport:
         """The full report (slack + DRC + feasibility + empirical)."""

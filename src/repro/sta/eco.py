@@ -19,6 +19,15 @@ edit               dirty set
                    ``need`` vectors; verdict masks are re-derived lazily)
 =================  ====================================================
 
+:meth:`~ECOSession.set_channel_capacity` extends the same discipline to
+the self-timed side: FIFO depths never enter a clocked lag, so no slack
+row moves, and the session's flow memos (:meth:`~ECOSession.flow`) are
+updated in place — a widened channel off the cached critical cycle keeps
+the cached MCM solve outright (widening only lowers the means of cycles
+*through* the edited edge), anything else re-solves warm-started from
+the cached Howard policy.  Either way the answer is bit-identical to a
+cold :func:`~repro.sta.flow.analyze_flow`.
+
 The session maintains the per-edge *need* vectors (``need_exact =
 lead + lag``, the exact-mode hold slack and period requirement;
 ``need_bound = sigma_ub + lag``; ``hold_bound = lag - sigma_ub``) plus
@@ -65,6 +74,14 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sta.design import Design, EdgeKey
 from repro.sta.drc import run_drc
+from repro.sta.flow import (
+    FlowAnalysis,
+    ServiceSpec,
+    _service_vector,
+    detect_deadlock,
+    flow_graph,
+    mcm_howard,
+)
 from repro.sta.report import STAReport, build_report
 from repro.sta.slack import (
     SIM_TOL,
@@ -196,6 +213,16 @@ class ECOSession:
         self._tree_version = tree.version
         self._edits: List[EcoEdit] = []
         self._counts_cache: Optional[Dict[str, int]] = None
+        # Self-timed channel capacities (session state, not on the
+        # design: the clocked discipline has no FIFOs).  Missing edge =
+        # unbounded.  The flow memos are keyed by (service vector bytes,
+        # wire delay); capacity lives here and edits update the entries
+        # in place — reusing the cached critical cycle when the edit
+        # provably cannot move it.
+        self._capacity: Dict[EdgeKey, int] = {}
+        self._flow_cache: Dict[
+            Tuple[bytes, float], Tuple[Dict[Any, float], FlowAnalysis]
+        ] = {}
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -356,6 +383,71 @@ class ECOSession:
         rows = np.empty(0, dtype=np.int64)
         return self._record("set_period", f"{float(period):g}", rows, 0)
 
+    def set_channel_capacity(self, edge: EdgeKey, depth: int) -> EcoEdit:
+        """Set the finite FIFO depth of one directed COMM channel.
+
+        Clocked slack rows are untouched (capacity is a self-timed
+        quantity that never enters a lag), so the edit dirties zero
+        rows; the incrementality lives in the flow memos.  A *widening*
+        (finite depth raised) of a channel off a cached critical cycle
+        keeps that cached solve: extra slots only add tokens to — i.e.
+        lower the means of — cycles through the edited edge, so the
+        argmax cycle and its ratio are unchanged, exactly, and deadlock
+        cannot appear.  Any other edit (first finite depth, a narrowing,
+        a touched critical cycle, or a previously dead graph) re-solves
+        the entry, warm-starting Howard from the cached policy.
+        """
+        self._check_external()
+        if depth < 1:
+            raise ValueError("channel capacity must be >= 1")
+        if edge not in self._row:
+            raise KeyError(f"edge {edge!r} is not a COMM edge")
+        old = self._capacity.get(edge)
+        self._capacity[edge] = int(depth)
+        widening = old is not None and depth >= old
+        comm = self._design.array.comm
+        cap = dict(self._capacity)
+        reused = 0
+        recomputed = 0
+        for key, (svc_map, analysis) in list(self._flow_cache.items()):
+            wire = key[1]
+            fg = flow_graph(comm, svc_map, wire, cap)
+            keep = (
+                widening
+                and analysis.cycle is not None
+                and edge not in analysis.critical_comm_edges()
+            )
+            if keep:
+                fresh = FlowAnalysis(
+                    graph=fg, deadlock=None, cycle=analysis.cycle
+                )
+                reused += 1
+            else:
+                dead = detect_deadlock(comm, cap)
+                warm = (
+                    analysis.cycle.policy
+                    if analysis.cycle is not None
+                    else None
+                )
+                cycle = (
+                    mcm_howard(fg, warm_start=warm) if dead is None else None
+                )
+                fresh = FlowAnalysis(graph=fg, deadlock=dead, cycle=cycle)
+                recomputed += 1
+            self._flow_cache[key] = (svc_map, fresh)
+        if self._metrics is not None:
+            if reused:
+                self._metrics.counter("eco.flow_reuse").inc(reused)
+            if recomputed:
+                self._metrics.counter("eco.flow_recompute").inc(recomputed)
+        rows = np.empty(0, dtype=np.int64)
+        return self._record(
+            "set_channel_capacity",
+            f"{_edge_str(edge)} depth={int(depth)}",
+            rows,
+            recomputed,
+        )
+
     def apply(self, op: str, **params: Any) -> EcoEdit:
         """Dispatch one edit by name — the edit-script entry point."""
         if op == "repad_edge":
@@ -368,6 +460,8 @@ class ECOSession:
             return self.graft_subtree(params["additions"])
         if op == "set_period":
             return self.set_period(params["period"])
+        if op == "set_channel_capacity":
+            return self.set_channel_capacity(params["edge"], params["depth"])
         raise ValueError(f"unknown ECO op {op!r}")
 
     # ------------------------------------------------------------------
@@ -438,6 +532,41 @@ class ECOSession:
         self._check_external()
         _, _, stale_bound, race_bound, _ = self._masks()
         return not (bool(stale_bound.any()) or bool(race_bound.any()))
+
+    @property
+    def channel_capacities(self) -> Dict[EdgeKey, int]:
+        """The session's current per-edge FIFO depths (missing =
+        unbounded)."""
+        return dict(self._capacity)
+
+    def flow(
+        self, service: ServiceSpec = 1.0, wire_delay: float = 0.0
+    ) -> FlowAnalysis:
+        """Static flow analysis under the session's channel capacities.
+
+        Memoized per (service vector, wire delay); capacity edits keep
+        the memo live — see :meth:`set_channel_capacity`.  Every answer
+        is bit-identical to a cold :func:`~repro.sta.flow.analyze_flow`
+        over the current capacity map (the ``differential-eco`` suite
+        replays edit scripts asserting exactly that).
+        """
+        self._check_external()
+        comm = self._design.array.comm
+        cells = comm.nodes()
+        services = _service_vector(cells, service)
+        key = (services.tobytes(), float(wire_delay))
+        entry = self._flow_cache.get(key)
+        if entry is None:
+            svc_map = {
+                c: float(s) for c, s in zip(cells, services.tolist())
+            }
+            cap = dict(self._capacity) if self._capacity else None
+            fg = flow_graph(comm, svc_map, wire_delay, cap)
+            dead = detect_deadlock(comm, cap)
+            cycle = mcm_howard(fg) if dead is None else None
+            entry = (svc_map, FlowAnalysis(graph=fg, deadlock=dead, cycle=cycle))
+            self._flow_cache[key] = entry
+        return entry[1]
 
     def analysis(self) -> SlackAnalysis:
         """Materialize the current state as a frozen

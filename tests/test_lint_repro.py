@@ -103,6 +103,48 @@ def test_unseeded_default_rng_is_flagged():
 
 
 # ----------------------------------------------------------------------
+# flow-oracle
+# ----------------------------------------------------------------------
+def test_howard_kernel_without_oracle_is_flagged():
+    violations = lint_source(
+        "def mcm_howard(fg):\n    return None\n", "sta/flow.py"
+    )
+    assert [v.rule for v in violations] == ["flow-oracle"]
+    assert "mcm_karp" in violations[0].message
+
+
+def test_howard_kernel_with_karp_oracle_passes():
+    assert not lint_source(
+        "def mcm_karp(fg):\n    return None\n"
+        "def mcm_howard(fg):\n    return None\n",
+        "sta/flow.py",
+    )
+
+
+def test_simulate_loop_without_scalar_oracle_is_flagged():
+    violations = lint_source(
+        "def simulate_steady_state(comm):\n    return None\n", "sta/flow.py"
+    )
+    assert [v.rule for v in violations] == ["flow-oracle"]
+
+
+def test_simulate_loop_with_scalar_oracle_passes():
+    assert not lint_source(
+        "def simulate_steady_state(comm):\n    return None\n"
+        "def simulate_steady_state_scalar(comm):\n    return None\n",
+        "sta/flow.py",
+    )
+
+
+def test_flow_oracle_rule_scoped_to_sta_package():
+    # sim/ has simulate_* entry points with differential checks of their
+    # own; the pairing convention is an sta/ contract.
+    assert not lint_source(
+        "def simulate_selftimed_line(n):\n    return None\n", "sim/selftimed.py"
+    )
+
+
+# ----------------------------------------------------------------------
 # simulator-kwargs
 # ----------------------------------------------------------------------
 SIM_WITHOUT_OBS = """

@@ -1,6 +1,6 @@
 """Repo-specific static lint: invariants generic linters can't know.
 
-Four rules, each an AST pass over ``src/repro``:
+Five rules, each an AST pass over ``src/repro``:
 
 * **batch-oracle** — every ``*_batch`` kernel must have a scalar oracle
   counterpart in the same scope (``X`` or ``X_scalar`` next to
@@ -15,6 +15,13 @@ Four rules, each an AST pass over ``src/repro``:
 * **simulator-kwargs** — every public ``*Simulator`` class in
   ``repro.sim`` must accept the opt-in ``tracer=`` and ``metrics=``
   observability kwargs (the PR-1 convention).
+* **flow-oracle** — inside ``repro.sta``, every flow-analysis kernel
+  must have a paired scalar oracle in the same module: a policy-
+  iteration solver ``X_howard`` needs ``X_karp`` or ``X_scalar``, and a
+  convergence simulator ``simulate_X`` needs ``simulate_X_scalar`` —
+  the differential suites (``differential-mcm``) compare the production
+  kernel against the oracle bit-for-bit, so a kernel without one is
+  untestable by construction.
 * **guarded-trace-event** — outside ``repro.obs`` itself, every
   ``<tracer>.event(...)`` call must sit inside an ``if ....enabled:``
   guard: constructing event payloads unconditionally makes disabled
@@ -160,6 +167,42 @@ def check_seeded_random(tree: ast.Module, rel: str) -> List[LintViolation]:
 
 
 # ----------------------------------------------------------------------
+# rule: flow-oracle
+# ----------------------------------------------------------------------
+def check_flow_oracles(tree: ast.Module, rel: str) -> List[LintViolation]:
+    """Inside ``repro.sta``: ``X_howard`` kernels need an ``X_karp`` /
+    ``X_scalar`` sibling; ``simulate_X`` convergence loops need a
+    ``simulate_X_scalar`` sibling."""
+    if not rel.replace("\\", "/").startswith("sta/"):
+        return []
+    violations: List[LintViolation] = []
+    functions = _function_names(tree.body)
+    names = {f.name for f in functions}
+    for func in functions:
+        if func.name.endswith("_howard"):
+            base = func.name[: -len("_howard")]
+            required = (base + "_karp", base + "_scalar")
+        elif (
+            func.name.startswith("simulate_")
+            and not func.name.endswith("_scalar")
+        ):
+            required = (func.name + "_scalar",)
+        else:
+            continue
+        if not any(candidate in names for candidate in required):
+            violations.append(
+                LintViolation(
+                    "flow-oracle",
+                    rel,
+                    func.lineno,
+                    f"flow kernel {func.name} has no paired scalar oracle "
+                    f"(expected one of {', '.join(required)})",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # rule: simulator-kwargs
 # ----------------------------------------------------------------------
 def check_simulator_kwargs(tree: ast.Module, rel: str) -> List[LintViolation]:
@@ -261,6 +304,7 @@ def lint_source(source: str, rel: str) -> List[LintViolation]:
     tree = ast.parse(source, filename=rel)
     violations = check_batch_oracles(tree, rel)
     violations += check_seeded_random(tree, rel)
+    violations += check_flow_oracles(tree, rel)
     violations += check_simulator_kwargs(tree, rel)
     violations += check_guarded_trace_events(tree, rel)
     return violations
